@@ -1,0 +1,73 @@
+// ABL-HYBRID - the paper's closing suggestion, quantified: "optimal
+// solutions may be a combination of these three categories".
+//
+// The hybrid scheme runs pseudo recovery points for cheap bounded recovery
+// and additionally establishes a synchronized recovery line every Delta
+// time units; a failure whose Section 4 pointer loop would cross the
+// newest sync line restores that line instead.  The bench sweeps Delta and
+// reports the recovery-distance distribution against the synchronization
+// cost (CL per sync, Section 3), alongside the stationary line age of the
+// pure asynchronous scheme (renewal formula E[X^2]/2E[X]) - the quantity a
+// designer would trade off.
+#include <cstdio>
+
+#include "core/api.h"
+
+int main(int argc, char** argv) {
+  using namespace rbx;
+  const ExperimentOptions opts =
+      ExperimentOptions::parse(argc, argv, /*samples=*/2500, /*nmax=*/0);
+  print_banner("ABL-HYBRID",
+               "PRP + periodic synchronization (Section 5's combination)");
+
+  // A hot configuration where pure PRP occasionally rolls deep.
+  const auto params = ProcessSetParams::symmetric(3, 0.4, 3.0);
+  AsyncRbModel async(params);
+  SyncRbModel sync(params.mu());
+  PrpModel prp(params, 1e-4);
+
+  std::printf("configuration: %s\n", params.describe().c_str());
+  std::printf("pure async    : E[X] = %.3f, stationary line age = %.3f\n",
+              async.mean_interval(), async.mean_line_age());
+  std::printf("pure PRP bound: E[sup y] = %.3f\n", prp.mean_rollback_bound());
+  std::printf("sync commit   : CL = %.3f per synchronization\n\n",
+              sync.mean_loss());
+
+  TextTable table({"sync period", "hybrid dist (mean)", "hybrid p95",
+                   "hybrid max", "sync-line restores", "sync loss rate",
+                   "pure PRP dist (mean)", "pure PRP max"});
+  for (double period : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    PrpSimParams sp;
+    sp.error_rate = 0.25;
+    sp.sync_period = period;
+    PrpSimulator sim(params, sp, opts.seed);
+    const PrpSimResult r = sim.run(opts.samples);
+    const double loss_rate =
+        static_cast<double>(r.sync_lines_established) / r.horizon *
+        sync.mean_loss();
+    char restores[32];
+    std::snprintf(restores, sizeof(restores), "%zu/%zu",
+                  r.hybrid_sync_restores, r.failures);
+    table.add_row({TextTable::fmt(period, 1),
+                   fmt_ci(r.hybrid_distance.mean(),
+                          r.hybrid_distance.ci_half_width(), 3),
+                   TextTable::fmt(r.hybrid_distance.quantile(0.95), 3),
+                   TextTable::fmt(r.hybrid_distance.max(), 3), restores,
+                   TextTable::fmt(loss_rate, 4),
+                   TextTable::fmt(r.prp_distance.mean(), 3),
+                   TextTable::fmt(r.prp_distance.max(), 3)});
+  }
+  std::printf("%s\n",
+              table
+                  .render("Hybrid scheme vs pure PRP (errors at rate 0.25; "
+                          "sync loss = CL x line rate)")
+                  .c_str());
+  std::printf(
+      "Reading: the sync period dials recovery tail against steady-state\n"
+      "loss - short periods cap the worst-case distance near the period at\n"
+      "a loss rate approaching CL/period; long periods converge to pure\n"
+      "PRP. The combination dominates either extreme when deadlines bind\n"
+      "but synchronization is expensive - the paper's Section 5 intuition\n"
+      "made concrete.\n");
+  return 0;
+}

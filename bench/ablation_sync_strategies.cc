@@ -1,0 +1,81 @@
+// ABL-SYNC - ablation of Section 3's three synchronization-request
+// strategies:
+//   (1) constant wall-clock interval (blind timer);
+//   (2) elapsed time since the previous recovery line;
+//   (3) number of states saved since the previous line.
+//
+// The paper argues strategy 1 is the simplest but "may become very
+// inefficient since it is possible to make synchronization requests
+// immediately after the formation of recovery lines", while 2 and 3 bound
+// the rollback distance and the saved-state volume respectively.  The
+// bench matches the three strategies on mean line spacing, then compares
+// loss rate, rollback distance (errors injected at a fixed rate) and
+// states saved per line.
+#include <cstdio>
+
+#include "core/api.h"
+
+int main(int argc, char** argv) {
+  using namespace rbx;
+  const ExperimentOptions opts =
+      ExperimentOptions::parse(argc, argv, /*samples=*/30000, /*nmax=*/0);
+  print_banner("ABL-SYNC", "Section 3 synchronization strategies compared");
+
+  const std::vector<double> mu = {1.5, 1.0, 0.5};
+  SyncRbModel model(mu);
+  const double ez = model.mean_max_wait();
+  // Target mean spacing between lines.
+  const double target = 4.0;
+
+  struct Variant {
+    const char* label;
+    SyncSimParams params;
+  };
+  std::vector<Variant> variants;
+  {
+    SyncSimParams p;
+    p.mu = mu;
+    p.error_rate = 0.5;
+    p.strategy = SyncStrategy::kConstantInterval;
+    p.interval = target;  // grid period == target spacing
+    variants.push_back({"1: constant interval", p});
+    p.strategy = SyncStrategy::kElapsedTime;
+    p.elapsed_threshold = target - ez;  // spacing = threshold + E[Z]
+    variants.push_back({"2: elapsed time", p});
+    p.strategy = SyncStrategy::kSavedStates;
+    // Spacing = threshold/total_mu + E[Z]; total_mu = 3.
+    p.saved_threshold =
+        static_cast<std::size_t>((target - ez) * 3.0 + 0.5);
+    variants.push_back({"3: saved states", p});
+  }
+
+  TextTable table({"strategy", "line spacing", "loss rate", "loss/sync",
+                   "rollback dist", "rollback p95", "states/line",
+                   "states/line sd"});
+  for (const Variant& v : variants) {
+    SyncRbSimulator sim(v.params, opts.seed);
+    const SyncSimResult r = sim.run(opts.samples);
+    table.add_row({v.label,
+                   fmt_ci(r.line_spacing.mean(),
+                          r.line_spacing.ci_half_width(), 3),
+                   TextTable::fmt(r.loss_rate, 4),
+                   TextTable::fmt(r.loss.mean(), 4),
+                   fmt_ci(r.rollback_distance.mean(),
+                          r.rollback_distance.ci_half_width(), 3),
+                   TextTable::fmt(r.rollback_distance.quantile(0.95), 3),
+                   TextTable::fmt(r.states_per_line.mean(), 2),
+                   TextTable::fmt(r.states_per_line.stddev(), 2)});
+  }
+  std::printf("%s\n",
+              table
+                  .render("Strategies matched to ~equal mean line spacing "
+                          "(mu = {1.5, 1.0, 0.5}, target 4.0)")
+                  .c_str());
+  std::printf(
+      "Reading: per-sync loss is strategy-independent (the commit cost\n"
+      "depends only on mu), so at matched spacing the loss rates agree;\n"
+      "strategy 2 tightens the rollback-distance tail (it caps line age),\n"
+      "strategy 3 tightens the saved-state count (zero variance), and the\n"
+      "blind timer controls neither - the paper's trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// MICRO - google-benchmark microbenchmarks of the Markov engine: chain
+// construction, dense hitting-time solves, uniformization vs RK4 transient
+// solutions, and the phase-type density evaluation that drives Figure 6.
+#include <benchmark/benchmark.h>
+
+#include "core/api.h"
+
+namespace {
+
+using namespace rbx;
+
+void BM_AsyncModelBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto params = ProcessSetParams::symmetric(n, 1.0, 0.5);
+  for (auto _ : state) {
+    AsyncRbModel model(params);
+    benchmark::DoNotOptimize(model.mean_interval());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(1) << n);
+}
+BENCHMARK(BM_AsyncModelBuild)->DenseRange(3, 9)->Complexity();
+
+void BM_SymmetricModelBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // Hold rho at 0.05 so E[X] stays well-conditioned at every size.
+  const double lambda = 2.0 * 0.05 / (static_cast<double>(n) - 1.0);
+  for (auto _ : state) {
+    SymmetricAsyncModel model(n, 1.0, lambda);
+    benchmark::DoNotOptimize(model.mean_interval());
+  }
+}
+BENCHMARK(BM_SymmetricModelBuild)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_TransientUniformization(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  AsyncRbModel model(ProcessSetParams::symmetric(n, 1.0, 1.0));
+  std::vector<double> pi0(model.num_states(), 0.0);
+  pi0[0] = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.chain().transient(pi0, 1.0));
+  }
+}
+BENCHMARK(BM_TransientUniformization)->DenseRange(3, 8);
+
+void BM_TransientRk4(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  AsyncRbModel model(ProcessSetParams::symmetric(n, 1.0, 1.0));
+  std::vector<double> pi0(model.num_states(), 0.0);
+  pi0[0] = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.chain().transient_rk4(pi0, 1.0, 500));
+  }
+}
+BENCHMARK(BM_TransientRk4)->DenseRange(3, 8);
+
+void BM_PhaseTypePdf(benchmark::State& state) {
+  AsyncRbModel model(ProcessSetParams::symmetric(
+      static_cast<std::size_t>(state.range(0)), 1.0, 1.0));
+  double t = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.interval_pdf(t));
+    t = t < 2.0 ? t + 0.1 : 0.1;
+  }
+}
+BENCHMARK(BM_PhaseTypePdf)->DenseRange(3, 7);
+
+void BM_ExpectedVisits(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  AsyncRbModel model(ProcessSetParams::symmetric(n, 1.0, 1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.expected_rp_count_split_chain(0));
+  }
+}
+BENCHMARK(BM_ExpectedVisits)->DenseRange(3, 7);
+
+void BM_MonteCarloLines(benchmark::State& state) {
+  const auto params = ProcessSetParams::symmetric(3, 1.0, 1.0);
+  AsyncRbSimulator sim(params, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_lines(100).interval.mean());
+  }
+}
+BENCHMARK(BM_MonteCarloLines);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// MICRO - google-benchmark microbenchmarks of the runtime substrate:
+// mailbox throughput, checkpoint save/restore cost as a function of state
+// size, recovery-block execution, and the exact recovery-line fixpoint on
+// synthetic histories.
+#include <benchmark/benchmark.h>
+
+#include "core/api.h"
+#include "runtime/channel.h"
+#include "runtime/checkpoint.h"
+#include "runtime/recovery_block.h"
+#include "runtime/serializable.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace rbx;
+
+void BM_MailboxPushPop(benchmark::State& state) {
+  Mailbox box;
+  Message m;
+  m.type = MessageType::kApp;
+  m.seq = 1;
+  for (auto _ : state) {
+    box.push(m);
+    benchmark::DoNotOptimize(box.try_pop());
+  }
+}
+BENCHMARK(BM_MailboxPushPop);
+
+void BM_MailboxFilter(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Mailbox box;
+    for (std::size_t i = 0; i < count; ++i) {
+      Message m;
+      m.type = MessageType::kApp;
+      m.send_ticket = i;
+      box.push(m);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(box.filter(
+        [count](const Message& m) { return m.send_ticket > count / 2; }));
+  }
+}
+BENCHMARK(BM_MailboxFilter)->Range(64, 4096);
+
+void BM_WorkStateSerialize(benchmark::State& state) {
+  WorkState ws;
+  for (int i = 0; i < 100; ++i) {
+    ws.step(1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ws.serialize());
+  }
+}
+BENCHMARK(BM_WorkStateSerialize);
+
+void BM_CheckpointSaveAndPurge(benchmark::State& state) {
+  WorkState ws;
+  std::uint64_t ticket = 0;
+  for (auto _ : state) {
+    CheckpointStore store(0);
+    for (int i = 0; i < 16; ++i) {
+      Snapshot s;
+      s.kind = i % 4 == 0 ? SnapshotKind::kRecoveryPoint
+                          : SnapshotKind::kPseudoRecoveryPoint;
+      s.rp_owner = static_cast<ProcessId>(i % 4);
+      s.rp_seq = static_cast<std::uint64_t>(i);
+      s.ticket = ++ticket;
+      s.state = ws.serialize();
+      store.save(std::move(s));
+    }
+    benchmark::DoNotOptimize(store.purge());
+  }
+}
+BENCHMARK(BM_CheckpointSaveAndPurge);
+
+void BM_RecoveryBlockExecute(benchmark::State& state) {
+  WorkState ws;
+  RecoveryBlock rb([](const Serializable&) { return true; });
+  rb.add_alternative(
+      [](Serializable& s) { static_cast<WorkState&>(s).step(7); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rb.execute(ws));
+  }
+}
+BENCHMARK(BM_RecoveryBlockExecute);
+
+void BM_ExactLineFixpoint(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  History h(n);
+  double t = 0.0;
+  for (int e = 0; e < 2000; ++e) {
+    t += rng.exponential(1.0);
+    if (rng.bernoulli(0.5)) {
+      h.add_recovery_point(rng.uniform_index(n), t);
+    } else {
+      const ProcessId a = rng.uniform_index(n);
+      ProcessId b = rng.uniform_index(n - 1);
+      if (b >= a) {
+        ++b;
+      }
+      h.add_interaction(a, b, t);
+    }
+  }
+  RecoveryLineFinder finder(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.latest_line());
+  }
+}
+BENCHMARK(BM_ExactLineFixpoint)->DenseRange(2, 6);
+
+void BM_RollbackAnalysis(benchmark::State& state) {
+  Rng rng(23);
+  History h(4);
+  double t = 0.0;
+  for (int e = 0; e < 2000; ++e) {
+    t += rng.exponential(1.0);
+    if (rng.bernoulli(0.5)) {
+      h.add_recovery_point(rng.uniform_index(4), t);
+    } else {
+      const ProcessId a = rng.uniform_index(4);
+      ProcessId b = rng.uniform_index(3);
+      if (b >= a) {
+        ++b;
+      }
+      h.add_interaction(a, b, t);
+    }
+  }
+  RollbackAnalyzer analyzer(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze_failure(0, t + 1.0));
+  }
+}
+BENCHMARK(BM_RollbackAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// RT - runtime validation: the three schemes executed by real threads.
+//
+// The analytic models and the DES assume instantaneous protocol actions;
+// this bench runs the thread-based runtime (src/runtime) under fault
+// injection and reports the protocol-level counters: recoveries, rollback
+// depth (in global event tickets), affected-set sizes, snapshot storage,
+// orphan messages dropped and the verified invariants (restart-line
+// consistency, bit-exact restores).
+#include <cstdio>
+
+#include "core/api.h"
+
+namespace {
+
+const char* scheme_name(rbx::SchemeKind scheme) {
+  switch (scheme) {
+    case rbx::SchemeKind::kAsynchronous:
+      return "asynchronous";
+    case rbx::SchemeKind::kSynchronized:
+      return "synchronized";
+    case rbx::SchemeKind::kPseudoRecoveryPoints:
+      return "pseudo-RP";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rbx;
+  const ExperimentOptions opts =
+      ExperimentOptions::parse(argc, argv, /*samples=*/1500, /*nmax=*/4);
+  print_banner("RT", "Thread runtime: protocol counters under faults");
+
+  TextTable table({"scheme", "n", "recoveries", "rollback depth (mean)",
+                   "affected (mean)", "orphans", "snapshots", "bytes",
+                   "verified"});
+  for (SchemeKind scheme :
+       {SchemeKind::kAsynchronous, SchemeKind::kSynchronized,
+        SchemeKind::kPseudoRecoveryPoints}) {
+    for (std::size_t n = 3; n <= opts.nmax; ++n) {
+      RuntimeConfig cfg;
+      cfg.num_processes = n;
+      cfg.scheme = scheme;
+      cfg.seed = opts.seed + n;
+      cfg.steps = opts.samples;
+      cfg.message_probability = 0.4;
+      cfg.rp_probability = 0.06;
+      cfg.at_failure_probability = 0.1;
+      cfg.sync_period_steps = 60;
+      RecoverySystem system(cfg);
+      const RuntimeReport r = system.run();
+
+      const bool ok = r.completed && r.restore_verified &&
+                      r.line_consistency_verified &&
+                      r.fifo_violations == 0;
+      table.add_row(
+          {scheme_name(scheme), TextTable::fmt_int(static_cast<long long>(n)),
+           TextTable::fmt_int(static_cast<long long>(r.recoveries)),
+           r.rollback_tickets.count() > 0
+               ? TextTable::fmt(r.rollback_tickets.mean(), 1)
+               : std::string("-"),
+           r.affected_processes.count() > 0
+               ? TextTable::fmt(r.affected_processes.mean(), 2)
+               : std::string("-"),
+           TextTable::fmt_int(
+               static_cast<long long>(r.orphan_messages_dropped)),
+           TextTable::fmt_int(static_cast<long long>(r.snapshots_retained)),
+           TextTable::fmt_int(static_cast<long long>(r.snapshot_bytes)),
+           ok ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n",
+              table.render("Runtime schemes (5% AT failure injection)")
+                  .c_str());
+
+  // Protocol cost detail for the synchronized scheme.
+  RuntimeConfig cfg;
+  cfg.num_processes = 3;
+  cfg.scheme = SchemeKind::kSynchronized;
+  cfg.seed = opts.seed;
+  cfg.steps = opts.samples;
+  cfg.sync_period_steps = 50;
+  RecoverySystem system(cfg);
+  const RuntimeReport r = system.run();
+  std::printf("Synchronized detail: %zu lines, %zu aborts, mean commit wait "
+              "%.1f polls (max %.0f), %zu RPs (= 3 per line)\n",
+              r.sync_lines, r.sync_aborts,
+              r.sync_wait_polls.count() ? r.sync_wait_polls.mean() : 0.0,
+              r.sync_wait_polls.count() ? r.sync_wait_polls.max() : 0.0,
+              r.rps);
+  std::printf(
+      "\nReading: asynchronous rollback depth varies wildly (isolated\n"
+      "failures are cheap, propagated ones spike and can domino) and the\n"
+      "store accumulates every RP ever taken; PRP rollbacks are bounded\n"
+      "(roughly one pseudo recovery line for everyone) with storage purged\n"
+      "to a constant; the synchronized scheme replaces rollback depth by\n"
+      "commit waiting (polls) and minimal storage - the paper's three-way\n"
+      "trade-off, observed on real threads with verified restores.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// TAB1 - reproduces the paper's Table 1: mean values of X and L_i for the
+// five (mu, lambda) cases at constant rho = 1.
+//
+// Columns:
+//   paper        the value printed in the 1983 table (their simulation)
+//   analytic     exact value from the rule R1-R4 chain (this library)
+//   monte-carlo  this library's simulation of the Section 2.1 process
+//
+// Findings reproduced (see EXPERIMENTS.md):
+//  * the paper's E(L_i) rows equal mu_i * E[X] exactly, confirming the
+//    counting convention and the chain;
+//  * the paper's E(X) row is its (noisier) simulation estimate, ~4% above
+//    the exact mean;
+//  * case 5's printed E(L2) = 3.111 is a typo for 3.311 (the column sum
+//    9.933 only works with 3.311 = mu_2 * E[X]).
+#include <cstdio>
+
+#include "core/api.h"
+
+namespace {
+
+struct Table1Case {
+  const char* label;
+  double mu1, mu2, mu3;
+  double l12, l23, l13;
+  double paper_ex;
+  double paper_l1, paper_l2, paper_l3;
+};
+
+// Values transcribed from the paper's Table 1.
+const Table1Case kCases[] = {
+    {"1", 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.598, 2.500, 2.500, 2.500},
+    {"2", 1.5, 1.0, 0.5, 1.0, 1.0, 1.0, 3.357, 4.847, 3.231, 1.616},
+    {"3", 1.0, 1.0, 1.0, 1.5, 0.5, 1.0, 2.600, 2.453, 2.453, 2.453},
+    {"4", 1.5, 1.0, 0.5, 1.5, 0.5, 1.0, 3.203, 4.533, 3.022, 1.511},
+    // E(L2) printed as 3.111 in the paper; 3.311 restores the row sum.
+    {"5", 1.5, 1.0, 0.5, 0.5, 1.5, 1.0, 3.354, 4.967, 3.311, 1.656},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rbx;
+  const ExperimentOptions opts =
+      ExperimentOptions::parse(argc, argv, /*samples=*/150000, /*nmax=*/0);
+  print_banner("TAB1",
+               "Table 1: E[X] and E[L_i] for five rate cases at rho = 1");
+
+  TextTable table({"case", "quantity", "paper", "analytic", "monte-carlo",
+                   "mc-dev"});
+  std::uint64_t case_seed = opts.seed;
+  for (const Table1Case& c : kCases) {
+    const auto params =
+        ProcessSetParams::three(c.mu1, c.mu2, c.mu3, c.l12, c.l23, c.l13);
+    AsyncRbModel model(params);
+    // A distinct stream per case keeps the Monte-Carlo columns
+    // statistically independent across rows.
+    AsyncRbSimulator sim(params, case_seed += 0x9e3779b9);
+    const AsyncSimResult mc = sim.run_lines(opts.samples);
+
+    table.add_row({c.label, "E[X]", TextTable::fmt(c.paper_ex, 3),
+                   TextTable::fmt(model.mean_interval(), 4),
+                   fmt_ci(mc.interval.mean(), mc.interval.ci_half_width()),
+                   fmt_dev(mc.interval.mean(), model.mean_interval())});
+    const double paper_l[3] = {c.paper_l1, c.paper_l2, c.paper_l3};
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto counts = model.expected_rp_count(i);
+      char q[16];
+      std::snprintf(q, sizeof(q), "E[L%zu]", i + 1);
+      table.add_row(
+          {c.label, q, TextTable::fmt(paper_l[i], 3),
+           TextTable::fmt(counts.wald, 4),
+           fmt_ci(mc.rp_incl_final[i].mean(),
+                  mc.rp_incl_final[i].ci_half_width()),
+           fmt_dev(mc.rp_incl_final[i].mean(), counts.wald)});
+    }
+    double sum_wald = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      sum_wald += model.expected_rp_count(i).wald;
+    }
+    table.add_row({c.label, "sum E[L]",
+                   TextTable::fmt(c.paper_l1 + c.paper_l2 + c.paper_l3, 3),
+                   TextTable::fmt(sum_wald, 4), "-", "-"});
+  }
+  std::printf("%s\n", table.render("Table 1 reproduction").c_str());
+
+  // Secondary table: the three L_i counting conventions (DESIGN.md
+  // interpretation decision #4) for case 2, illustrating why the Wald
+  // convention is the paper's.
+  TextTable conv({"case-2 process", "incl. final (a)", "excl. final (b)",
+                  "state-changing (c)", "paper"});
+  const auto params2 = ProcessSetParams::three(1.5, 1.0, 0.5, 1, 1, 1);
+  AsyncRbModel model2(params2);
+  const double paper2[3] = {4.847, 3.231, 1.616};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto counts = model2.expected_rp_count(i);
+    char p[8];
+    std::snprintf(p, sizeof(p), "P%zu", i + 1);
+    conv.add_row({p, TextTable::fmt(counts.wald, 4),
+                  TextTable::fmt(counts.excluding_final, 4),
+                  TextTable::fmt(counts.state_changing, 4),
+                  TextTable::fmt(paper2[i], 3)});
+  }
+  std::printf("%s\n",
+              conv.render("L_i counting conventions (case 2)").c_str());
+  std::printf("Convention (a) matches the paper's E(L_i) to all printed "
+              "digits.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Flight-control scenario: the paper was funded by NASA Langley for
+// fault-tolerant flight systems, and its conclusion singles out
+// time-critical tasks where "a delay in system response beyond ... the
+// system deadline leads to a catastrophic failure".
+//
+// Model: three redundant control channels (pitch/roll/yaw processing)
+// cross-feeding sensor estimates every cycle.  Each channel checkpoints
+// after its acceptance test; a transient fault (cosmic-ray upset) must be
+// recovered *within a deadline*.  The example sizes the three schemes
+// against a deadline using the paper's own quantities:
+//
+//   asynchronous : recovery needs up to the recovery-line age; its
+//                  expected value is bounded below by E[X];
+//   synchronized : recovery is bounded by the sync period + E[Z], but
+//                  every period loses CL of computation;
+//   pseudo RPs   : recovery is bounded by ~E[sup y_i] at the cost of n
+//                  state savings per RP.
+//
+// The thread runtime then demonstrates PRP recovery end to end.
+#include <cstdio>
+
+#include "core/api.h"
+
+int main() {
+  using namespace rbx;
+
+  // Channel acceptance tests run at 20 Hz-ish rates (time unit = 1 s);
+  // cross-channel exchanges are a little faster.
+  const double mu = 20.0;
+  const double lambda = 30.0;
+  const auto params = ProcessSetParams::symmetric(3, mu, lambda);
+  const double deadline = 0.5;  // seconds of tolerable recovery gap
+
+  std::printf("Triple-redundant control channels: %s\n\n",
+              params.describe().c_str());
+
+  Analyzer analyzer(params, /*t_record=*/1e-3);
+  const SchemeComparison cmp = analyzer.compare();
+
+  std::printf("deadline: %.2f s of recomputation tolerated\n\n", deadline);
+  AsyncRbModel async(params);
+  std::printf("asynchronous RBs: E[X] = %.3f s between recovery lines; a "
+              "random upset finds the last line %.3f s old on average "
+              "(renewal age) -> %s\n",
+              cmp.mean_interval_x, async.mean_line_age(),
+              async.mean_line_age() > deadline
+                  ? "UNSAFE (expected rollback exceeds the deadline)"
+                  : "ok on average, but unbounded in the tail");
+
+  // Synchronized: choose the longest period that keeps rollback age under
+  // the deadline, then report the price.
+  SyncRbModel sync(params.mu());
+  const double period = deadline - sync.mean_max_wait();
+  std::printf("synchronized RBs: period %.3f s + E[Z] %.3f s keeps rollback "
+              "<= deadline; loss/sync CL = %.4f s (%.1f%% of each period)\n",
+              period, sync.mean_max_wait(), sync.mean_loss(),
+              100.0 * sync.mean_loss() / (3 * period));
+
+  PrpModel prp(params, 1e-3);
+  std::printf("pseudo RPs     : rollback bound E[sup y] = %.3f s (deadline "
+              "ok: %s); cost %zu snapshots/RP, +%.4f s recording per RP\n\n",
+              prp.mean_rollback_bound(),
+              prp.mean_rollback_bound() <= deadline ? "yes" : "no",
+              prp.snapshots_per_rp(), prp.time_overhead_per_rp());
+
+  // Monte-Carlo: what rollback distances would transient upsets cause?
+  PrpSimParams sp;
+  sp.t_record = 1e-4;
+  sp.error_rate = 0.5;  // upsets every ~2 s across the system
+  PrpSimulator sim(params, sp, 42);
+  const PrpSimResult mc = sim.run(2000);
+  std::printf("simulated upsets: PRP rollback %.4f s mean / %.4f s p99; "
+              "asynchronous %.4f s mean / %.4f s p99 (%zu dominoes)\n",
+              mc.prp_distance.mean(), mc.prp_distance.quantile(0.99),
+              mc.async_distance.mean(), mc.async_distance.quantile(0.99),
+              mc.async_domino_count);
+
+  // End-to-end on threads: channels exchange estimates, checkpoint, and a
+  // 5% acceptance-test failure rate exercises recovery.
+  RuntimeConfig cfg;
+  cfg.num_processes = 3;
+  cfg.scheme = SchemeKind::kPseudoRecoveryPoints;
+  cfg.steps = 800;
+  cfg.message_probability = 0.5;
+  cfg.rp_probability = 0.1;
+  cfg.at_failure_probability = 0.05;
+  RecoverySystem system(cfg);
+  const RuntimeReport r = system.run();
+  std::printf("\nruntime: %zu recoveries over %zu RPs; snapshots bounded at "
+              "%zu (purged %zu); all restores verified: %s\n",
+              r.recoveries, r.rps, r.snapshots_retained, r.purged_snapshots,
+              r.restore_verified && r.completed ? "yes" : "NO");
+  std::printf("\nConclusion (paper Section 5): for deadline-driven tasks the "
+              "asynchronous scheme is unacceptable; PRPs bound recovery "
+              "without stalling normal execution.\n");
+  return 0;
+}

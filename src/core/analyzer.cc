@@ -1,0 +1,59 @@
+#include "core/analyzer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "model/async_model.h"
+#include "model/prp_model.h"
+#include "model/sync_model.h"
+
+namespace rbx {
+
+std::string SchemeComparison::summary() const {
+  std::ostringstream os;
+  os << "asynchronous : E[X] = " << mean_interval_x
+     << " (sd " << stddev_interval_x << "), E[L] =";
+  for (double l : rp_counts) {
+    os << ' ' << l;
+  }
+  os << '\n';
+  os << "synchronized : E[Z] = " << sync_mean_max_wait
+     << ", loss CL = " << sync_mean_loss << '\n';
+  os << "pseudo RPs   : " << prp_snapshots_per_rp
+     << " states/RP, +" << prp_time_overhead_per_rp
+     << " time/RP, rollback bound E[sup y] = " << prp_mean_rollback_bound;
+  return os.str();
+}
+
+Analyzer::Analyzer(ProcessSetParams params, double t_record)
+    : params_(std::move(params)), t_record_(t_record) {}
+
+SchemeComparison Analyzer::compare() const {
+  SchemeComparison out;
+
+  AsyncRbModel async(params_);
+  out.mean_interval_x = async.mean_interval();
+  out.stddev_interval_x = std::sqrt(async.variance_interval());
+  out.rp_counts.reserve(params_.n());
+  for (std::size_t i = 0; i < params_.n(); ++i) {
+    out.rp_counts.push_back(async.expected_rp_count(i).wald);
+  }
+
+  SyncRbModel sync(params_.mu());
+  out.sync_mean_max_wait = sync.mean_max_wait();
+  out.sync_mean_loss = sync.mean_loss();
+
+  PrpModel prp(params_, t_record_);
+  out.prp_snapshots_per_rp = static_cast<double>(prp.snapshots_per_rp());
+  out.prp_time_overhead_per_rp = prp.time_overhead_per_rp();
+  out.prp_mean_rollback_bound = prp.mean_rollback_bound();
+  return out;
+}
+
+std::vector<double> Analyzer::interval_density_grid(double t_max,
+                                                    std::size_t points) const {
+  AsyncRbModel async(params_);
+  return async.interval().pdf_grid(t_max, points);
+}
+
+}  // namespace rbx

@@ -1,0 +1,51 @@
+// One-call analysis of a process set under all three recovery schemes.
+//
+// Bundles the Section 2 asynchronous-RB chain, the Section 3 synchronized
+// loss model and the Section 4 PRP overhead model behind a single call so
+// applications can compare schemes without touching the individual models.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/params.h"
+
+namespace rbx {
+
+struct SchemeComparison {
+  // Asynchronous RBs (Section 2).
+  double mean_interval_x = 0.0;       // E[X] between recovery lines
+  double stddev_interval_x = 0.0;
+  std::vector<double> rp_counts;      // E[L_i], convention (a)
+  // Synchronized RBs (Section 3).
+  double sync_mean_max_wait = 0.0;    // E[Z]
+  double sync_mean_loss = 0.0;        // CL per synchronization
+  // Pseudo recovery points (Section 4).
+  double prp_snapshots_per_rp = 0.0;  // n
+  double prp_time_overhead_per_rp = 0.0;
+  double prp_mean_rollback_bound = 0.0;  // E[sup y_i]
+
+  std::string summary() const;
+};
+
+class Analyzer {
+ public:
+  // t_record: state-recording time used by the PRP overhead figures.
+  explicit Analyzer(ProcessSetParams params, double t_record = 0.0);
+
+  const ProcessSetParams& params() const { return params_; }
+
+  // Full comparison (builds the 2^n + 1 state chain: n <= 12).
+  SchemeComparison compare() const;
+
+  // Analytic density f_X(t) on a uniform grid (Figure 6).
+  std::vector<double> interval_density_grid(double t_max,
+                                            std::size_t points) const;
+
+ private:
+  ProcessSetParams params_;
+  double t_record_;
+};
+
+}  // namespace rbx

@@ -1,0 +1,30 @@
+// Umbrella header: the public API of the recovery-blocks library.
+//
+// Layered as follows (each layer usable on its own):
+//
+//   support/   deterministic RNG, statistics, tables
+//   numerics/  dense/sparse linear algebra, ODE, quadrature, Poisson
+//   markov/    CTMC/DTMC engine, phase-type distributions
+//   model/     the paper's analytic models (Sections 2-4)
+//   trace/     histories, exact recovery lines, rollback planning
+//   des/       Monte-Carlo simulators of the three schemes
+//   runtime/   thread-based processes with real checkpoint/rollback
+//   core/      this facade: Analyzer + experiment helpers
+#pragma once
+
+#include "core/analyzer.h"          // IWYU pragma: export
+#include "core/experiment.h"        // IWYU pragma: export
+#include "des/async_sim.h"          // IWYU pragma: export
+#include "des/prp_sim.h"            // IWYU pragma: export
+#include "des/sync_sim.h"           // IWYU pragma: export
+#include "model/async_model.h"      // IWYU pragma: export
+#include "model/async_symmetric.h"  // IWYU pragma: export
+#include "model/params.h"           // IWYU pragma: export
+#include "model/prp_model.h"        // IWYU pragma: export
+#include "model/sync_model.h"       // IWYU pragma: export
+#include "runtime/system.h"         // IWYU pragma: export
+#include "support/table.h"          // IWYU pragma: export
+#include "trace/dot.h"              // IWYU pragma: export
+#include "trace/prp_plan.h"         // IWYU pragma: export
+#include "trace/recovery_line.h"    // IWYU pragma: export
+#include "trace/rollback.h"         // IWYU pragma: export

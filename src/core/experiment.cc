@@ -1,0 +1,63 @@
+#include "core/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rbx {
+
+ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
+                                           std::size_t default_samples,
+                                           std::size_t default_nmax) {
+  ExperimentOptions opts;
+  opts.samples = default_samples;
+  opts.nmax = default_nmax;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--samples=", 10) == 0) {
+      opts.samples = static_cast<std::size_t>(std::strtoull(arg + 10,
+                                                            nullptr, 10));
+    } else if (std::strncmp(arg, "--nmax=", 7) == 0) {
+      opts.nmax = static_cast<std::size_t>(std::strtoull(arg + 7, nullptr,
+                                                         10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opts.seed = std::strtoull(arg + 7, nullptr, 10);
+    }
+  }
+  if (opts.samples == 0) {
+    opts.samples = default_samples;
+  }
+  if (opts.nmax == 0) {
+    opts.nmax = default_nmax;
+  }
+  return opts;
+}
+
+std::string fmt_ci(double value, double half_width, int precision) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.*f +- %.*f", precision, value, precision,
+                half_width);
+  return buf;
+}
+
+std::string fmt_dev(double measured, double reference) {
+  if (reference == 0.0) {
+    return "n/a";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%",
+                100.0 * (measured - reference) / reference);
+  return buf;
+}
+
+void print_banner(const std::string& experiment_id,
+                  const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s - Shin & Lee, 'Analysis of Backward Error Recovery for\n",
+              experiment_id.c_str());
+  std::printf("Concurrent Processes with Recovery Blocks' (ICPP 1983)\n");
+  std::printf("%s\n", description.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace rbx

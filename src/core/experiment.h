@@ -1,0 +1,39 @@
+// Shared plumbing for the bench binaries that regenerate the paper's
+// tables and figures.
+//
+// Every bench runs with no arguments and prints the paper's rows to stdout;
+// the flags below let a user trade precision for time:
+//   --samples=N   Monte-Carlo sample count (lines / failures / commits)
+//   --nmax=N      largest process count in sweeps
+//   --seed=N      master RNG seed
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rbx {
+
+struct ExperimentOptions {
+  std::size_t samples = 20000;
+  std::size_t nmax = 0;  // 0 = bench default
+  std::uint64_t seed = 20260610;
+
+  static ExperimentOptions parse(int argc, char** argv,
+                                 std::size_t default_samples,
+                                 std::size_t default_nmax);
+};
+
+// "value +- half_width" with sensible precision.
+std::string fmt_ci(double value, double half_width, int precision = 4);
+
+// Percentage-formatted relative deviation of measured from reference.
+std::string fmt_dev(double measured, double reference);
+
+// Standard header naming the paper and the experiment (keeps bench output
+// self-describing when tee'd into logs).
+void print_banner(const std::string& experiment_id,
+                  const std::string& description);
+
+}  // namespace rbx

@@ -1,0 +1,284 @@
+#include "markov/ctmc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numerics/lu.h"
+#include "numerics/matrix.h"
+#include "numerics/ode.h"
+#include "numerics/poisson.h"
+#include "support/check.h"
+
+namespace rbx {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+Ctmc::Ctmc(std::size_t num_states) : n_(num_states), exit_rate_(num_states) {
+  RBX_CHECK(num_states > 0);
+}
+
+void Ctmc::add_rate(std::size_t from, std::size_t to, double rate) {
+  RBX_CHECK(!finalized_);
+  RBX_CHECK(from < n_ && to < n_);
+  RBX_CHECK_MSG(from != to, "diagonal entries are derived, not specified");
+  RBX_CHECK(rate >= 0.0);
+  if (rate == 0.0) {
+    return;
+  }
+  arcs_.push_back({from, to, rate});
+  exit_rate_[from] += rate;
+}
+
+void Ctmc::finalize() {
+  RBX_CHECK(!finalized_);
+  SparseMatrixBuilder builder(n_, n_);
+  for (const Arc& arc : arcs_) {
+    builder.add(arc.from, arc.to, arc.rate);
+  }
+  for (std::size_t u = 0; u < n_; ++u) {
+    if (exit_rate_[u] > 0.0) {
+      builder.add(u, u, -exit_rate_[u]);
+    }
+  }
+  generator_ = builder.build();
+
+  double max_exit = 0.0;
+  for (double r : exit_rate_) {
+    max_exit = std::max(max_exit, r);
+  }
+  // A small headroom factor keeps the uniformized DTMC's self-loops positive
+  // everywhere, which improves the conditioning of visit-count solves.
+  lambda_ = max_exit > 0.0 ? 1.02 * max_exit : 1.0;
+  finalized_ = true;
+}
+
+double Ctmc::rate(std::size_t u, std::size_t v) const {
+  RBX_CHECK(finalized_);
+  RBX_CHECK(u != v);
+  return generator_.at(u, v);
+}
+
+double Ctmc::exit_rate(std::size_t u) const {
+  RBX_CHECK(u < n_);
+  return exit_rate_[u];
+}
+
+const SparseMatrix& Ctmc::generator() const {
+  RBX_CHECK(finalized_);
+  return generator_;
+}
+
+std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
+                                    double epsilon) const {
+  RBX_CHECK(finalized_);
+  RBX_CHECK(pi0.size() == n_);
+  RBX_CHECK(t >= 0.0);
+  if (t == 0.0) {
+    return pi0;
+  }
+
+  const PoissonWindow window = poisson_window(lambda_ * t, epsilon);
+
+  // Accumulate sum_k w_k * pi0 P^k, where P v is computed through the
+  // generator: x P = x + (x Q) / lambda.
+  std::vector<double> power = pi0;     // pi0 P^k
+  std::vector<double> result(n_, 0.0);
+  std::vector<double> scratch(n_);
+  const std::size_t k_hi = window.k_lo + window.weights.size() - 1;
+  for (std::size_t k = 0; k <= k_hi; ++k) {
+    if (k >= window.k_lo) {
+      axpy(window.weights[k - window.k_lo], power, result);
+    }
+    if (k == k_hi) {
+      break;
+    }
+    generator_.left_multiply(power, scratch);
+    for (std::size_t i = 0; i < n_; ++i) {
+      power[i] += scratch[i] / lambda_;
+      // Clamp the tiny negative values uniformization round-off can create.
+      if (power[i] < 0.0 && power[i] > -1e-15) {
+        power[i] = 0.0;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> Ctmc::transient_rk4(const std::vector<double>& pi0,
+                                        double t, std::size_t steps) const {
+  RBX_CHECK(finalized_);
+  RBX_CHECK(pi0.size() == n_);
+  std::vector<double> pi = pi0;
+  const SparseMatrix& q = generator_;
+  OdeRhs rhs = [&q](double /*t*/, const std::vector<double>& y,
+                    std::vector<double>& dy) { q.left_multiply(y, dy); };
+  rk4_integrate(rhs, 0.0, t, steps, pi);
+  return pi;
+}
+
+Dtmc Ctmc::uniformized_dtmc(double lambda) const {
+  RBX_CHECK(finalized_);
+  if (lambda <= 0.0) {
+    lambda = lambda_;
+  }
+  RBX_CHECK_MSG(lambda + 1e-12 >= *std::max_element(exit_rate_.begin(),
+                                                    exit_rate_.end()),
+                "uniformization rate below max exit rate");
+  SparseMatrixBuilder builder(n_, n_);
+  for (const Arc& arc : arcs_) {
+    builder.add(arc.from, arc.to, arc.rate / lambda);
+  }
+  for (std::size_t u = 0; u < n_; ++u) {
+    const double self = 1.0 - exit_rate_[u] / lambda;
+    if (self != 0.0) {
+      builder.add(u, u, self);
+    }
+  }
+  return Dtmc(builder.build());
+}
+
+FirstPassage::FirstPassage(const Ctmc& chain, std::vector<std::size_t> targets)
+    : chain_(chain), target_mask_(chain.num_states(), false),
+      transient_index_(chain.num_states(), kNpos) {
+  RBX_CHECK(chain.finalized());
+  RBX_CHECK(!targets.empty());
+  for (std::size_t s : targets) {
+    RBX_CHECK(s < chain.num_states());
+    target_mask_[s] = true;
+  }
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    if (!target_mask_[s]) {
+      transient_index_[s] = transient_.size();
+      transient_.push_back(s);
+    }
+  }
+
+  // Assemble the dense transient submatrix Q_TT once; both moment systems
+  // reuse the factorization.
+  const std::size_t m = transient_.size();
+  Matrix qtt(m, m);
+  const SparseMatrix& q = chain.generator();
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t u = transient_[i];
+    for (std::size_t k = q.row_begin(u); k < q.row_end(u); ++k) {
+      const std::size_t v = q.entry_col(k);
+      if (!target_mask_[v]) {
+        qtt(i, transient_index_[v]) = q.entry_value(k);
+      }
+    }
+  }
+  // Solve (-Q_TT) tau = 1 for mean hitting times.
+  Matrix neg = qtt;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      neg(i, j) = -neg(i, j);
+    }
+  }
+  LuDecomposition lu(neg);
+  RBX_CHECK_MSG(!lu.singular(),
+                "target set unreachable from part of the chain");
+  tau_ = lu.solve(std::vector<double>(m, 1.0));
+  for (double t : tau_) {
+    // Mean hitting times are strictly positive; a negative solution means
+    // the system was too ill-conditioned for dense LU (hitting times beyond
+    // ~1e14 time units), which silently corrupts every downstream quantity.
+    RBX_CHECK_MSG(t > 0.0,
+                  "hitting-time solve ill-conditioned (astronomical mean); "
+                  "rescale the model rates");
+  }
+  // Second moments: (-Q_TT) tau2 = 2 tau.
+  std::vector<double> rhs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rhs[i] = 2.0 * tau_[i];
+  }
+  tau2_ = lu.solve(rhs);
+}
+
+double FirstPassage::mean_hitting_time(const std::vector<double>& alpha) const {
+  RBX_CHECK(alpha.size() == chain_.num_states());
+  double mean = 0.0;
+  for (std::size_t i = 0; i < transient_.size(); ++i) {
+    mean += alpha[transient_[i]] * tau_[i];
+  }
+  return mean;
+}
+
+double FirstPassage::second_moment(const std::vector<double>& alpha) const {
+  RBX_CHECK(alpha.size() == chain_.num_states());
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < transient_.size(); ++i) {
+    m2 += alpha[transient_[i]] * tau2_[i];
+  }
+  return m2;
+}
+
+double FirstPassage::variance(const std::vector<double>& alpha) const {
+  const double mean = mean_hitting_time(alpha);
+  return second_moment(alpha) - mean * mean;
+}
+
+std::vector<double> FirstPassage::expected_sojourn(
+    const std::vector<double>& alpha) const {
+  RBX_CHECK(alpha.size() == chain_.num_states());
+  const std::size_t m = transient_.size();
+  // nu (-Q_TT) = alpha_T  <=>  (-Q_TT)^T nu = alpha_T.
+  Matrix negt(m, m);
+  const SparseMatrix& q = chain_.generator();
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t u = transient_[i];
+    for (std::size_t k = q.row_begin(u); k < q.row_end(u); ++k) {
+      const std::size_t v = q.entry_col(k);
+      if (!target_mask_[v]) {
+        negt(transient_index_[v], i) = -q.entry_value(k);
+      }
+    }
+  }
+  std::vector<double> alpha_t(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    alpha_t[i] = alpha[transient_[i]];
+  }
+  const std::vector<double> nu_t = solve_linear(negt, alpha_t);
+  std::vector<double> nu(chain_.num_states(), 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    nu[transient_[i]] = nu_t[i];
+  }
+  return nu;
+}
+
+double FirstPassage::density(const std::vector<double>& alpha, double t,
+                             double epsilon) const {
+  const std::vector<double> pi = chain_.transient(alpha, t, epsilon);
+  // f(t) = sum over transient u of pi_u(t) * rate(u -> target set).
+  double f = 0.0;
+  const SparseMatrix& q = chain_.generator();
+  for (std::size_t u : transient_) {
+    if (pi[u] == 0.0) {
+      continue;
+    }
+    double into_target = 0.0;
+    for (std::size_t k = q.row_begin(u); k < q.row_end(u); ++k) {
+      if (target_mask_[q.entry_col(k)]) {
+        into_target += q.entry_value(k);
+      }
+    }
+    f += pi[u] * into_target;
+  }
+  return f;
+}
+
+double FirstPassage::cdf(const std::vector<double>& alpha, double t,
+                         double epsilon) const {
+  const std::vector<double> pi = chain_.transient(alpha, t, epsilon);
+  double mass = 0.0;
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    if (target_mask_[s]) {
+      mass += pi[s];
+    }
+  }
+  return mass;
+}
+
+}  // namespace rbx

@@ -1,0 +1,126 @@
+// Continuous-time Markov chains.
+//
+// A Ctmc is assembled from off-diagonal transition rates, then frozen.  The
+// engine offers the two transient solvers the reproduction needs:
+//
+//  * uniformization (the production path): pi(t) = sum_k Poi(k; Lambda t)
+//    pi(0) P^k with P = I + Q / Lambda, numerically robust for the stiff
+//    chains that arise when interaction rates dwarf recovery-point rates;
+//  * direct integration of the Chapman-Kolmogorov equations d/dt pi = pi Q
+//    with RK4/RKF45 (the formulation the paper states), used for
+//    cross-validation.
+//
+// First-passage analysis to an absorbing set underpins everything in
+// Section 2 of the paper: the interval X between successive recovery lines
+// is exactly the absorption time of the rule R1-R4 chain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/dtmc.h"
+#include "numerics/sparse.h"
+
+namespace rbx {
+
+class Ctmc {
+ public:
+  explicit Ctmc(std::size_t num_states);
+
+  // Adds an off-diagonal rate (from != to, rate >= 0).  Duplicate pairs sum.
+  void add_rate(std::size_t from, std::size_t to, double rate);
+
+  // Freezes the chain: builds the CSR generator (including the diagonal) and
+  // computes the uniformization rate.  No add_rate afterwards.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  std::size_t num_states() const { return n_; }
+
+  // Off-diagonal rate from u to v (0 when absent).
+  double rate(std::size_t u, std::size_t v) const;
+
+  // Total exit rate of u (= -Q(u,u)).
+  double exit_rate(std::size_t u) const;
+
+  // Uniformization constant Lambda (>= max exit rate; strictly positive).
+  double uniformization_rate() const { return lambda_; }
+
+  // The full generator Q as a sparse matrix (diagonal included).
+  const SparseMatrix& generator() const;
+
+  // pi(t) from initial distribution pi0 via uniformization; epsilon bounds
+  // the truncated Poisson tail mass.
+  std::vector<double> transient(const std::vector<double>& pi0, double t,
+                                double epsilon = 1e-12) const;
+
+  // pi(t) via fixed-step RK4 on d/dt pi = pi Q (validation path).
+  std::vector<double> transient_rk4(const std::vector<double>& pi0, double t,
+                                    std::size_t steps) const;
+
+  // Embedded uniformized DTMC P = I + Q / lambda.  If lambda <= 0 the
+  // chain's own uniformization rate is used.  This is precisely the paper's
+  // "conversion to a discrete model" with normalization factor G.
+  Dtmc uniformized_dtmc(double lambda = 0.0) const;
+
+ private:
+  struct Arc {
+    std::size_t from;
+    std::size_t to;
+    double rate;
+  };
+
+  std::size_t n_;
+  std::vector<Arc> arcs_;
+  std::vector<double> exit_rate_;
+  SparseMatrix generator_;
+  double lambda_ = 0.0;
+  bool finalized_ = false;
+};
+
+// First-passage (absorption) analysis of a finalized CTMC with respect to a
+// target state set.  All quantities assume the target is reachable from
+// every state that carries initial probability mass; this is validated by
+// the linear solves themselves (a singular transient system aborts with a
+// model diagnostic).
+class FirstPassage {
+ public:
+  FirstPassage(const Ctmc& chain, std::vector<std::size_t> targets);
+
+  // Mean hitting time of the target set from initial distribution alpha.
+  double mean_hitting_time(const std::vector<double>& alpha) const;
+
+  // Second moment and variance of the hitting time.
+  double second_moment(const std::vector<double>& alpha) const;
+  double variance(const std::vector<double>& alpha) const;
+
+  // Expected total time spent in each state before absorption, starting
+  // from alpha ("sojourn vector" nu; zero at targets).
+  std::vector<double> expected_sojourn(const std::vector<double>& alpha) const;
+
+  // Probability density of the hitting time at time t (phase-type density),
+  // evaluated via uniformization.
+  double density(const std::vector<double>& alpha, double t,
+                 double epsilon = 1e-12) const;
+
+  // P(hitting time <= t).
+  double cdf(const std::vector<double>& alpha, double t,
+             double epsilon = 1e-12) const;
+
+  const std::vector<std::size_t>& transient_states() const {
+    return transient_;
+  }
+  bool is_target(std::size_t state) const { return target_mask_[state]; }
+
+ private:
+  const Ctmc& chain_;
+  std::vector<bool> target_mask_;
+  std::vector<std::size_t> transient_;           // transient state ids
+  std::vector<std::size_t> transient_index_;     // state id -> index or npos
+  // Mean hitting times per transient state (solved once).
+  std::vector<double> tau_;
+  // Second moments per transient state.
+  std::vector<double> tau2_;
+};
+
+}  // namespace rbx

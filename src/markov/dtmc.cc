@@ -1,0 +1,92 @@
+#include "markov/dtmc.h"
+
+#include <limits>
+
+#include "numerics/lu.h"
+#include "numerics/matrix.h"
+#include "support/check.h"
+
+namespace rbx {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+Dtmc::Dtmc(SparseMatrix transition) : p_(std::move(transition)) {
+  RBX_CHECK(p_.rows() == p_.cols());
+  for (std::size_t r = 0; r < p_.rows(); ++r) {
+    RBX_CHECK_MSG(p_.row_sum(r) <= 1.0 + 1e-9, "super-stochastic row");
+  }
+}
+
+void Dtmc::step(const std::vector<double>& in, std::vector<double>& out) const {
+  p_.left_multiply(in, out);
+}
+
+std::vector<double> Dtmc::expected_visits(
+    const std::vector<double>& alpha, const std::vector<bool>& absorbing) const {
+  const std::size_t n = num_states();
+  RBX_CHECK(alpha.size() == n);
+  RBX_CHECK(absorbing.size() == n);
+
+  std::vector<std::size_t> transient;
+  std::vector<std::size_t> index(n, kNpos);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!absorbing[s]) {
+      index[s] = transient.size();
+      transient.push_back(s);
+    }
+  }
+  const std::size_t m = transient.size();
+
+  // Solve x (I - P_TT) = alpha_T, i.e. (I - P_TT)^T x = alpha_T.
+  Matrix a(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t u = transient[i];
+    a(i, i) = 1.0;
+    for (std::size_t k = p_.row_begin(u); k < p_.row_end(u); ++k) {
+      const std::size_t v = p_.entry_col(k);
+      if (!absorbing[v]) {
+        a(index[v], i) -= p_.entry_value(k);
+      }
+    }
+  }
+  std::vector<double> alpha_t(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    alpha_t[i] = alpha[transient[i]];
+  }
+  const std::vector<double> x = solve_linear(a, alpha_t);
+
+  std::vector<double> visits(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    visits[transient[i]] = x[i];
+  }
+  return visits;
+}
+
+std::vector<double> Dtmc::absorption_distribution(
+    const std::vector<double>& alpha, const std::vector<bool>& absorbing) const {
+  const std::size_t n = num_states();
+  const std::vector<double> visits = expected_visits(alpha, absorbing);
+  // P(absorb in a) = alpha_a + sum_u visits(u) * P(u, a).
+  std::vector<double> out(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (absorbing[s]) {
+      out[s] = alpha[s];
+    }
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    if (absorbing[u] || visits[u] == 0.0) {
+      continue;
+    }
+    for (std::size_t k = p_.row_begin(u); k < p_.row_end(u); ++k) {
+      const std::size_t v = p_.entry_col(k);
+      if (absorbing[v]) {
+        out[v] += visits[u] * p_.entry_value(k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rbx

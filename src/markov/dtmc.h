@@ -1,0 +1,49 @@
+// Discrete-time Markov chains.
+//
+// The paper's E[L_i] derivation converts the CTMC to a discrete chain Y_d
+// with normalization factor G, splits each state with x_i = 1 into an
+// "arrived by an RP of P_i" copy and an "arrived otherwise" copy, and reads
+// E[L_i] off the expected visit counts.  This class provides the visit-count
+// machinery: for an absorbing DTMC, expected visits to each transient state
+// solve x (I - P_TT) = alpha.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/sparse.h"
+
+namespace rbx {
+
+class Dtmc {
+ public:
+  // Rows must sum to <= 1 + tiny slack; strictly substochastic rows are
+  // treated as having implicit absorption mass.
+  explicit Dtmc(SparseMatrix transition);
+
+  std::size_t num_states() const { return p_.rows(); }
+
+  double probability(std::size_t u, std::size_t v) const { return p_.at(u, v); }
+  const SparseMatrix& transition() const { return p_; }
+
+  // One step: out = in * P.
+  void step(const std::vector<double>& in, std::vector<double>& out) const;
+
+  // Expected number of visits to every state before hitting the absorbing
+  // set, starting from distribution alpha.  Visits count the initial
+  // placement (a chain starting in u has visited u once).  Absorbing states
+  // report 0.
+  std::vector<double> expected_visits(const std::vector<double>& alpha,
+                                      const std::vector<bool>& absorbing) const;
+
+  // Probability of eventually being absorbed in each absorbing state,
+  // starting from alpha.  States not in the absorbing set report 0.
+  std::vector<double> absorption_distribution(
+      const std::vector<double>& alpha,
+      const std::vector<bool>& absorbing) const;
+
+ private:
+  SparseMatrix p_;
+};
+
+}  // namespace rbx

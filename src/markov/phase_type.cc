@@ -1,0 +1,73 @@
+#include "markov/phase_type.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace rbx {
+
+PhaseType::PhaseType(std::shared_ptr<const Ctmc> chain,
+                     std::vector<std::size_t> targets,
+                     std::vector<double> alpha)
+    : chain_(std::move(chain)), alpha_(std::move(alpha)),
+      fp_(*chain_, std::move(targets)) {
+  RBX_CHECK(alpha_.size() == chain_->num_states());
+  double mass = 0.0;
+  for (double a : alpha_) {
+    RBX_CHECK(a >= 0.0);
+    mass += a;
+  }
+  RBX_CHECK_MSG(std::fabs(mass - 1.0) < 1e-9,
+                "initial distribution must sum to 1");
+}
+
+double PhaseType::mean() const { return fp_.mean_hitting_time(alpha_); }
+
+double PhaseType::second_moment() const { return fp_.second_moment(alpha_); }
+
+double PhaseType::variance() const { return fp_.variance(alpha_); }
+
+double PhaseType::pdf(double t, double epsilon) const {
+  RBX_CHECK(t >= 0.0);
+  return fp_.density(alpha_, t, epsilon);
+}
+
+double PhaseType::cdf(double t, double epsilon) const {
+  RBX_CHECK(t >= 0.0);
+  return fp_.cdf(alpha_, t, epsilon);
+}
+
+std::vector<double> PhaseType::pdf_grid(double t_max, std::size_t points,
+                                        double epsilon) const {
+  RBX_CHECK(points >= 2);
+  RBX_CHECK(t_max > 0.0);
+  std::vector<double> out(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t =
+        t_max * static_cast<double>(i) / static_cast<double>(points - 1);
+    out[i] = pdf(t, epsilon);
+  }
+  return out;
+}
+
+double PhaseType::quantile(double q, double tol) const {
+  RBX_CHECK(q > 0.0 && q < 1.0);
+  // Bracket: expand until cdf(hi) >= q.
+  double hi = mean() + 1.0;
+  while (cdf(hi) < q) {
+    hi *= 2.0;
+    RBX_CHECK_MSG(hi < 1e12, "quantile bracket failed");
+  }
+  double lo = 0.0;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace rbx

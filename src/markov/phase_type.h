@@ -1,0 +1,53 @@
+// Continuous phase-type distributions.
+//
+// The interval X between successive recovery lines in the asynchronous-RB
+// model (paper Section 2.3) is the absorption time of a finite CTMC, i.e. a
+// phase-type random variable PH(alpha, S).  This class wraps a chain plus an
+// absorbing set and exposes the distribution-level interface used by the
+// Figure 6 bench (density curve), the Figure 5 bench (mean), and moment
+// cross-checks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "markov/ctmc.h"
+
+namespace rbx {
+
+class PhaseType {
+ public:
+  // Takes ownership of the chain; `targets` is the absorbing set, `alpha`
+  // the initial distribution over all states (mass on targets is allowed
+  // and contributes an atom at zero).
+  PhaseType(std::shared_ptr<const Ctmc> chain, std::vector<std::size_t> targets,
+            std::vector<double> alpha);
+
+  double mean() const;
+  double second_moment() const;
+  double variance() const;
+
+  // Density f(t) and distribution F(t); epsilon controls the uniformization
+  // truncation error.
+  double pdf(double t, double epsilon = 1e-12) const;
+  double cdf(double t, double epsilon = 1e-12) const;
+
+  // Samples the density on a uniform grid [0, t_max] (t_max inclusive;
+  // points >= 2); used to regenerate Figure 6.
+  std::vector<double> pdf_grid(double t_max, std::size_t points,
+                               double epsilon = 1e-10) const;
+
+  // Quantile via bisection on the cdf.
+  double quantile(double q, double tol = 1e-8) const;
+
+  const Ctmc& chain() const { return *chain_; }
+  const FirstPassage& first_passage() const { return fp_; }
+
+ private:
+  std::shared_ptr<const Ctmc> chain_;
+  std::vector<double> alpha_;
+  FirstPassage fp_;
+};
+
+}  // namespace rbx

@@ -1,0 +1,246 @@
+#include "model/async_model.h"
+
+#include <limits>
+
+#include "markov/dtmc.h"
+#include "numerics/sparse.h"
+#include "support/check.h"
+
+namespace rbx {
+
+namespace {
+constexpr std::size_t kMaxProcesses = 12;
+}  // namespace
+
+AsyncRbModel::AsyncRbModel(ProcessSetParams params)
+    : params_(std::move(params)) {
+  RBX_CHECK_MSG(params_.n() <= kMaxProcesses,
+                "full model limited to 12 processes (use the symmetric "
+                "model for larger homogeneous systems)");
+  build_chain();
+}
+
+std::size_t AsyncRbModel::state_of_mask(std::size_t mask) const {
+  const std::size_t full = (std::size_t{1} << n()) - 1;
+  RBX_CHECK(mask <= full);
+  // The all-ones mask is S_{r+1} itself (paper numbering maps it to m).
+  if (mask == full) {
+    return absorbing_state();
+  }
+  return mask + 1;
+}
+
+std::size_t AsyncRbModel::mask_of_state(std::size_t state) const {
+  RBX_CHECK(state >= 1 && state < absorbing_state());
+  return state - 1;
+}
+
+void AsyncRbModel::build_chain() {
+  const std::size_t nproc = n();
+  const std::size_t full = (std::size_t{1} << nproc) - 1;
+  chain_ = std::make_shared<Ctmc>(num_states());
+
+  // Entry state S_r: logically all-ones.
+  // R4: any recovery point re-forms a line immediately.
+  for (std::size_t k = 0; k < nproc; ++k) {
+    chain_->add_rate(entry_state(), absorbing_state(), params_.mu(k));
+  }
+  // R2 from S_r: an interaction of (i, j) clears both bits.
+  for (std::size_t i = 0; i < nproc; ++i) {
+    for (std::size_t j = i + 1; j < nproc; ++j) {
+      const double rate = params_.lambda(i, j);
+      if (rate == 0.0) {
+        continue;
+      }
+      const std::size_t dest = full & ~(std::size_t{1} << i) &
+                               ~(std::size_t{1} << j);
+      chain_->add_rate(entry_state(), state_of_mask(dest), rate);
+    }
+  }
+
+  // Intermediate states: every mask except all-ones.
+  for (std::size_t mask = 0; mask < full; ++mask) {
+    const std::size_t src = state_of_mask(mask);
+    // R1: recovery point of a process whose last action was an interaction.
+    for (std::size_t k = 0; k < nproc; ++k) {
+      const std::size_t bit = std::size_t{1} << k;
+      if (mask & bit) {
+        continue;  // an RP of P_k with x_k = 1 does not change the state
+      }
+      chain_->add_rate(src, state_of_mask(mask | bit), params_.mu(k));
+    }
+    // R2/R3: interactions clear the set bits of the participating pair.
+    for (std::size_t i = 0; i < nproc; ++i) {
+      for (std::size_t j = i + 1; j < nproc; ++j) {
+        const double rate = params_.lambda(i, j);
+        if (rate == 0.0) {
+          continue;
+        }
+        const std::size_t bits =
+            (std::size_t{1} << i) | (std::size_t{1} << j);
+        const std::size_t dest_mask = mask & ~bits;
+        if (dest_mask == mask) {
+          continue;  // both bits already clear: the state does not change
+        }
+        chain_->add_rate(src, state_of_mask(dest_mask), rate);
+      }
+    }
+  }
+  chain_->finalize();
+
+  alpha_.assign(num_states(), 0.0);
+  alpha_[entry_state()] = 1.0;
+  interval_ = std::make_unique<PhaseType>(
+      chain_, std::vector<std::size_t>{absorbing_state()}, alpha_);
+  sojourn_ = interval_->first_passage().expected_sojourn(alpha_);
+}
+
+double AsyncRbModel::mean_interval() const { return interval_->mean(); }
+
+double AsyncRbModel::variance_interval() const { return interval_->variance(); }
+
+double AsyncRbModel::interval_pdf(double t) const { return interval_->pdf(t); }
+
+double AsyncRbModel::interval_cdf(double t) const { return interval_->cdf(t); }
+
+double AsyncRbModel::mean_line_age() const {
+  return interval_->second_moment() / (2.0 * interval_->mean());
+}
+
+double AsyncRbModel::absorbing_rp_probability(std::size_t i) const {
+  RBX_CHECK(i < n());
+  const std::size_t full = (std::size_t{1} << n()) - 1;
+  const std::size_t bit = std::size_t{1} << i;
+  // The line-forming RP of P_i fires either from S_r (rule R4) or from the
+  // unique intermediate state missing only bit i (rule R1 into all-ones).
+  double p = sojourn_[entry_state()] * params_.mu(i);
+  p += sojourn_[state_of_mask(full & ~bit)] * params_.mu(i);
+  return p;
+}
+
+AsyncRbModel::RpCounts AsyncRbModel::expected_rp_count(std::size_t i) const {
+  RBX_CHECK(i < n());
+  const double mu_i = params_.mu(i);
+  const double ex = mean_interval();
+  RpCounts counts;
+  counts.wald = mu_i * ex;
+  counts.excluding_final = counts.wald - absorbing_rp_probability(i);
+  // State-changing RPs occur while x_i = 0 (rule R1) and, from the entry
+  // state, as the immediate line re-formation (rule R4).
+  const std::size_t bit = std::size_t{1} << i;
+  double t_zero = sojourn_[entry_state()];
+  const std::size_t full = (std::size_t{1} << n()) - 1;
+  for (std::size_t mask = 0; mask < full; ++mask) {
+    if (!(mask & bit)) {
+      t_zero += sojourn_[state_of_mask(mask)];
+    }
+  }
+  counts.state_changing = mu_i * t_zero;
+  return counts;
+}
+
+double AsyncRbModel::expected_rp_count_split_chain(std::size_t i) const {
+  RBX_CHECK(i < n());
+  const std::size_t nproc = n();
+  const std::size_t full = (std::size_t{1} << nproc) - 1;
+  const std::size_t bit_i = std::size_t{1} << i;
+  const double big_g = params_.total_event_rate();  // the paper's G
+
+  // --- expanded state numbering ---
+  // entry -> 0, absorbing -> 1; each intermediate mask maps to either one
+  // unsplit id (x_i = 0) or a (primed, double-primed) pair (x_i = 1).
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> plain_id(full, kNone);
+  std::vector<std::size_t> primed_id(full, kNone);
+  std::vector<std::size_t> dprimed_id(full, kNone);
+  std::size_t next = 2;
+  for (std::size_t mask = 0; mask < full; ++mask) {
+    if (mask & bit_i) {
+      primed_id[mask] = next++;
+      dprimed_id[mask] = next++;
+    } else {
+      plain_id[mask] = next++;
+    }
+  }
+  const std::size_t expanded = next;
+
+  // Destination id for an arrival at `mask` caused (or not) by an RP of P_i.
+  auto arrival_id = [&](std::size_t mask, bool by_rp_of_i) -> std::size_t {
+    if (mask == full) {
+      return 1;  // S_{r+1}; the absorbing state is not split
+    }
+    if (mask & bit_i) {
+      return by_rp_of_i ? primed_id[mask] : dprimed_id[mask];
+    }
+    RBX_CHECK(!by_rp_of_i);  // an RP of P_i always leaves bit i set
+    return plain_id[mask];
+  };
+
+  SparseMatrixBuilder builder(expanded, expanded);
+
+  // Emits the outgoing distribution of one macro state into row `row`.
+  // `mask` is the logical bit vector (the entry state passes the all-ones
+  // mask with is_entry = true, where every RP absorbs by rule R4).
+  auto emit_rows = [&](std::size_t row, std::size_t mask, bool is_entry) {
+    // RP events.
+    for (std::size_t k = 0; k < nproc; ++k) {
+      const std::size_t bit_k = std::size_t{1} << k;
+      const double p = params_.mu(k) / big_g;
+      if (is_entry) {
+        builder.add(row, 1, p);  // R4: immediate re-formation
+        continue;
+      }
+      const std::size_t dest = mask | bit_k;
+      // An RP with x_k = 1 is a self event; it still re-enters the state and
+      // is routed by cause (this is exactly the paper's "all arrivals due to
+      // RPs of P_i enter S'").
+      builder.add(row, arrival_id(dest, k == i), p);
+    }
+    // Interaction events.
+    for (std::size_t a = 0; a < nproc; ++a) {
+      for (std::size_t b = a + 1; b < nproc; ++b) {
+        const double rate = params_.lambda(a, b);
+        if (rate == 0.0) {
+          continue;
+        }
+        const double p = rate / big_g;
+        const std::size_t bits = (std::size_t{1} << a) | (std::size_t{1} << b);
+        const std::size_t dest = mask & ~bits;
+        builder.add(row, arrival_id(dest, false), p);
+      }
+    }
+  };
+
+  emit_rows(0, full, /*is_entry=*/true);
+  for (std::size_t mask = 0; mask < full; ++mask) {
+    if (mask & bit_i) {
+      emit_rows(primed_id[mask], mask, false);
+      emit_rows(dprimed_id[mask], mask, false);
+    } else {
+      emit_rows(plain_id[mask], mask, false);
+    }
+  }
+  // Absorbing self-loop keeps the matrix stochastic.
+  builder.add(1, 1, 1.0);
+
+  Dtmc yd(builder.build());
+  std::vector<double> alpha(expanded, 0.0);
+  alpha[0] = 1.0;
+  std::vector<bool> absorbing(expanded, false);
+  absorbing[1] = true;
+  const std::vector<double> visits = yd.expected_visits(alpha, absorbing);
+
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < full; ++mask) {
+    if (mask & bit_i) {
+      total += visits[primed_id[mask]];
+    }
+  }
+  return total;
+}
+
+std::size_t AsyncRbModel::transition_count() const {
+  return chain_->generator().nonzeros() - /*diagonal entries*/ num_states() + 1;
+}
+
+}  // namespace rbx

@@ -1,0 +1,119 @@
+// The full Markov model of asynchronous recovery blocks (paper Section 2.2).
+//
+// State space (paper Section 2.3 numbering):
+//   state 0        : S_r, the entry state right after the r-th recovery line;
+//   state mask + 1 : intermediate state (x_1..x_n), mask = sum x_i 2^{i-1},
+//                    for every mask except the all-ones mask, where x_i = 1
+//                    iff the previous action of P_i was a recovery point and
+//                    x_i = 0 iff it was an interaction;
+//   state m = 2^n  : S_{r+1}, entered when the (r+1)-th recovery line forms
+//                    (the all-ones mask maps here).
+//
+// Transition rules (paper R1-R4):
+//   R1: x_i 0 -> 1 at rate mu_i (P_i establishes a recovery point); if this
+//       makes the mask all-ones the chain is absorbed in S_{r+1}.
+//   R2: an interaction of pair (i, j) with x_i = x_j = 1 clears both bits at
+//       rate lambda_ij.
+//   R3: an interaction of pair (i, j) with exactly one bit set clears that
+//       bit at rate lambda_ij.
+//   R4: from S_r a recovery point of any P_k immediately re-forms a recovery
+//       line (rate mu_k each, total sum_k mu_k) - the new RP of P_k together
+//       with the other processes' previous-line RPs is already consistent.
+//
+// The interval X between successive recovery lines is the absorption time,
+// a phase-type random variable.  L_i, the number of states saved by P_i
+// during X, is derived from the embedded discrete chain Y_d; see RpCounts
+// for the three counting conventions (DESIGN.md "Interpretation decisions").
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "markov/ctmc.h"
+#include "markov/phase_type.h"
+#include "model/params.h"
+
+namespace rbx {
+
+class AsyncRbModel {
+ public:
+  // Full model size is 2^n + 1 states and mean/variance solves are dense
+  // O(8^n); n is capped at 12 (4097 states) to keep misuse loud.
+  explicit AsyncRbModel(ProcessSetParams params);
+
+  const ProcessSetParams& params() const { return params_; }
+  std::size_t n() const { return params_.n(); }
+
+  // --- state-space helpers (exposed for tests and the DOT exporter) ---
+  std::size_t num_states() const { return (std::size_t{1} << n()) + 1; }
+  std::size_t entry_state() const { return 0; }
+  std::size_t absorbing_state() const { return std::size_t{1} << n(); }
+  // Maps an intermediate bit mask (not all-ones) to its state id.
+  std::size_t state_of_mask(std::size_t mask) const;
+  // Inverse of state_of_mask; requires 1 <= state < absorbing.
+  std::size_t mask_of_state(std::size_t state) const;
+
+  const Ctmc& chain() const { return *chain_; }
+
+  // --- the interval X between successive recovery lines ---
+  const PhaseType& interval() const { return *interval_; }
+  double mean_interval() const;          // E[X]
+  double variance_interval() const;      // Var[X]
+  double interval_pdf(double t) const;   // f_X(t)
+  double interval_cdf(double t) const;
+
+  // Stationary age of the newest recovery line when an error strikes at a
+  // random time: by renewal theory the expected age of the current
+  // X-interval is E[X^2] / (2 E[X]) (the inspection paradox - long
+  // intervals are likelier to be hit).  The paper's conclusion notes that
+  // the real rollback distance depends on when errors occur; this is the
+  // corresponding closed form for errors arriving uniformly in time, and a
+  // lower bound on the expected asynchronous rollback distance.
+  double mean_line_age() const;
+
+  // Expected sojourn time per state before absorption (entry start).
+  const std::vector<double>& sojourn() const { return sojourn_; }
+
+  // Probability that the RP completing the next recovery line belongs to
+  // process i (the "final" RP of the interval).
+  double absorbing_rp_probability(std::size_t i) const;
+
+  // --- E[L_i]: expected number of recovery points established by P_i ---
+  struct RpCounts {
+    // (a) every RP of P_i during X, including the line-forming one.  By
+    //     Wald's identity on the uniformized event stream this equals
+    //     mu_i * E[X] exactly.
+    double wald;
+    // (b) excluding the line-forming RP: mu_i * E[X] - P(final RP by P_i).
+    //     This is what the literal split-state construction of the paper's
+    //     Y_d chain counts (arrivals into the primed states).
+    double excluding_final;
+    // (c) only RPs that change the model state (an RP of P_i while x_i = 1
+    //     is invisible to the chain and not counted).
+    double state_changing;
+  };
+  RpCounts expected_rp_count(std::size_t i) const;
+
+  // Literal reconstruction of the paper's split-state discrete chain Y_d
+  // (Section 2.3 II, Figure 4): builds the expanded DTMC in which every
+  // state with x_i = 1 is split into S' (entered by RPs of P_i) and S''
+  // (entered otherwise) and returns the expected total visits to the primed
+  // states.  Equals RpCounts::excluding_final up to solver tolerance; kept
+  // as an independent path for validation.
+  double expected_rp_count_split_chain(std::size_t i) const;
+
+  // Structure accessors used by the Figure 2/3 regeneration bench.
+  std::size_t transition_count() const;
+
+ private:
+  void build_chain();
+
+  ProcessSetParams params_;
+  std::shared_ptr<Ctmc> chain_;
+  std::unique_ptr<PhaseType> interval_;
+  std::vector<double> sojourn_;
+  std::vector<double> alpha_;
+};
+
+}  // namespace rbx

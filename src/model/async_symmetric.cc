@@ -1,0 +1,86 @@
+#include "model/async_symmetric.h"
+
+#include "support/check.h"
+
+namespace rbx {
+
+SymmetricAsyncModel::SymmetricAsyncModel(std::size_t n, double mu,
+                                         double lambda)
+    : n_(n), mu_(mu), lambda_(lambda) {
+  RBX_CHECK(n >= 1);
+  RBX_CHECK(mu > 0.0);
+  RBX_CHECK(lambda >= 0.0);
+
+  chain_ = std::make_shared<Ctmc>(num_states());
+  const double nd = static_cast<double>(n);
+
+  // R4': immediate re-formation from the entry state.
+  chain_->add_rate(entry_state(), absorbing_state(), nd * mu);
+  // From S_r an interaction clears two bits (all pairs are "both ones").
+  if (n >= 2 && lambda > 0.0) {
+    chain_->add_rate(entry_state(), lumped_state(n - 2),
+                     nd * (nd - 1.0) / 2.0 * lambda);
+  }
+
+  for (std::size_t u = 0; u < n; ++u) {
+    const double ud = static_cast<double>(u);
+    const std::size_t src = lumped_state(u);
+    // R1': one of the (n - u) zero processes establishes an RP.
+    const std::size_t dest =
+        (u + 1 == n) ? absorbing_state() : lumped_state(u + 1);
+    chain_->add_rate(src, dest, (nd - ud) * mu);
+    // R2': interaction between two "one" processes.
+    if (u >= 2 && lambda > 0.0) {
+      chain_->add_rate(src, lumped_state(u - 2),
+                       ud * (ud - 1.0) / 2.0 * lambda);
+    }
+    // R3': interaction between a "one" and a "zero" process.
+    if (u >= 1 && lambda > 0.0 && u < n) {
+      chain_->add_rate(src, lumped_state(u - 1), ud * (nd - ud) * lambda);
+    }
+  }
+  chain_->finalize();
+
+  std::vector<double> alpha(num_states(), 0.0);
+  alpha[entry_state()] = 1.0;
+  interval_ = std::make_unique<PhaseType>(
+      chain_, std::vector<std::size_t>{absorbing_state()}, std::move(alpha));
+}
+
+double SymmetricAsyncModel::rho() const {
+  const double nd = static_cast<double>(n_);
+  return (nd * (nd - 1.0) / 2.0 * lambda_) / (nd * mu_);
+}
+
+std::size_t SymmetricAsyncModel::lumped_state(std::size_t ones) const {
+  RBX_CHECK(ones < n_);
+  return ones + 1;
+}
+
+double SymmetricAsyncModel::mean_interval() const { return interval_->mean(); }
+
+double SymmetricAsyncModel::variance_interval() const {
+  return interval_->variance();
+}
+
+double SymmetricAsyncModel::interval_pdf(double t) const {
+  return interval_->pdf(t);
+}
+
+double SymmetricAsyncModel::interval_cdf(double t) const {
+  return interval_->cdf(t);
+}
+
+double SymmetricAsyncModel::mean_line_age() const {
+  return interval_->second_moment() / (2.0 * interval_->mean());
+}
+
+double SymmetricAsyncModel::expected_rp_count_wald() const {
+  return mu_ * mean_interval();
+}
+
+double SymmetricAsyncModel::expected_rp_count_excluding_final() const {
+  return expected_rp_count_wald() - 1.0 / static_cast<double>(n_);
+}
+
+}  // namespace rbx

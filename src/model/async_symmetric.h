@@ -1,0 +1,71 @@
+// The simplified asynchronous-RB chain for homogeneous rates (paper rules
+// R1'-R4', Figure 3).
+//
+// When mu_i = mu and lambda_ij = lambda for all processes/pairs, every
+// intermediate state with exactly u ones collapses into a single lumped
+// state S~_u.  The chain has n + 2 states:
+//   index 0      : S_r (entry)
+//   index u + 1  : S~_u, u = 0..n-1 ones among the last actions
+//   index n + 1  : S_{r+1} (absorbing)
+// with rates
+//   R1': S~_u -> S~_{u+1} at (n - u) mu   (S~_{n-1} -> absorbing at mu)
+//   R2': S~_u -> S~_{u-2} at u (u - 1) lambda / 2        (u >= 2)
+//   R3': S~_u -> S~_{u-1} at u (n - u) lambda            (u >= 1)
+//   R4': S_r  -> S_{r+1}  at n mu
+//   and from S_r an interaction (n (n-1) lambda / 2 total) drops to S~_{n-2}.
+//
+// The OCR of the paper garbles the R2' rate ("u u - 1 x .2"); u(u-1)lambda/2
+// is the unique reading that makes the lumping of the full model exact,
+// which tests/model/async_symmetric_test.cc verifies state-by-state.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "markov/ctmc.h"
+#include "markov/phase_type.h"
+
+namespace rbx {
+
+class SymmetricAsyncModel {
+ public:
+  SymmetricAsyncModel(std::size_t n, double mu, double lambda);
+
+  std::size_t n() const { return n_; }
+  double mu() const { return mu_; }
+  double lambda() const { return lambda_; }
+  double rho() const;
+
+  std::size_t num_states() const { return n_ + 2; }
+  std::size_t entry_state() const { return 0; }
+  std::size_t lumped_state(std::size_t ones) const;
+  std::size_t absorbing_state() const { return n_ + 1; }
+
+  const Ctmc& chain() const { return *chain_; }
+  const PhaseType& interval() const { return *interval_; }
+
+  double mean_interval() const;
+  double variance_interval() const;
+  double interval_pdf(double t) const;
+  double interval_cdf(double t) const;
+
+  // Stationary age E[X^2] / (2 E[X]) of the newest recovery line at a
+  // random error time (see AsyncRbModel::mean_line_age).
+  double mean_line_age() const;
+
+  // E[L_i] by symmetry: every process saves the same expected number of
+  // states; the Wald identity gives mu * E[X] (convention (a)); the
+  // line-forming RP belongs to each process with probability 1/n, giving
+  // convention (b) = mu E[X] - 1/n.
+  double expected_rp_count_wald() const;
+  double expected_rp_count_excluding_final() const;
+
+ private:
+  std::size_t n_;
+  double mu_;
+  double lambda_;
+  std::shared_ptr<Ctmc> chain_;
+  std::unique_ptr<PhaseType> interval_;
+};
+
+}  // namespace rbx

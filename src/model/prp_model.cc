@@ -1,0 +1,48 @@
+#include "model/prp_model.h"
+
+#include "model/sync_model.h"
+#include "support/check.h"
+
+namespace rbx {
+
+PrpModel::PrpModel(ProcessSetParams params, double t_record)
+    : params_(std::move(params)), t_record_(t_record) {
+  RBX_CHECK(t_record >= 0.0);
+}
+
+double PrpModel::snapshot_rate(std::size_t i) const {
+  RBX_CHECK(i < n());
+  // Own RPs at mu_i plus a PRP for every other process's RP.
+  return params_.total_mu();
+}
+
+double PrpModel::system_snapshot_rate() const {
+  return static_cast<double>(n()) * params_.total_mu();
+}
+
+double PrpModel::time_overhead_per_rp() const {
+  return static_cast<double>(n() - 1) * t_record_;
+}
+
+double PrpModel::recording_fraction(std::size_t i) const {
+  RBX_CHECK(i < n());
+  const double rate = snapshot_rate(i);
+  const double busy = rate * t_record_;
+  // Fraction of wall time spent recording assuming recording does not
+  // overlap with itself (t_r << 1/rate in any sane configuration).
+  return busy / (1.0 + busy);
+}
+
+double PrpModel::mean_rollback_bound() const {
+  if (n() <= 25) {
+    return expected_max_exponential(params_.mu());
+  }
+  return expected_max_exponential_quadrature(params_.mu());
+}
+
+double PrpModel::mean_local_rollback(std::size_t i) const {
+  RBX_CHECK(i < n());
+  return 1.0 / params_.mu(i);
+}
+
+}  // namespace rbx

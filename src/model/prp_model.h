@@ -1,0 +1,67 @@
+// Pseudo recovery points (paper Section 4).
+//
+// When P_j establishes a recovery point it broadcasts an implantation
+// request; every other process records its state as a PRP (no acceptance
+// test) and answers with a commitment.  The RP together with the n-1 PRPs
+// forms a pseudo recovery line that bounds rollback without synchronizing
+// normal execution.  The overheads quantified by the paper:
+//
+//  * n states saved per recovery point (one RP + n-1 PRPs);
+//  * additional time overhead (n-1) * t_r per RP, t_r the state-recording
+//    time;
+//  * with purging, each process retains its most recent RP plus one PRP per
+//    other process (members of the newest pseudo recovery lines), i.e. n
+//    snapshots per process;
+//  * the rollback distance for a locally detected error is bounded by
+//    sup{y_1..y_n}, y_i the inter-RP interval of P_i - the same
+//    max-of-exponentials expectation as the synchronized scheme's Z.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/params.h"
+
+namespace rbx {
+
+class PrpModel {
+ public:
+  // t_record: time to record one process state (the paper's t_r).
+  PrpModel(ProcessSetParams params, double t_record);
+
+  const ProcessSetParams& params() const { return params_; }
+  double t_record() const { return t_record_; }
+  std::size_t n() const { return params_.n(); }
+
+  // --- storage ---
+  // States saved per recovery point across the system: n.
+  std::size_t snapshots_per_rp() const { return n(); }
+  // Rate at which process i records snapshots (its own RPs plus implanted
+  // PRPs for every other process's RPs): sum_k mu_k.
+  double snapshot_rate(std::size_t i) const;
+  // System-wide snapshot rate: n * sum_k mu_k.
+  double system_snapshot_rate() const;
+  // Live snapshots per process under the purge rule (most recent RP plus
+  // one PRP per peer): n.
+  std::size_t retained_snapshots_per_process() const { return n(); }
+
+  // --- time ---
+  // Extra recording time the system spends per RP: (n-1) t_r.
+  double time_overhead_per_rp() const;
+  // Fraction of process i's time spent recording states.
+  double recording_fraction(std::size_t i) const;
+
+  // --- rollback ---
+  // Expected bound on the rollback distance (restart from the newest pseudo
+  // recovery line past one RP): E[sup y_i] with y_i ~ Exp(mu_i).
+  double mean_rollback_bound() const;
+  // Rollback distance for an error local to P_i detected at its next
+  // acceptance test: the age of P_i's last RP, mean 1/mu_i.
+  double mean_local_rollback(std::size_t i) const;
+
+ private:
+  ProcessSetParams params_;
+  double t_record_;
+};
+
+}  // namespace rbx

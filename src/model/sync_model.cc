@@ -1,0 +1,101 @@
+#include "model/sync_model.h"
+
+#include <cmath>
+
+#include "numerics/quadrature.h"
+#include "support/check.h"
+
+namespace rbx {
+
+double expected_max_exponential(const std::vector<double>& rates) {
+  const std::size_t n = rates.size();
+  RBX_CHECK(n >= 1);
+  RBX_CHECK_MSG(n <= 25, "inclusion-exclusion limited to 25 rates");
+  for (double r : rates) {
+    RBX_CHECK(r > 0.0);
+  }
+  double mean = 0.0;
+  const std::size_t subsets = std::size_t{1} << n;
+  for (std::size_t s = 1; s < subsets; ++s) {
+    double rate_sum = 0.0;
+    int bits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s & (std::size_t{1} << i)) {
+        rate_sum += rates[i];
+        ++bits;
+      }
+    }
+    mean += ((bits % 2 == 1) ? 1.0 : -1.0) / rate_sum;
+  }
+  return mean;
+}
+
+double expected_max_exponential_quadrature(const std::vector<double>& rates) {
+  RBX_CHECK(!rates.empty());
+  for (double r : rates) {
+    RBX_CHECK(r > 0.0);
+  }
+  // E[Z] = Int_0^inf (1 - prod_i (1 - e^{-r_i t})) dt.  The integrand decays
+  // like e^{-r_min t}; panels are scaled to the slowest rate.
+  double r_min = rates[0];
+  for (double r : rates) {
+    r_min = std::min(r_min, r);
+  }
+  auto survival = [&rates](double t) {
+    double g = 1.0;
+    for (double r : rates) {
+      g *= 1.0 - std::exp(-r * t);
+    }
+    return 1.0 - g;
+  };
+  return integrate_to_infinity(survival, 0.0, 1.0 / r_min).value;
+}
+
+SyncRbModel::SyncRbModel(std::vector<double> mu) : mu_(std::move(mu)) {
+  RBX_CHECK(!mu_.empty());
+  for (double m : mu_) {
+    RBX_CHECK_MSG(m > 0.0, "acceptance-test rates must be positive");
+  }
+}
+
+double SyncRbModel::z_cdf(double t) const {
+  if (t <= 0.0) {
+    return 0.0;
+  }
+  double g = 1.0;
+  for (double m : mu_) {
+    g *= 1.0 - std::exp(-m * t);
+  }
+  return g;
+}
+
+double SyncRbModel::mean_max_wait() const {
+  if (n() <= 25) {
+    return expected_max_exponential(mu_);
+  }
+  return expected_max_exponential_quadrature(mu_);
+}
+
+double SyncRbModel::mean_max_wait_quadrature() const {
+  return expected_max_exponential_quadrature(mu_);
+}
+
+double SyncRbModel::mean_loss() const {
+  double sum_inv = 0.0;
+  for (double m : mu_) {
+    sum_inv += 1.0 / m;
+  }
+  return static_cast<double>(n()) * mean_max_wait() - sum_inv;
+}
+
+double SyncRbModel::mean_wait(std::size_t i) const {
+  RBX_CHECK(i < n());
+  return mean_max_wait() - 1.0 / mu_[i];
+}
+
+double SyncRbModel::loss_rate(double sync_rate) const {
+  RBX_CHECK(sync_rate > 0.0);
+  return sync_rate * mean_loss();
+}
+
+}  // namespace rbx

@@ -1,0 +1,62 @@
+// Synchronized recovery blocks (paper Section 3).
+//
+// Upon a synchronization request every process P_i runs to its next
+// acceptance test (time y_i ~ Exp(mu_i) by the memorylessness of assumption
+// A5), broadcasts "P_ii-ready", and waits for the commitments of all other
+// processes; the recovery line is established at Z = max_i y_i.  The lost
+// computation power is CL = sum_i (Z - y_i), with mean
+//
+//   CL = n * Int_0^inf (1 - G(t)) dt - sum_i 1 / mu_i,
+//   G(t) = prod_i (1 - e^{-mu_i t}).
+//
+// E[Z] = Int (1 - G) dt has the exact inclusion-exclusion closed form
+// sum_{S != empty} (-1)^{|S|+1} / (sum_{i in S} mu_i), which this class
+// evaluates alongside an adaptive-quadrature evaluation of the integral (the
+// form printed in the paper) as a numerical cross-check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rbx {
+
+// E[max of independent Exp(rates)] by inclusion-exclusion; exact.
+// Exponential in the number of rates; capped at 25 to keep misuse loud.
+double expected_max_exponential(const std::vector<double>& rates);
+
+// Same expectation via numeric integration of the survival function; usable
+// for any n (used to validate the closed form and for n > 25).
+double expected_max_exponential_quadrature(const std::vector<double>& rates);
+
+class SyncRbModel {
+ public:
+  explicit SyncRbModel(std::vector<double> mu);
+
+  std::size_t n() const { return mu_.size(); }
+  const std::vector<double>& mu() const { return mu_; }
+
+  // Distribution function of Z = max_i y_i.
+  double z_cdf(double t) const;
+
+  // E[Z]; closed form when n <= 25, quadrature otherwise.
+  double mean_max_wait() const;
+  // E[Z] via quadrature regardless of n.
+  double mean_max_wait_quadrature() const;
+
+  // Mean total loss in computation power per synchronization:
+  // CL = n E[Z] - sum_i 1/mu_i.
+  double mean_loss() const;
+
+  // Mean wait of process i: E[Z - y_i] = E[Z] - 1/mu_i.
+  double mean_wait(std::size_t i) const;
+
+  // Loss per unit time if synchronizations are requested at rate f
+  // (strategy 1 of Section 3 with constant interval 1/f): f * CL, valid
+  // while 1/f >> E[Z].
+  double loss_rate(double sync_rate) const;
+
+ private:
+  std::vector<double> mu_;
+};
+
+}  // namespace rbx

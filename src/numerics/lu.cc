@@ -1,0 +1,147 @@
+#include "numerics/lu.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace rbx {
+
+LuDecomposition::LuDecomposition(const Matrix& a)
+    : n_(a.rows()), lu_(a), perm_(a.rows()) {
+  RBX_CHECK_MSG(a.square(), "LU requires a square matrix");
+  for (std::size_t i = 0; i < n_; ++i) {
+    perm_[i] = i;
+  }
+  for (std::size_t col = 0; col < n_; ++col) {
+    // Partial pivot: pick the largest magnitude entry on/below the diagonal.
+    std::size_t pivot = col;
+    double best = std::fabs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double v = std::fabs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) {
+      singular_ = true;
+      return;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        std::swap(lu_(pivot, c), lu_(col, c));
+      }
+      std::swap(perm_[pivot], perm_[col]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double diag = lu_(col, col);
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double factor = lu_(r, col) / diag;
+      lu_(r, col) = factor;
+      if (factor == 0.0) {
+        continue;
+      }
+      double* rrow = lu_.row_data(r);
+      const double* crow = lu_.row_data(col);
+      for (std::size_t c = col + 1; c < n_; ++c) {
+        rrow[c] -= factor * crow[c];
+      }
+    }
+  }
+}
+
+std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
+  RBX_CHECK(!singular_);
+  RBX_CHECK(b.size() == n_);
+  std::vector<double> x(n_);
+  // Apply permutation, then forward substitution (unit lower triangle).
+  for (std::size_t i = 0; i < n_; ++i) {
+    x[i] = b[perm_[i]];
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* row = lu_.row_data(i);
+    double sum = x[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      sum -= row[j] * x[j];
+    }
+    x[i] = sum;
+  }
+  // Backward substitution.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    const double* row = lu_.row_data(ii);
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) {
+      sum -= row[j] * x[j];
+    }
+    x[ii] = sum / row[ii];
+  }
+  return x;
+}
+
+std::vector<double> LuDecomposition::solve_transposed(
+    const std::vector<double>& b) const {
+  RBX_CHECK(!singular_);
+  RBX_CHECK(b.size() == n_);
+  // A = P^-1 L U  =>  A^T x = b  <=>  U^T L^T P x = b.
+  std::vector<double> y(b);
+  // Forward substitution with U^T (U is upper triangular, so U^T is lower
+  // with the diagonal of U).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = y[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      sum -= lu_(j, i) * y[j];
+    }
+    y[i] = sum / lu_(i, i);
+  }
+  // Backward substitution with L^T (unit diagonal).
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) {
+      sum -= lu_(j, ii) * y[j];
+    }
+    y[ii] = sum;
+  }
+  // Undo the permutation: (Px)_i = x_{perm_i}.
+  std::vector<double> x(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    x[perm_[i]] = y[i];
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) {
+    return 0.0;
+  }
+  double det = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    det *= lu_(i, i);
+  }
+  return det;
+}
+
+std::vector<double> solve_linear(const Matrix& a,
+                                 const std::vector<double>& b) {
+  LuDecomposition lu(a);
+  RBX_CHECK_MSG(!lu.singular(), "singular system in solve_linear");
+  return lu.solve(b);
+}
+
+Matrix invert(const Matrix& a) {
+  LuDecomposition lu(a);
+  RBX_CHECK_MSG(!lu.singular(), "cannot invert a singular matrix");
+  const std::size_t n = a.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    std::vector<double> col = lu.solve(e);
+    e[c] = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      inv(r, c) = col[r];
+    }
+  }
+  return inv;
+}
+
+}  // namespace rbx

@@ -1,0 +1,45 @@
+// LU factorization with partial pivoting and the linear solves built on it.
+//
+// Used by the Markov engine for mean first-passage times (solve
+// (-Q_TT) tau = 1), expected total sojourn times (solve nu (-Q_TT) = alpha)
+// and DTMC fundamental-matrix visit counts (solve (I - P_TT)^T x = e_s).
+#pragma once
+
+#include <vector>
+
+#include "numerics/matrix.h"
+
+namespace rbx {
+
+class LuDecomposition {
+ public:
+  // Factors a copy of the square matrix.  singular() reports failure instead
+  // of throwing so callers can give model-level diagnostics.
+  explicit LuDecomposition(const Matrix& a);
+
+  bool singular() const { return singular_; }
+
+  // Solves A x = b.  Requires !singular().
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  // Solves x A = b (i.e. A^T x = b).  Requires !singular().
+  std::vector<double> solve_transposed(const std::vector<double>& b) const;
+
+  // Determinant (product of pivots with sign).
+  double determinant() const;
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  bool singular_ = false;
+  int perm_sign_ = 1;
+};
+
+// One-shot convenience wrappers.
+std::vector<double> solve_linear(const Matrix& a, const std::vector<double>& b);
+Matrix invert(const Matrix& a);
+
+}  // namespace rbx

@@ -1,0 +1,172 @@
+#include "numerics/matrix.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace rbx {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    RBX_CHECK_MSG(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  RBX_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  RBX_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double* Matrix::row_data(std::size_t r) {
+  RBX_DCHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+const double* Matrix::row_data(std::size_t r) const {
+  RBX_DCHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  RBX_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = row_data(i);
+    double* orow = out.row_data(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) {
+        continue;
+      }
+      const double* brow = other.row_data(k);
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double v : data_) {
+    sum += v * v;
+  }
+  return std::sqrt(sum);
+}
+
+double Matrix::inf_norm() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double row_sum = 0.0;
+    const double* row = row_data(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      row_sum += std::fabs(row[c]);
+    }
+    best = std::max(best, row_sum);
+  }
+  return best;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  RBX_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double best = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    best = std::max(best, std::fabs(data_[i] - other.data_[i]));
+  }
+  return best;
+}
+
+void mat_vec(const Matrix& a, const std::vector<double>& x,
+             std::vector<double>& y) {
+  RBX_CHECK(a.cols() == x.size());
+  y.assign(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_data(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      sum += row[c] * x[c];
+    }
+    y[r] = sum;
+  }
+}
+
+void vec_mat(const std::vector<double>& x, const Matrix& a,
+             std::vector<double>& y) {
+  RBX_CHECK(a.rows() == x.size());
+  y.assign(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) {
+      continue;
+    }
+    const double* row = a.row_data(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      y[c] += xr * row[c];
+    }
+  }
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  RBX_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  RBX_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+double vec_sum(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) {
+    sum += x;
+  }
+  return sum;
+}
+
+double vec_inf_norm(const std::vector<double>& v) {
+  double best = 0.0;
+  for (double x : v) {
+    best = std::max(best, std::fabs(x));
+  }
+  return best;
+}
+
+}  // namespace rbx

@@ -1,0 +1,74 @@
+// Dense row-major matrix and vector helpers.
+//
+// The Markov engine needs only real dense linear algebra of modest size
+// (transient submatrices up to ~2^10 states for the full asynchronous-RB
+// model), so a plain contiguous row-major matrix with explicit loops is both
+// the simplest and, at these sizes, an efficient choice (no expression
+// templates, no allocation churn inside kernels).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace rbx {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  // Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  double* row_data(std::size_t r);
+  const double* row_data(std::size_t r) const;
+
+  Matrix transposed() const;
+
+  // this * other
+  Matrix multiply(const Matrix& other) const;
+
+  // Frobenius and infinity norms.
+  double frobenius_norm() const;
+  double inf_norm() const;
+
+  // Maximum absolute element difference; both matrices must share shape.
+  double max_abs_diff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// y = A x  (A: m x n, x: n, y: m)
+void mat_vec(const Matrix& a, const std::vector<double>& x,
+             std::vector<double>& y);
+
+// y = x^T A  (row vector times matrix; x: m, y: n)
+void vec_mat(const std::vector<double>& x, const Matrix& a,
+             std::vector<double>& y);
+
+// Dot product.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+// y += alpha * x
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+// Sum of components.
+double vec_sum(const std::vector<double>& v);
+
+// Infinity norm.
+double vec_inf_norm(const std::vector<double>& v);
+
+}  // namespace rbx

@@ -1,0 +1,128 @@
+#include "numerics/ode.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace rbx {
+
+void rk4_integrate(const OdeRhs& rhs, double t0, double t1, std::size_t steps,
+                   std::vector<double>& y) {
+  RBX_CHECK(steps > 0);
+  RBX_CHECK(t1 >= t0);
+  const double h = (t1 - t0) / static_cast<double>(steps);
+  const std::size_t n = y.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  double t = t0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    rhs(t, y, k1);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = y[i] + 0.5 * h * k1[i];
+    }
+    rhs(t + 0.5 * h, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = y[i] + 0.5 * h * k2[i];
+    }
+    rhs(t + 0.5 * h, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = y[i] + h * k3[i];
+    }
+    rhs(t + h, tmp, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    t = t0 + static_cast<double>(s + 1) * h;
+  }
+}
+
+AdaptiveResult rkf45_integrate(const OdeRhs& rhs, double t0, double t1,
+                               std::vector<double>& y,
+                               const AdaptiveOptions& opts) {
+  RBX_CHECK(t1 >= t0);
+  AdaptiveResult result;
+  if (t1 == t0) {
+    return result;
+  }
+
+  // Fehlberg coefficients.
+  static constexpr double a2 = 1.0 / 4, a3 = 3.0 / 8, a4 = 12.0 / 13, a5 = 1.0,
+                          a6 = 1.0 / 2;
+  static constexpr double b21 = 1.0 / 4;
+  static constexpr double b31 = 3.0 / 32, b32 = 9.0 / 32;
+  static constexpr double b41 = 1932.0 / 2197, b42 = -7200.0 / 2197,
+                          b43 = 7296.0 / 2197;
+  static constexpr double b51 = 439.0 / 216, b52 = -8.0, b53 = 3680.0 / 513,
+                          b54 = -845.0 / 4104;
+  static constexpr double b61 = -8.0 / 27, b62 = 2.0, b63 = -3544.0 / 2565,
+                          b64 = 1859.0 / 4104, b65 = -11.0 / 40;
+  // 5th-order solution weights.
+  static constexpr double c1 = 16.0 / 135, c3 = 6656.0 / 12825,
+                          c4 = 28561.0 / 56430, c5 = -9.0 / 50, c6 = 2.0 / 55;
+  // 4th-order solution weights (for the error estimate).
+  static constexpr double d1 = 25.0 / 216, d3 = 1408.0 / 2565,
+                          d4 = 2197.0 / 4104, d5 = -1.0 / 5;
+
+  const std::size_t n = y.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), tmp(n),
+      y5(n);
+
+  double t = t0;
+  double h = std::min(opts.initial_step, t1 - t0);
+  while (t < t1) {
+    RBX_CHECK_MSG(result.steps_taken + result.steps_rejected < opts.max_steps,
+                  "rkf45 exceeded max_steps");
+    h = std::min(h, t1 - t);
+
+    rhs(t, y, k1);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = y[i] + h * b21 * k1[i];
+    }
+    rhs(t + a2 * h, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = y[i] + h * (b31 * k1[i] + b32 * k2[i]);
+    }
+    rhs(t + a3 * h, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = y[i] + h * (b41 * k1[i] + b42 * k2[i] + b43 * k3[i]);
+    }
+    rhs(t + a4 * h, tmp, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] =
+          y[i] + h * (b51 * k1[i] + b52 * k2[i] + b53 * k3[i] + b54 * k4[i]);
+    }
+    rhs(t + a5 * h, tmp, k5);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = y[i] + h * (b61 * k1[i] + b62 * k2[i] + b63 * k3[i] +
+                           b64 * k4[i] + b65 * k5[i]);
+    }
+    rhs(t + a6 * h, tmp, k6);
+
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      y5[i] = y[i] + h * (c1 * k1[i] + c3 * k3[i] + c4 * k4[i] + c5 * k5[i] +
+                          c6 * k6[i]);
+      const double y4 =
+          y[i] + h * (d1 * k1[i] + d3 * k3[i] + d4 * k4[i] + d5 * k5[i]);
+      const double scale =
+          opts.abs_tol + opts.rel_tol * std::max(std::fabs(y[i]), std::fabs(y5[i]));
+      err = std::max(err, std::fabs(y5[i] - y4) / scale);
+    }
+
+    if (err <= 1.0 || h <= opts.min_step) {
+      t += h;
+      y = y5;
+      ++result.steps_taken;
+    } else {
+      ++result.steps_rejected;
+    }
+    // Standard step-size update with safety factor and clamping.
+    const double factor =
+        err > 0.0 ? 0.9 * std::pow(err, -0.2) : 5.0;
+    h *= std::clamp(factor, 0.2, 5.0);
+    h = std::max(h, opts.min_step);
+  }
+  return result;
+}
+
+}  // namespace rbx

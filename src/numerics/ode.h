@@ -1,0 +1,42 @@
+// ODE integration for the Chapman-Kolmogorov forward equations.
+//
+// The paper solves d/dt pi(t) = pi(t) H.  Uniformization (markov/ctmc.h) is
+// the production path; the fixed-step RK4 and adaptive RKF45 integrators here
+// provide an independent numerical method used to cross-validate the
+// uniformization results in tests and the MICRO bench.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace rbx {
+
+// dy/dt = f(t, y) -> writes dy.
+using OdeRhs = std::function<void(double t, const std::vector<double>& y,
+                                  std::vector<double>& dy)>;
+
+// Classic fixed-step 4th-order Runge-Kutta from t0 to t1 in `steps` steps.
+// y is updated in place.
+void rk4_integrate(const OdeRhs& rhs, double t0, double t1, std::size_t steps,
+                   std::vector<double>& y);
+
+struct AdaptiveOptions {
+  double abs_tol = 1e-10;
+  double rel_tol = 1e-8;
+  double initial_step = 1e-3;
+  double min_step = 1e-12;
+  std::size_t max_steps = 10'000'000;
+};
+
+struct AdaptiveResult {
+  std::size_t steps_taken = 0;
+  std::size_t steps_rejected = 0;
+};
+
+// Runge-Kutta-Fehlberg 4(5) with step-size control.  y is updated in place.
+AdaptiveResult rkf45_integrate(const OdeRhs& rhs, double t0, double t1,
+                               std::vector<double>& y,
+                               const AdaptiveOptions& opts = {});
+
+}  // namespace rbx

@@ -1,0 +1,28 @@
+// Poisson probability weights for uniformization.
+//
+// Uniformization expresses exp(Qt) through powers of a DTMC weighted by
+// Poisson(Lambda * t) probabilities.  For large Lambda*t the individual terms
+// underflow in naive form, so weights are computed in log space around the
+// mode and the truncation window [k_lo, k_hi] is chosen so the neglected tail
+// mass is below `epsilon` (simple and robust variant of Fox-Glynn).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rbx {
+
+struct PoissonWindow {
+  std::size_t k_lo = 0;           // first retained term
+  std::vector<double> weights;    // weights[k - k_lo] = P(N = k), renormalized
+  double tail_mass = 0.0;         // mass outside the window before renorm
+};
+
+// Computes the truncated Poisson(mean) pmf window covering all but epsilon of
+// the mass.  mean must be non-negative; epsilon in (0, 1).
+PoissonWindow poisson_window(double mean, double epsilon);
+
+// Exact-ish single pmf value via log-space evaluation (used in tests).
+double poisson_pmf(std::size_t k, double mean);
+
+}  // namespace rbx

@@ -1,0 +1,92 @@
+#include "numerics/quadrature.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace rbx {
+
+namespace {
+
+struct SimpsonCtx {
+  const std::function<double(double)>* f;
+  double tol;
+  int max_depth;
+  std::size_t evals;
+  double error;
+};
+
+double simpson(double fa, double fm, double fb, double a, double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(SimpsonCtx& ctx, double a, double b, double fa, double fm,
+                double fb, double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = (*ctx.f)(lm);
+  const double frm = (*ctx.f)(rm);
+  ctx.evals += 2;
+  const double left = simpson(fa, flm, fm, a, m);
+  const double right = simpson(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  if (depth >= ctx.max_depth || std::fabs(delta) <= 15.0 * tol) {
+    ctx.error += std::fabs(delta) / 15.0;
+    return left + right + delta / 15.0;
+  }
+  return adaptive(ctx, a, m, fa, flm, fm, left, 0.5 * tol, depth + 1) +
+         adaptive(ctx, m, b, fm, frm, fb, right, 0.5 * tol, depth + 1);
+}
+
+}  // namespace
+
+QuadratureResult integrate(const std::function<double(double)>& f, double a,
+                           double b, double tol, int max_depth) {
+  RBX_CHECK(b >= a);
+  QuadratureResult out;
+  if (a == b) {
+    return out;
+  }
+  SimpsonCtx ctx{&f, tol, max_depth, 0, 0.0};
+  const double fa = f(a);
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  const double fb = f(b);
+  ctx.evals = 3;
+  const double whole = simpson(fa, fm, fb, a, b);
+  out.value = adaptive(ctx, a, b, fa, fm, fb, whole, tol, 0);
+  out.error_estimate = ctx.error;
+  out.evaluations = ctx.evals;
+  return out;
+}
+
+QuadratureResult integrate_to_infinity(const std::function<double(double)>& f,
+                                       double a, double panel, double tol,
+                                       double tail_tol,
+                                       std::size_t max_panels) {
+  RBX_CHECK(panel > 0.0);
+  QuadratureResult out;
+  double lo = a;
+  std::size_t consecutive_small = 0;
+  for (std::size_t i = 0; i < max_panels; ++i) {
+    const QuadratureResult part = integrate(f, lo, lo + panel, tol);
+    out.value += part.value;
+    out.error_estimate += part.error_estimate;
+    out.evaluations += part.evaluations;
+    lo += panel;
+    if (std::fabs(part.value) < tail_tol) {
+      // Two consecutive negligible panels guard against integrands with a
+      // zero crossing inside a single panel.
+      if (++consecutive_small >= 2) {
+        return out;
+      }
+    } else {
+      consecutive_small = 0;
+    }
+  }
+  RBX_CHECK_MSG(false, "integrate_to_infinity did not converge");
+  return out;
+}
+
+}  // namespace rbx

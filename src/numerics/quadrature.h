@@ -1,0 +1,33 @@
+// Adaptive Simpson quadrature.
+//
+// Used for the synchronized-RB loss integral n * Int_0^inf (1 - G(t)) dt of
+// Section 3 (cross-checking the inclusion-exclusion closed form) and for
+// verifying that phase-type densities integrate to one.
+#pragma once
+
+#include <functional>
+
+namespace rbx {
+
+struct QuadratureResult {
+  double value = 0.0;
+  double error_estimate = 0.0;
+  std::size_t evaluations = 0;
+};
+
+// Integrates f over [a, b] with adaptive Simpson subdivision until the local
+// error estimate is below tol (absolute).
+QuadratureResult integrate(const std::function<double(double)>& f, double a,
+                           double b, double tol = 1e-10,
+                           int max_depth = 60);
+
+// Integrates f over [a, infinity) for integrands with (at least) exponential
+// decay, by integrating successive unit-scale panels until a panel
+// contributes less than tail_tol.
+QuadratureResult integrate_to_infinity(const std::function<double(double)>& f,
+                                       double a, double panel = 1.0,
+                                       double tol = 1e-10,
+                                       double tail_tol = 1e-12,
+                                       std::size_t max_panels = 100000);
+
+}  // namespace rbx

@@ -1,0 +1,116 @@
+#include "numerics/sparse.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace rbx {
+
+void SparseMatrix::left_multiply(const std::vector<double>& x,
+                                 std::vector<double>& y) const {
+  RBX_CHECK(x.size() == rows_);
+  y.assign(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) {
+      continue;
+    }
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += xr * values_[k];
+    }
+  }
+}
+
+void SparseMatrix::right_multiply(const std::vector<double>& x,
+                                  std::vector<double>& y) const {
+  RBX_CHECK(x.size() == cols_);
+  y.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = sum;
+  }
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  RBX_CHECK(r < rows_ && c < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) {
+    return 0.0;
+  }
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+double SparseMatrix::row_sum(std::size_t r) const {
+  RBX_CHECK(r < rows_);
+  double sum = 0.0;
+  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+    sum += values_[k];
+  }
+  return sum;
+}
+
+std::vector<std::vector<double>> SparseMatrix::to_dense() const {
+  std::vector<std::vector<double>> dense(rows_,
+                                         std::vector<double>(cols_, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      dense[r][col_idx_[k]] = values_[k];
+    }
+  }
+  return dense;
+}
+
+SparseMatrixBuilder::SparseMatrixBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void SparseMatrixBuilder::add(std::size_t r, std::size_t c, double value) {
+  RBX_CHECK(r < rows_ && c < cols_);
+  if (value == 0.0) {
+    return;
+  }
+  triplets_.push_back({r, c, value});
+}
+
+SparseMatrix SparseMatrixBuilder::build() const {
+  std::vector<Triplet> sorted = triplets_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) {
+                return a.row < b.row;
+              }
+              return a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows_ + 1, 0);
+  m.col_idx_.reserve(sorted.size());
+  m.values_.reserve(sorted.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    m.row_ptr_[r] = m.values_.size();
+    while (i < sorted.size() && sorted[i].row == r) {
+      const std::size_t col = sorted[i].col;
+      double sum = 0.0;
+      while (i < sorted.size() && sorted[i].row == r && sorted[i].col == col) {
+        sum += sorted[i].value;
+        ++i;
+      }
+      if (sum != 0.0) {
+        m.col_idx_.push_back(col);
+        m.values_.push_back(sum);
+      }
+    }
+  }
+  m.row_ptr_[rows_] = m.values_.size();
+  return m;
+}
+
+}  // namespace rbx

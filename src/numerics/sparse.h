@@ -1,0 +1,85 @@
+// Compressed sparse row matrix for CTMC generators.
+//
+// The asynchronous-RB chain over 2^n + 1 states has only O(n^2) transitions
+// per state, so uniformization's repeated vector-matrix products run on a CSR
+// matrix.  The builder accumulates (row, col, value) triplets (summing
+// duplicates) and freezes into CSR.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rbx {
+
+class SparseMatrixBuilder;
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  // y = x^T A (row vector through the matrix); the natural direction for
+  // probability-vector propagation.
+  void left_multiply(const std::vector<double>& x,
+                     std::vector<double>& y) const;
+
+  // y = A x.
+  void right_multiply(const std::vector<double>& x,
+                      std::vector<double>& y) const;
+
+  // Element lookup (binary search within the row); zero when absent.
+  double at(std::size_t r, std::size_t c) const;
+
+  // Sum of entries in a row.
+  double row_sum(std::size_t r) const;
+
+  // Dense copy (small matrices / tests).
+  std::vector<std::vector<double>> to_dense() const;
+
+  // Iteration support: for row r, entries are [row_begin(r), row_end(r)).
+  struct Entry {
+    std::size_t col;
+    double value;
+  };
+  std::size_t row_begin(std::size_t r) const { return row_ptr_[r]; }
+  std::size_t row_end(std::size_t r) const { return row_ptr_[r + 1]; }
+  std::size_t entry_col(std::size_t k) const { return col_idx_[k]; }
+  double entry_value(std::size_t k) const { return values_[k]; }
+
+ private:
+  friend class SparseMatrixBuilder;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+class SparseMatrixBuilder {
+ public:
+  SparseMatrixBuilder(std::size_t rows, std::size_t cols);
+
+  // Accumulates value at (r, c); duplicate coordinates sum.
+  void add(std::size_t r, std::size_t c, double value);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  SparseMatrix build() const;
+
+ private:
+  struct Triplet {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace rbx

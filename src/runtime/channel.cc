@@ -1,0 +1,68 @@
+#include "runtime/channel.h"
+
+namespace rbx {
+
+void Mailbox::push(Message m) {
+  {
+    const std::scoped_lock lock(mu_);
+    queue_.push_back(m);
+  }
+  cv_.notify_one();
+}
+
+std::optional<Message> Mailbox::try_pop() {
+  const std::scoped_lock lock(mu_);
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Message m = queue_.front();
+  queue_.pop_front();
+  return m;
+}
+
+std::optional<Message> Mailbox::pop_wait(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty(); })) {
+    return std::nullopt;
+  }
+  Message m = queue_.front();
+  queue_.pop_front();
+  return m;
+}
+
+std::size_t Mailbox::filter(const std::function<bool(const Message&)>& drop) {
+  const std::scoped_lock lock(mu_);
+  const std::size_t before = queue_.size();
+  std::deque<Message> kept;
+  for (const Message& m : queue_) {
+    if (!drop(m)) {
+      kept.push_back(m);
+    }
+  }
+  queue_ = std::move(kept);
+  return before - queue_.size();
+}
+
+std::vector<Message> Mailbox::drain_all() {
+  const std::scoped_lock lock(mu_);
+  std::vector<Message> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+void Mailbox::push_front_batch(const std::vector<Message>& batch) {
+  {
+    const std::scoped_lock lock(mu_);
+    for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+      queue_.push_front(*it);
+    }
+  }
+  cv_.notify_one();
+}
+
+std::size_t Mailbox::size() const {
+  const std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace rbx

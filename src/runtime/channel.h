@@ -1,0 +1,59 @@
+// Bounded-latency MPSC mailbox with FIFO delivery.
+//
+// Each runtime process owns one mailbox; any thread may push.  A single
+// mutex guards the queue (the data and its lock live together, Core
+// Guidelines CP.50), and consumers wait on a condition variable with a
+// predicate (CP.42).  Delivery preserves global arrival order, which
+// implies per-sender FIFO - the paper's consistent-communication
+// assumption; receivers can additionally verify it through the per-sender
+// sequence numbers.
+//
+// Recovery needs two privileged operations: `filter` drops queued messages
+// that a rollback orphaned, and `drain_all` empties the queue for restores.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "runtime/message.h"
+
+namespace rbx {
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void push(Message m);
+
+  // Non-blocking receive.
+  std::optional<Message> try_pop();
+
+  // Blocking receive with timeout; nullopt on timeout.
+  std::optional<Message> pop_wait(std::chrono::milliseconds timeout);
+
+  // Removes every queued message for which `drop` returns true; returns the
+  // number removed.
+  std::size_t filter(const std::function<bool(const Message&)>& drop);
+
+  // Empties the queue, returning the content in order.
+  std::vector<Message> drain_all();
+
+  // Pushes a batch to the front (restored retained messages are re-queued
+  // ahead of newer traffic so replay order matches the original order).
+  void push_front_batch(const std::vector<Message>& batch);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace rbx

@@ -1,0 +1,117 @@
+#include "runtime/checkpoint.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace rbx {
+
+void CheckpointStore::save(Snapshot snapshot) {
+  RBX_CHECK_MSG(snapshots_.empty() ||
+                    snapshot.ticket >= snapshots_.back().ticket,
+                "snapshots must be recorded in ticket order");
+  snapshots_.push_back(std::move(snapshot));
+}
+
+const Snapshot* CheckpointStore::latest_rp() const {
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (it->kind == SnapshotKind::kRecoveryPoint) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+const Snapshot* CheckpointStore::rp_before(std::uint64_t ticket) const {
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (it->kind == SnapshotKind::kRecoveryPoint && it->ticket < ticket) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+const Snapshot* CheckpointStore::prp_for(ProcessId owner,
+                                         std::uint64_t seq) const {
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (it->kind == SnapshotKind::kPseudoRecoveryPoint &&
+        it->rp_owner == owner && it->rp_seq == seq) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+const Snapshot* CheckpointStore::by_ticket(std::uint64_t ticket) const {
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (it->ticket == ticket) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t CheckpointStore::purge() {
+  // Keep the two newest own RPs and, per foreign owner, the two newest
+  // PRPs.  (The paper purges down to the newest pseudo recovery lines; one
+  // generation of slack is kept because a failure detected at the very
+  // next acceptance test may need to step past the newest RP - the
+  // Section 4 pointer loop occasionally reaches the previous line.)
+  constexpr std::size_t kGenerations = 2;
+  std::vector<std::uint64_t> kept_rp_tickets;
+  std::vector<std::pair<ProcessId, std::uint64_t>> kept_prp_keys;
+  std::vector<std::size_t> prp_count_per_owner;
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (it->kind == SnapshotKind::kRecoveryPoint) {
+      if (kept_rp_tickets.size() < kGenerations) {
+        kept_rp_tickets.push_back(it->ticket);
+      }
+      continue;
+    }
+    std::size_t owner_kept = 0;
+    for (const auto& key : kept_prp_keys) {
+      if (key.first == it->rp_owner) {
+        ++owner_kept;
+      }
+    }
+    if (owner_kept < kGenerations) {
+      kept_prp_keys.push_back({it->rp_owner, it->rp_seq});
+    }
+  }
+
+  const std::size_t before = snapshots_.size();
+  std::vector<Snapshot> kept;
+  for (const Snapshot& s : snapshots_) {
+    bool keep = false;
+    if (s.kind == SnapshotKind::kRecoveryPoint) {
+      for (std::uint64_t ticket : kept_rp_tickets) {
+        if (s.ticket == ticket) {
+          keep = true;
+          break;
+        }
+      }
+    } else {
+      for (const auto& key : kept_prp_keys) {
+        if (key.first == s.rp_owner && key.second == s.rp_seq) {
+          keep = true;
+          break;
+        }
+      }
+    }
+    if (keep) {
+      kept.push_back(s);
+    }
+  }
+  snapshots_ = std::move(kept);
+  return before - snapshots_.size();
+}
+
+std::size_t CheckpointStore::total_bytes() const {
+  std::size_t bytes = 0;
+  for (const Snapshot& s : snapshots_) {
+    bytes += s.state.size() + s.retained_inbox.size() * sizeof(Message);
+  }
+  return bytes;
+}
+
+}  // namespace rbx

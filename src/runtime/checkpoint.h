@@ -1,0 +1,63 @@
+// Checkpoint storage for one runtime process.
+//
+// Holds recovery points (established after a passed acceptance test) and
+// pseudo recovery points (implanted on another process's behalf, paper
+// Section 4), together with the retained inbox messages - "the messages
+// sent to a process by P_i' prior to C_i' have to be retained in the state
+// saved" (Section 4 step 3); we retain the entire pending inbox, which
+// covers the paper's requirement.
+//
+// The purge rule follows the paper: "all old RP's and PRP's except those in
+// the pseudo recovery lines {PRL_j} ... can be purged when a new recovery
+// point is established", i.e. a process keeps its newest RP and, per other
+// process, the newest PRP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/message.h"
+#include "trace/history.h"
+
+namespace rbx {
+
+enum class SnapshotKind { kRecoveryPoint, kPseudoRecoveryPoint };
+
+struct Snapshot {
+  SnapshotKind kind = SnapshotKind::kRecoveryPoint;
+  // RP: the owning process itself.  PRP: the process whose RP triggered it.
+  ProcessId rp_owner = 0;
+  std::uint64_t rp_seq = 0;        // owner's RP sequence number
+  std::uint64_t ticket = 0;        // global event ticket when recorded
+  std::vector<std::byte> state;
+  std::vector<Message> retained_inbox;
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(ProcessId self) : self_(self) {}
+
+  void save(Snapshot snapshot);
+
+  // Newest own recovery point; nullptr when none.
+  const Snapshot* latest_rp() const;
+  // Newest own RP recorded strictly before the ticket.
+  const Snapshot* rp_before(std::uint64_t ticket) const;
+  // PRP implanted for (owner, seq); nullptr when absent (purged).
+  const Snapshot* prp_for(ProcessId owner, std::uint64_t seq) const;
+  // Any snapshot (RP or PRP) with the exact ticket.
+  const Snapshot* by_ticket(std::uint64_t ticket) const;
+
+  // Applies the paper's purge rule.  Returns the number of snapshots freed.
+  std::size_t purge();
+
+  std::size_t count() const { return snapshots_.size(); }
+  std::size_t total_bytes() const;
+
+ private:
+  ProcessId self_;
+  std::vector<Snapshot> snapshots_;  // in recording order
+};
+
+}  // namespace rbx

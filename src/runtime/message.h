@@ -1,0 +1,41 @@
+// Messages exchanged by runtime processes.
+//
+// One message type serves both application traffic and the control traffic
+// of the recovery protocols (sync ready-flags per Section 3, PRP
+// implantation requests/commitments per Section 4).  Messages are passed by
+// value through the channels (Core Guidelines CP.31).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/history.h"
+
+namespace rbx {
+
+enum class MessageType : std::uint8_t {
+  kApp,             // application payload (an "interaction" in the paper)
+  kSyncRequest,     // synchronization request (Section 3)
+  kSyncReady,       // P_ii-ready broadcast (Section 3 step 2)
+  kSyncFailed,      // acceptance test failed at the test line: abort commit
+  kImplantRequest,  // PRP implantation request (Section 4 step 1)
+  kImplantCommit,   // commitment C_i' (Section 4 step 2)
+  kShutdown,        // orderly termination
+};
+
+struct Message {
+  MessageType type = MessageType::kApp;
+  ProcessId sender = 0;
+  // Per-sender sequence number; receivers verify FIFO delivery with it
+  // (consistent-communication assumption A4).
+  std::uint64_t seq = 0;
+  // Global event ticket at send time; recovery uses it to identify orphan
+  // messages (sent after the sender's restart point).
+  std::uint64_t send_ticket = 0;
+  // Protocol data: sync line id, RP sequence number, etc.
+  std::uint64_t tag = 0;
+  // Application payload.
+  std::int64_t payload = 0;
+};
+
+}  // namespace rbx

@@ -1,0 +1,38 @@
+#include "runtime/recovery_block.h"
+
+#include "support/check.h"
+
+namespace rbx {
+
+RecoveryBlock::RecoveryBlock(AcceptanceTest test) : test_(std::move(test)) {
+  RBX_CHECK_MSG(test_ != nullptr, "a recovery block needs an acceptance test");
+}
+
+RecoveryBlock& RecoveryBlock::add_alternative(Alternative alt) {
+  RBX_CHECK(alt != nullptr);
+  alternatives_.push_back(std::move(alt));
+  return *this;
+}
+
+std::optional<RecoveryBlock::Outcome> RecoveryBlock::execute(
+    Serializable& state) const {
+  RBX_CHECK_MSG(!alternatives_.empty(),
+                "a recovery block needs at least a primary alternative");
+  // The recovery point: state saved on entry.
+  const std::vector<std::byte> recovery_point = state.serialize();
+
+  Outcome outcome;
+  for (std::size_t i = 0; i < alternatives_.size(); ++i) {
+    alternatives_[i](state);
+    if (test_(state)) {
+      outcome.accepted_alternative = i;
+      return outcome;
+    }
+    // Roll back to the recovery point and try the next alternative.
+    state.deserialize(recovery_point);
+    ++outcome.rollbacks;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rbx

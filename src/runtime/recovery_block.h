@@ -1,0 +1,54 @@
+// The sequential recovery block of Horning/Randell (paper Section 1).
+//
+//   ensure   <acceptance test>
+//   by       <primary alternative>
+//   else by  <alternative 2> ... <alternative k>
+//   else error
+//
+// The process state is saved at the recovery point on entry; each
+// alternative runs against the saved state (a failed attempt is rolled
+// back before the next alternative runs); the acceptance test validates
+// the result.  If every alternative fails the block reports failure and
+// the caller escalates (in concurrent settings this is where rollback
+// propagation begins).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "runtime/serializable.h"
+
+namespace rbx {
+
+class RecoveryBlock {
+ public:
+  // The alternative mutates the state; the acceptance test inspects it.
+  using Alternative = std::function<void(Serializable&)>;
+  using AcceptanceTest = std::function<bool(const Serializable&)>;
+
+  explicit RecoveryBlock(AcceptanceTest test);
+
+  RecoveryBlock& add_alternative(Alternative alt);
+
+  std::size_t alternatives() const { return alternatives_.size(); }
+
+  struct Outcome {
+    // Index of the alternative whose result passed the acceptance test.
+    std::size_t accepted_alternative = 0;
+    // Number of failed attempts rolled back before acceptance.
+    std::size_t rollbacks = 0;
+  };
+
+  // Executes the block against `state`.  On success the state holds the
+  // accepted result; on failure (nullopt) the state is restored to the
+  // recovery point taken on entry.
+  std::optional<Outcome> execute(Serializable& state) const;
+
+ private:
+  AcceptanceTest test_;
+  std::vector<Alternative> alternatives_;
+};
+
+}  // namespace rbx

@@ -1,0 +1,83 @@
+// Process-state serialization for checkpointing.
+//
+// The recovery block structure (paper Section 1) is "a state saving"
+// followed by alternatives and an acceptance test; the state saved must be
+// restorable bit-exactly.  User states implement Serializable; WorkState is
+// the synthetic workload used by the runtime experiments - a deterministic
+// accumulator whose value depends on every work step and every message
+// applied, so an incorrect rollback is observable as a checksum mismatch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace rbx {
+
+class Serializable {
+ public:
+  virtual ~Serializable() = default;
+  virtual std::vector<std::byte> serialize() const = 0;
+  virtual void deserialize(const std::vector<std::byte>& bytes) = 0;
+};
+
+// The synthetic workload state: a step counter and a mixing accumulator.
+struct WorkState final : Serializable {
+  std::uint64_t steps = 0;
+  std::uint64_t accumulator = 0;
+  std::uint64_t messages_applied = 0;
+
+  // One unit of deterministic work.
+  void step(std::uint64_t pid) {
+    ++steps;
+    accumulator = mix(accumulator ^ (pid * 0x9e3779b97f4a7c15ULL + steps));
+  }
+
+  // Applies an application message payload.
+  void apply_message(std::int64_t payload) {
+    ++messages_applied;
+    accumulator = mix(accumulator + static_cast<std::uint64_t>(payload));
+  }
+
+  std::int64_t digest() const {
+    return static_cast<std::int64_t>(mix(accumulator));
+  }
+
+  std::vector<std::byte> serialize() const override {
+    std::vector<std::byte> out(sizeof(WorkStatePod));
+    const WorkStatePod pod{steps, accumulator, messages_applied};
+    std::memcpy(out.data(), &pod, sizeof(pod));
+    return out;
+  }
+
+  void deserialize(const std::vector<std::byte>& bytes) override {
+    WorkStatePod pod{};
+    if (bytes.size() == sizeof(pod)) {
+      std::memcpy(&pod, bytes.data(), sizeof(pod));
+      steps = pod.steps;
+      accumulator = pod.accumulator;
+      messages_applied = pod.messages_applied;
+    }
+  }
+
+  bool operator==(const WorkState& other) const {
+    return steps == other.steps && accumulator == other.accumulator &&
+           messages_applied == other.messages_applied;
+  }
+
+ private:
+  struct WorkStatePod {
+    std::uint64_t steps;
+    std::uint64_t accumulator;
+    std::uint64_t messages_applied;
+  };
+
+  static std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+}  // namespace rbx

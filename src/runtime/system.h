@@ -1,0 +1,122 @@
+// Thread-based execution of concurrent processes under the three recovery
+// schemes of the paper.
+//
+// Each process is a std::jthread owning a WorkState, a Mailbox and a
+// CheckpointStore.  Processes do deterministic work, exchange application
+// messages (the paper's interactions) and checkpoint according to the
+// configured scheme:
+//
+//  * kAsynchronous       - independent recovery points; on an acceptance
+//                          test failure the failing thread coordinates a
+//                          stop-the-world rollback to the maximal
+//                          consistent recovery line (RollbackAnalyzer) -
+//                          rollback propagation and domino effects are real
+//                          and measured;
+//  * kSynchronized       - Section 3's message-based commit: a designated
+//                          process periodically broadcasts a request, every
+//                          process runs to its next acceptance test,
+//                          broadcasts P_ii-ready, records application
+//                          messages that arrive while waiting, and
+//                          establishes the line when all flags are in; a
+//                          failed test at the line aborts the commit and
+//                          everyone restores the previous line;
+//  * kPseudoRecoveryPoints - Section 4's implantation: every RP broadcasts
+//                          an implant request, peers snapshot a PRP "upon
+//                          completion of the current instruction" and
+//                          answer with a commitment; failures run the
+//                          pointer-loop rollback (PrpRollbackPlanner).
+//
+// Orphan messages (sent after the sender's restart point) are filtered from
+// every mailbox during recovery; snapshots retain their pending inbox so
+// restored processes replay exactly the messages the paper's Section 4
+// step 3 requires.  The report carries protocol counters plus two verified
+// invariants: every restart line passed the exact consistency check, and
+// every restored state matched its snapshot bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "support/stats.h"
+
+namespace rbx {
+
+enum class SchemeKind { kAsynchronous, kSynchronized, kPseudoRecoveryPoints };
+
+struct RuntimeConfig {
+  std::size_t num_processes = 3;
+  SchemeKind scheme = SchemeKind::kAsynchronous;
+  std::uint64_t seed = 1;
+  // Work steps each process performs before an orderly shutdown.
+  std::size_t steps = 400;
+  // Per-step probability of sending an application message to a random
+  // peer (the interaction rate of the paper, in step units).
+  double message_probability = 0.25;
+  // Per-step probability of attempting a recovery point (async / PRP).
+  double rp_probability = 0.08;
+  // Probability that the acceptance test at an RP (or at a sync line)
+  // fails, triggering global recovery - the fault injection knob.
+  double at_failure_probability = 0.0;
+  // Probability that a single alternative inside the local recovery block
+  // produces a rejected result (exercises the sequential RB structure).
+  double alternate_failure_probability = 0.0;
+  // Number of alternatives in each recovery block.
+  std::size_t rb_alternates = 2;
+  // Synchronized scheme: process 0 issues a request every this many of its
+  // own work steps.
+  std::size_t sync_period_steps = 50;
+  // PRP scheme: restrict rollback to processes that interacted with the
+  // pointer (see PrpRollbackPlanner).
+  bool scoped_prp = false;
+};
+
+struct RuntimeReport {
+  // Traffic.
+  std::size_t messages_sent = 0;
+  std::size_t messages_applied = 0;
+  std::size_t fifo_violations = 0;
+  // Checkpointing.
+  std::size_t rps = 0;
+  std::size_t prps = 0;
+  std::size_t implant_commits = 0;
+  std::size_t snapshots_retained = 0;
+  std::size_t snapshot_bytes = 0;
+  std::size_t purged_snapshots = 0;
+  // Recovery blocks (local alternates).
+  std::size_t rb_executions = 0;
+  std::size_t rb_local_rollbacks = 0;
+  // Global recovery.
+  std::size_t at_failures = 0;
+  std::size_t recoveries = 0;
+  std::size_t orphan_messages_dropped = 0;
+  std::size_t domino_restarts = 0;
+  RunningStats rollback_tickets;     // sup rollback distance in ticket units
+  RunningStats affected_processes;   // per recovery
+  // Synchronized scheme.
+  std::size_t sync_lines = 0;
+  std::size_t sync_aborts = 0;
+  RunningStats sync_wait_polls;      // waiting effort per commit
+  // Verified invariants.
+  bool line_consistency_verified = true;
+  bool restore_verified = true;
+  bool completed = true;             // run finished without hangs
+};
+
+class RecoverySystem {
+ public:
+  explicit RecoverySystem(RuntimeConfig config);
+  ~RecoverySystem();
+
+  RecoverySystem(const RecoverySystem&) = delete;
+  RecoverySystem& operator=(const RecoverySystem&) = delete;
+
+  // Runs the configured workload to completion and returns the report.
+  // Blocking; spawns num_processes worker threads internally.
+  RuntimeReport run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rbx

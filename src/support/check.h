@@ -1,0 +1,43 @@
+// Lightweight invariant checking used throughout the library.
+//
+// RBX_CHECK is always on (it guards library invariants whose violation means
+// a programming error; analyses built on a corrupted model would silently
+// produce wrong numbers, which is worse than termination).  RBX_DCHECK
+// compiles out in release builds and is meant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rbx {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "RBX_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " - " : "", msg);
+  std::abort();
+}
+
+}  // namespace rbx
+
+#define RBX_CHECK(expr)                                    \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::rbx::check_failed(#expr, __FILE__, __LINE__, "");  \
+    }                                                      \
+  } while (false)
+
+#define RBX_CHECK_MSG(expr, msg)                            \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::rbx::check_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define RBX_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define RBX_DCHECK(expr) RBX_CHECK(expr)
+#endif

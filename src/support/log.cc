@@ -1,0 +1,55 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace rbx {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+
+  char line[1100];
+  const int len =
+      std::snprintf(line, sizeof(line), "[%s] %s\n", level_tag(level), body);
+  if (len > 0) {
+    std::fwrite(line, 1, static_cast<std::size_t>(len), stderr);
+  }
+}
+
+}  // namespace rbx

@@ -1,0 +1,26 @@
+// Minimal leveled logger.
+//
+// The runtime substrate uses this for protocol tracing; tests keep it at
+// kWarn to stay quiet.  The logger is process-global and thread-safe (each
+// message is formatted into one buffer and written with a single fwrite).
+#pragma once
+
+#include <string>
+
+namespace rbx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// printf-style logging.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace rbx
+
+#define RBX_LOG_DEBUG(...) ::rbx::log_message(::rbx::LogLevel::kDebug, __VA_ARGS__)
+#define RBX_LOG_INFO(...) ::rbx::log_message(::rbx::LogLevel::kInfo, __VA_ARGS__)
+#define RBX_LOG_WARN(...) ::rbx::log_message(::rbx::LogLevel::kWarn, __VA_ARGS__)
+#define RBX_LOG_ERROR(...) ::rbx::log_message(::rbx::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,41 @@
+// Plain-text table rendering for bench output.
+//
+// Every bench binary reproduces a table or figure from the paper as rows on
+// stdout; TextTable keeps that output aligned and greppable, and can also
+// emit CSV for downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rbx {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Adds a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_int(long long v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Renders with column alignment, a header underline and a title line.
+  std::string render(const std::string& title = "") const;
+
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rbx

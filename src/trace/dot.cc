@@ -1,0 +1,106 @@
+#include "trace/dot.h"
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+namespace rbx {
+
+namespace {
+
+std::string fmt_time(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", t);
+  return buf;
+}
+
+}  // namespace
+
+std::string history_to_dot(const History& history, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << title << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+
+  // Per-process chains of RP/PRP nodes in time order.
+  const std::size_t n = history.num_processes();
+  std::vector<std::vector<std::string>> columns(n);
+  std::vector<std::string> interaction_edges;
+
+  std::size_t interaction_id = 0;
+  for (const TraceEvent& ev : history.events()) {
+    switch (ev.kind) {
+      case EventKind::kRecoveryPoint: {
+        std::ostringstream id;
+        id << "rp_" << ev.process << "_" << ev.rp_seq;
+        std::ostringstream decl;
+        decl << "  " << id.str() << " [label=\"RP" << ev.rp_seq << "^"
+             << ev.process + 1 << "\\nt=" << fmt_time(ev.time) << "\"];\n";
+        columns[ev.process].push_back(id.str());
+        os << decl.str();
+        break;
+      }
+      case EventKind::kPseudoRecoveryPoint: {
+        std::ostringstream id;
+        id << "prp_" << ev.process << "_" << ev.peer << "_" << ev.rp_seq;
+        std::ostringstream decl;
+        decl << "  " << id.str() << " [shape=doublecircle, label=\"PRP"
+             << ev.rp_seq << "^" << ev.peer + 1 << "," << ev.process + 1
+             << "\\nt=" << fmt_time(ev.time) << "\"];\n";
+        columns[ev.process].push_back(id.str());
+        os << decl.str();
+        break;
+      }
+      case EventKind::kInteraction: {
+        std::ostringstream id;
+        id << "ix_" << interaction_id++;
+        os << "  " << id.str() << " [shape=point, label=\"\"];\n";
+        // Hook the interaction to the two process columns.
+        columns[ev.process].push_back(id.str());
+        columns[ev.peer].push_back(id.str());
+        break;
+      }
+    }
+  }
+
+  for (ProcessId p = 0; p < n; ++p) {
+    os << "  p" << p << " [shape=box, label=\"P" << p + 1 << "\"];\n";
+    std::string prev = "p" + std::to_string(p);
+    for (const std::string& node : columns[p]) {
+      os << "  " << prev << " -> " << node << ";\n";
+      prev = node;
+    }
+  }
+  for (const std::string& e : interaction_edges) {
+    os << e;
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ctmc_to_dot(
+    const Ctmc& chain,
+    const std::function<std::string(std::size_t)>& state_name,
+    const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << title << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n";
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    os << "  s" << s << " [label=\"" << state_name(s) << "\"];\n";
+  }
+  const auto& gen = chain.generator();
+  for (std::size_t u = 0; u < chain.num_states(); ++u) {
+    for (std::size_t k = gen.row_begin(u); k < gen.row_end(u); ++k) {
+      const std::size_t v = gen.entry_col(k);
+      if (v == u) {
+        continue;  // diagonal
+      }
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%.3g", gen.entry_value(k));
+      os << "  s" << u << " -> s" << v << " [label=\"" << rate << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rbx

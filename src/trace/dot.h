@@ -1,0 +1,29 @@
+// GraphViz DOT exporters.
+//
+// The paper's Figures 1, 7 and 8 are history diagrams and Figures 2 and 3
+// are the Markov chains; these helpers regenerate their content as DOT so
+// the structures can be inspected (and diffed in tests) without a plotting
+// stack.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "markov/ctmc.h"
+#include "trace/history.h"
+
+namespace rbx {
+
+// History diagram: one column ("rank chain") per process with RP/PRP nodes,
+// dashed edges for interactions - the shape of paper Figures 1 and 8.
+std::string history_to_dot(const History& history,
+                           const std::string& title = "history");
+
+// Markov chain with rate-labelled edges - the shape of paper Figures 2/3.
+// `state_name(i)` supplies the node labels.
+std::string ctmc_to_dot(const Ctmc& chain,
+                        const std::function<std::string(std::size_t)>&
+                            state_name,
+                        const std::string& title = "ctmc");
+
+}  // namespace rbx

@@ -1,0 +1,142 @@
+#include "trace/history.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace rbx {
+
+double RecoveryLine::min_time() const {
+  RBX_CHECK(!points.empty());
+  double best = points[0].time;
+  for (const auto& p : points) {
+    best = std::min(best, p.time);
+  }
+  return best;
+}
+
+double RecoveryLine::max_time() const {
+  RBX_CHECK(!points.empty());
+  double best = points[0].time;
+  for (const auto& p : points) {
+    best = std::max(best, p.time);
+  }
+  return best;
+}
+
+History::History(std::size_t num_processes)
+    : n_(num_processes), rp_times_(num_processes),
+      pair_interactions_(num_processes * (num_processes + 1) / 2),
+      prps_(num_processes) {
+  RBX_CHECK(num_processes >= 1);
+}
+
+std::size_t History::pair_index(ProcessId a, ProcessId b) const {
+  RBX_CHECK(a < n_ && b < n_ && a != b);
+  if (a > b) {
+    std::swap(a, b);
+  }
+  // Triangular index over unordered pairs.
+  return a * n_ - a * (a + 1) / 2 + (b - a - 1);
+}
+
+void History::add_recovery_point(ProcessId p, double time) {
+  RBX_CHECK(p < n_);
+  RBX_CHECK_MSG(time >= last_time_, "events must be time-ordered");
+  last_time_ = time;
+  rp_times_[p].push_back(time);
+  events_.push_back(
+      {EventKind::kRecoveryPoint, time, p, p, rp_times_[p].size()});
+}
+
+void History::add_pseudo_recovery_point(ProcessId p, double time,
+                                        ProcessId owner,
+                                        std::size_t owner_rp_seq) {
+  RBX_CHECK(p < n_ && owner < n_ && p != owner);
+  RBX_CHECK_MSG(time >= last_time_, "events must be time-ordered");
+  last_time_ = time;
+  prps_[p].push_back({owner, owner_rp_seq, time});
+  events_.push_back(
+      {EventKind::kPseudoRecoveryPoint, time, p, owner, owner_rp_seq});
+}
+
+void History::add_interaction(ProcessId a, ProcessId b, double time) {
+  RBX_CHECK_MSG(time >= last_time_, "events must be time-ordered");
+  last_time_ = time;
+  pair_interactions_[pair_index(a, b)].push_back(time);
+  events_.push_back({EventKind::kInteraction, time, a, b, 0});
+}
+
+const std::vector<double>& History::rp_times(ProcessId p) const {
+  RBX_CHECK(p < n_);
+  return rp_times_[p];
+}
+
+std::size_t History::rp_count(ProcessId p) const {
+  RBX_CHECK(p < n_);
+  return rp_times_[p].size();
+}
+
+std::optional<RestartPoint> History::latest_rp_at_or_before(
+    ProcessId p, double time) const {
+  RBX_CHECK(p < n_);
+  const auto& times = rp_times_[p];
+  const auto it = std::upper_bound(times.begin(), times.end(), time);
+  if (it == times.begin()) {
+    return std::nullopt;
+  }
+  const std::size_t idx = static_cast<std::size_t>(it - times.begin()) - 1;
+  return RestartPoint{times[idx], false, false, idx + 1};
+}
+
+std::optional<RestartPoint> History::latest_rp_before(ProcessId p,
+                                                      double time) const {
+  RBX_CHECK(p < n_);
+  const auto& times = rp_times_[p];
+  const auto it = std::lower_bound(times.begin(), times.end(), time);
+  if (it == times.begin()) {
+    return std::nullopt;
+  }
+  const std::size_t idx = static_cast<std::size_t>(it - times.begin()) - 1;
+  return RestartPoint{times[idx], false, false, idx + 1};
+}
+
+std::optional<RestartPoint> History::prp_for(ProcessId p, ProcessId owner,
+                                             std::size_t owner_rp_seq) const {
+  RBX_CHECK(p < n_);
+  // PRP lists are short (purging keeps only the newest per owner in real
+  // deployments); linear scan from the back finds the newest match first.
+  const auto& list = prps_[p];
+  for (auto it = list.rbegin(); it != list.rend(); ++it) {
+    if (it->owner == owner && it->owner_rp_seq == owner_rp_seq) {
+      return RestartPoint{it->time, false, true, owner_rp_seq};
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<double>& History::interaction_times(ProcessId a,
+                                                      ProcessId b) const {
+  return pair_interactions_[pair_index(a, b)];
+}
+
+bool History::has_interaction_in(ProcessId a, ProcessId b, double lo,
+                                 double hi) const {
+  return first_interaction_in(a, b, lo, hi).has_value();
+}
+
+std::optional<double> History::first_interaction_in(ProcessId a, ProcessId b,
+                                                    double lo,
+                                                    double hi) const {
+  if (lo > hi) {
+    std::swap(lo, hi);
+  }
+  const auto& times = pair_interactions_[pair_index(a, b)];
+  const auto it = std::lower_bound(times.begin(), times.end(), lo);
+  if (it == times.end() || *it > hi) {
+    return std::nullopt;
+  }
+  return *it;
+}
+
+}  // namespace rbx

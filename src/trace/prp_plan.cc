@@ -1,0 +1,125 @@
+#include "trace/prp_plan.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace rbx {
+
+namespace {
+
+RestartPoint initial_state() { return RestartPoint{0.0, true, false, 0}; }
+
+}  // namespace
+
+PrpRollbackResult PrpRollbackPlanner::plan(ProcessId p, double t_f,
+                                           ErrorScope scope) const {
+  const std::size_t n = history_.num_processes();
+  RBX_CHECK(p < n);
+
+  PrpRollbackResult result;
+  result.restart.assign(n, RestartPoint{t_f, false, false, 0});
+  result.affected.assign(n, false);
+  result.distance.assign(n, 0.0);
+
+  // Tracks which processes have already served as the rollback pointer;
+  // after serving, a process's restart sits on one of its own RPs, so the
+  // step-3 predicate can never select it again.
+  std::vector<bool> was_pointer(n, false);
+
+  ProcessId pointer = p;
+  for (;;) {
+    ++result.iterations;
+    was_pointer[pointer] = true;
+    const double from = result.restart[pointer].time;
+
+    // Step 2a: the pointer process retreats to its previous recovery point.
+    const auto rp = history_.latest_rp_before(pointer, from);
+    if (!rp) {
+      // No recovery point at all: back to the initial state, and so is
+      // every process entangled with it (there are no PRPs to restore).
+      result.domino_to_start = true;
+      result.restart[pointer] = initial_state();
+      result.affected[pointer] = true;
+      for (ProcessId q = 0; q < n; ++q) {
+        if (q != pointer && (affects_everyone_ ||
+                             history_.has_interaction_in(q, pointer, 0.0,
+                                                         from))) {
+          result.restart[q] = initial_state();
+          result.affected[q] = true;
+        }
+      }
+      break;
+    }
+    result.restart[pointer] = *rp;
+    result.affected[pointer] = true;
+
+    // Step 2b: affected processes restore their PRP of this RP's pseudo
+    // recovery line.  Restores only ever move a process further back.
+    for (ProcessId q = 0; q < n; ++q) {
+      if (q == pointer) {
+        continue;
+      }
+      const bool affected =
+          affects_everyone_ ||
+          history_.has_interaction_in(q, pointer, rp->time, from);
+      if (!affected) {
+        continue;
+      }
+      auto target = history_.prp_for(q, pointer, rp->rp_seq);
+      if (!target) {
+        // PRP missing (purged or never implanted): fall back to q's own
+        // latest RP no later than the pointer's restored RP.
+        if (const auto own = history_.latest_rp_at_or_before(q, rp->time)) {
+          target = own;
+        } else {
+          target = initial_state();
+        }
+      }
+      if (target->time < result.restart[q].time || target->is_initial) {
+        result.restart[q] = *target;
+        result.affected[q] = true;
+        if (target->is_initial) {
+          result.domino_to_start = true;
+        }
+      }
+    }
+
+    // A local error is fully covered by the first pseudo recovery line: the
+    // PRPs predate the error, so their contents are clean by construction.
+    if (scope == ErrorScope::kLocal) {
+      break;
+    }
+
+    // Step 3: find an affected process whose rollback has not yet passed
+    // its own most recent recovery point; it becomes the new pointer.
+    ProcessId next = n;
+    for (ProcessId q = 0; q < n; ++q) {
+      if (!result.affected[q] || was_pointer[q]) {
+        continue;
+      }
+      const auto own = history_.latest_rp_at_or_before(q, t_f);
+      const double own_time = own ? own->time : 0.0;
+      if (result.restart[q].time > own_time) {
+        next = q;
+        break;
+      }
+    }
+    if (next == n) {
+      break;
+    }
+    pointer = next;
+  }
+
+  for (ProcessId q = 0; q < n; ++q) {
+    if (result.affected[q]) {
+      ++result.affected_count;
+      result.distance[q] = t_f - result.restart[q].time;
+      result.rollback_distance =
+          std::max(result.rollback_distance, result.distance[q]);
+    }
+  }
+  return result;
+}
+
+}  // namespace rbx

@@ -1,0 +1,76 @@
+// Rollback planning with pseudo recovery points (paper Section 4).
+//
+// Implantation: when P_j establishes RP_k^j it broadcasts a request; each
+// other process P_i' records PRP_{k,i'}^j upon completing its current
+// instruction.  RP_k^j plus the n-1 PRPs form the pseudo recovery line
+// PRL_k^j.
+//
+// Rollback (the paper's three-step algorithm with rollback pointer p):
+//   (1) an error is found in P_i: p := i;
+//   (2) P_p rolls back to its previous recovery point RP_k^p; every process
+//       affected by that rollback restores PRP_{k}^{p} (its member of the
+//       pseudo recovery line);
+//   (3) for every affected process P_i', if its rollback has not passed its
+//       own most recent recovery point, set p := i' and repeat from (2).
+//
+// Step 3 handles contamination: a PRP newer than the process's own last
+// acceptance test may hold an erroneous state (no AT preceded it), so the
+// pointer moves and pushes the line further back.  Distances are bounded -
+// most processes pass exactly one of their own RPs (paper: "the shortest
+// rollback distance ... without synchronization").
+#pragma once
+
+#include <vector>
+
+#include "trace/history.h"
+
+namespace rbx {
+
+// Whether the detected error is known to be local to the detecting process.
+// Local errors (the common case under the paper's perfect-acceptance-test
+// assumption) are fully repaired by one pseudo recovery line: the PRPs were
+// recorded before the error existed anywhere else.  Propagated errors may
+// predate the PRPs' contents, so the pointer loop of step (3) must run.
+enum class ErrorScope { kLocal, kPropagated };
+
+struct PrpRollbackResult {
+  // Final restart position per process (RP for the last pointer process,
+  // PRPs or current state for the others).
+  std::vector<RestartPoint> restart;
+  std::vector<bool> affected;
+  std::size_t affected_count = 0;
+  std::size_t iterations = 0;       // times step (2) executed
+  double rollback_distance = 0.0;   // sup_i (t_f - restart_i) over affected
+  std::vector<double> distance;
+  // True when some process exhausted its RPs and restarts from scratch
+  // (cannot happen when every process checkpoints at least once before the
+  // failure, but kept for completeness).
+  bool domino_to_start = false;
+};
+
+class PrpRollbackPlanner {
+ public:
+  // `affects_everyone`: the paper implants a PRP in every process and, on
+  // rollback, restores all of them (conservative).  When false, only
+  // processes that interacted with the pointer process since the restored
+  // RP are pulled in (the transitive closure still forms through repeated
+  // iterations); this models the optimization discussed alongside SDCP
+  // schemes and is exercised by the ablation bench.
+  explicit PrpRollbackPlanner(const History& history,
+                              bool affects_everyone = true)
+      : history_(history), affects_everyone_(affects_everyone) {}
+
+  // Plans recovery for an error detected in process p at time t_f.  With
+  // ErrorScope::kLocal the plan stops after restoring the pseudo recovery
+  // line of p's previous RP; with kPropagated it runs the paper's full
+  // pointer loop until every affected process has retreated past one of its
+  // own (acceptance-test-certified) recovery points.
+  PrpRollbackResult plan(ProcessId p, double t_f,
+                         ErrorScope scope = ErrorScope::kPropagated) const;
+
+ private:
+  const History& history_;
+  bool affects_everyone_;
+};
+
+}  // namespace rbx

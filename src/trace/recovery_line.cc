@@ -1,0 +1,84 @@
+#include "trace/recovery_line.h"
+
+#include "support/check.h"
+
+namespace rbx {
+
+namespace {
+
+// Demotes `point` to the latest recovery point of process p strictly before
+// `time`; falls back to the initial state.
+RestartPoint demote_before(const History& history, ProcessId p, double time) {
+  if (const auto rp = history.latest_rp_before(p, time)) {
+    return *rp;
+  }
+  return RestartPoint{0.0, true, false, 0};
+}
+
+}  // namespace
+
+RecoveryLine RecoveryLineFinder::latest_line(double time) const {
+  std::vector<RestartPoint> ceiling(history_.num_processes());
+  for (ProcessId p = 0; p < history_.num_processes(); ++p) {
+    if (const auto rp = history_.latest_rp_at_or_before(p, time)) {
+      ceiling[p] = *rp;
+    } else {
+      ceiling[p] = RestartPoint{0.0, true, false, 0};
+    }
+  }
+  return constrained_line(std::move(ceiling));
+}
+
+RecoveryLine RecoveryLineFinder::latest_line() const {
+  return latest_line(history_.last_time());
+}
+
+RecoveryLine RecoveryLineFinder::constrained_line(
+    std::vector<RestartPoint> ceiling) const {
+  const std::size_t n = history_.num_processes();
+  RBX_CHECK(ceiling.size() == n);
+  RecoveryLine line;
+  line.points = std::move(ceiling);
+
+  // Iterated demotion to the greatest fixpoint.  Each pass scans all pairs;
+  // a demotion can invalidate earlier pairs, so repeat until clean.  Every
+  // demotion strictly decreases one component onto the finite set of RP
+  // times, so termination is guaranteed.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProcessId i = 0; i < n; ++i) {
+      for (ProcessId j = i + 1; j < n; ++j) {
+        const double ti = line.points[i].time;
+        const double tj = line.points[j].time;
+        const auto violation = history_.first_interaction_in(i, j, ti, tj);
+        if (!violation) {
+          continue;
+        }
+        // The later point must retreat past the earliest sandwiched
+        // interaction (any consistent line at or below the candidate has
+        // its later component strictly before it; see header).
+        const ProcessId later = ti >= tj ? i : j;
+        line.points[later] = demote_before(history_, later, *violation);
+        changed = true;
+      }
+    }
+  }
+  return line;
+}
+
+bool RecoveryLineFinder::is_consistent(const RecoveryLine& line) const {
+  const std::size_t n = history_.num_processes();
+  RBX_CHECK(line.points.size() == n);
+  for (ProcessId i = 0; i < n; ++i) {
+    for (ProcessId j = i + 1; j < n; ++j) {
+      if (history_.has_interaction_in(i, j, line.points[i].time,
+                                      line.points[j].time)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rbx

@@ -1,0 +1,51 @@
+// Exact recovery-line computation on histories.
+//
+// The paper (Section 2.2) defines a recovery line for processes P_1..P_n as
+// a combination of one recovery point per process such that for every pair
+// (i, j) no interaction time falls inside the closed interval between the
+// two chosen RP times ("no communication sandwiched between t[RP_i] and
+// t[RP_j]").
+//
+// Consistent combinations form a lattice under the componentwise order (the
+// componentwise max of two consistent lines is consistent; proof in
+// DESIGN.md), so a unique maximal line at or before any cut-off exists.  It
+// is found by iterated demotion: start from each process's latest RP and,
+// while some pair straddles an interaction, move the later RP of the pair
+// back past the earliest violating interaction.  Every demotion is forced
+// (any consistent line below the current candidate must satisfy it), so the
+// fixpoint is the maximum.  A process that runs out of recovery points
+// restarts from its initial state (time 0) - the paper's domino outcome.
+#pragma once
+
+#include <optional>
+
+#include "trace/history.h"
+
+namespace rbx {
+
+class RecoveryLineFinder {
+ public:
+  explicit RecoveryLineFinder(const History& history) : history_(history) {}
+
+  // The maximal recovery line using only RPs at or before `time`.
+  RecoveryLine latest_line(double time) const;
+
+  // The maximal line at the end of the recorded history.
+  RecoveryLine latest_line() const;
+
+  // Maximal consistent line subject to per-process upper bounds on the
+  // restart position.  `ceiling[p]` is the latest restart point process p
+  // may use; processes may also be pinned to "current state" (no rollback)
+  // by passing a RestartPoint at the current time.  This is the primitive
+  // the rollback analyzer builds on.
+  RecoveryLine constrained_line(std::vector<RestartPoint> ceiling) const;
+
+  // True when `line` satisfies the pairwise no-sandwiched-interaction
+  // condition (used by tests and by the simulator's online validation).
+  bool is_consistent(const RecoveryLine& line) const;
+
+ private:
+  const History& history_;
+};
+
+}  // namespace rbx

@@ -1,0 +1,51 @@
+#include "trace/rollback.h"
+
+#include "support/check.h"
+
+namespace rbx {
+
+RollbackResult RollbackAnalyzer::analyze_failure(ProcessId p,
+                                                 double t_f) const {
+  const std::size_t n = history_.num_processes();
+  RBX_CHECK(p < n);
+
+  // Ceiling: the failed process may restart no later than its last RP
+  // strictly before the failure (the state at t_f is the one rejected);
+  // every other process is pinned at its current state.
+  std::vector<RestartPoint> ceiling(n);
+  for (ProcessId q = 0; q < n; ++q) {
+    if (q == p) {
+      if (const auto rp = history_.latest_rp_before(q, t_f)) {
+        ceiling[q] = *rp;
+      } else {
+        ceiling[q] = RestartPoint{0.0, true, false, 0};
+      }
+    } else {
+      // Virtual checkpoint "now": unaffected processes keep running.
+      ceiling[q] = RestartPoint{t_f, false, false, 0};
+    }
+  }
+
+  RecoveryLineFinder finder(history_);
+  RollbackResult result;
+  result.line = finder.constrained_line(std::move(ceiling));
+  result.affected.assign(n, false);
+  result.distance.assign(n, 0.0);
+  for (ProcessId q = 0; q < n; ++q) {
+    const RestartPoint& pt = result.line.points[q];
+    const bool rolled = q == p || pt.time < t_f || pt.is_initial;
+    if (rolled) {
+      result.affected[q] = true;
+      ++result.affected_count;
+      result.distance[q] = t_f - pt.time;
+      result.rollback_distance =
+          std::max(result.rollback_distance, result.distance[q]);
+      if (pt.is_initial) {
+        result.domino_to_start = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rbx

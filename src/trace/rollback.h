@@ -1,0 +1,48 @@
+// Rollback propagation for asynchronous recovery blocks.
+//
+// When process p fails (error detected or acceptance test failed) at time
+// t_f, it must resume from its latest recovery point before t_f.  Undoing
+// the segment [RP, t_f] of p invalidates every interaction in it, forcing
+// the peers involved to roll back too, which can invalidate further
+// interactions - the paper's rollback propagation, in the worst case the
+// domino effect back to the processes' beginnings.
+//
+// The analyzer computes the exact outcome: the maximal consistent restart
+// line subject to "p must at least undo back to its last RP; everyone else
+// starts from their current state".  Processes whose restart point ends up
+// before t_f are the affected set; the rollback distance (paper Section 1)
+// is the distance from the failure time to the restart line.
+#pragma once
+
+#include <vector>
+
+#include "trace/history.h"
+#include "trace/recovery_line.h"
+
+namespace rbx {
+
+struct RollbackResult {
+  RecoveryLine line;                 // restart position per process
+  std::vector<bool> affected;        // rolled back at all?
+  std::size_t affected_count = 0;
+  // sup over affected processes of (t_f - restart time); 0 if p had a
+  // recovery point at exactly t_f and nothing propagated.
+  double rollback_distance = 0.0;
+  // Per-process distance (0 for unaffected processes).
+  std::vector<double> distance;
+  // True when at least one process was pushed back to its initial state.
+  bool domino_to_start = false;
+};
+
+class RollbackAnalyzer {
+ public:
+  explicit RollbackAnalyzer(const History& history) : history_(history) {}
+
+  // Outcome of a failure of process p at time t_f under asynchronous RBs.
+  RollbackResult analyze_failure(ProcessId p, double t_f) const;
+
+ private:
+  const History& history_;
+};
+
+}  // namespace rbx

@@ -1,0 +1,54 @@
+#include "core/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "model/async_model.h"
+#include "model/prp_model.h"
+#include "model/sync_model.h"
+
+namespace rbx {
+namespace {
+
+TEST(Analyzer, CompareMatchesUnderlyingModels) {
+  const auto params = ProcessSetParams::three(1.5, 1.0, 0.5, 1, 1, 1);
+  Analyzer analyzer(params, 0.01);
+  const SchemeComparison cmp = analyzer.compare();
+
+  AsyncRbModel async(params);
+  EXPECT_DOUBLE_EQ(cmp.mean_interval_x, async.mean_interval());
+  ASSERT_EQ(cmp.rp_counts.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(cmp.rp_counts[i], async.expected_rp_count(i).wald);
+  }
+
+  SyncRbModel sync(params.mu());
+  EXPECT_DOUBLE_EQ(cmp.sync_mean_max_wait, sync.mean_max_wait());
+  EXPECT_DOUBLE_EQ(cmp.sync_mean_loss, sync.mean_loss());
+
+  PrpModel prp(params, 0.01);
+  EXPECT_DOUBLE_EQ(cmp.prp_snapshots_per_rp, 3.0);
+  EXPECT_DOUBLE_EQ(cmp.prp_time_overhead_per_rp, prp.time_overhead_per_rp());
+  EXPECT_DOUBLE_EQ(cmp.prp_mean_rollback_bound, prp.mean_rollback_bound());
+}
+
+TEST(Analyzer, SummaryMentionsAllSchemes) {
+  Analyzer analyzer(ProcessSetParams::symmetric(3, 1.0, 1.0));
+  const std::string s = analyzer.compare().summary();
+  EXPECT_NE(s.find("asynchronous"), std::string::npos);
+  EXPECT_NE(s.find("synchronized"), std::string::npos);
+  EXPECT_NE(s.find("pseudo RPs"), std::string::npos);
+  EXPECT_NE(s.find("E[X]"), std::string::npos);
+}
+
+TEST(Analyzer, DensityGridMatchesModel) {
+  const auto params = ProcessSetParams::symmetric(3, 1.0, 1.0);
+  Analyzer analyzer(params);
+  const auto grid = analyzer.interval_density_grid(2.0, 5);
+  AsyncRbModel model(params);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_NEAR(grid[0], model.interval_pdf(0.0), 1e-9);
+  EXPECT_NEAR(grid[4], model.interval_pdf(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,55 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(ExperimentOptions, Defaults) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const auto opts = ExperimentOptions::parse(1, argv, 5000, 7);
+  EXPECT_EQ(opts.samples, 5000u);
+  EXPECT_EQ(opts.nmax, 7u);
+}
+
+TEST(ExperimentOptions, ParsesFlags) {
+  char prog[] = "bench";
+  char a1[] = "--samples=123";
+  char a2[] = "--nmax=4";
+  char a3[] = "--seed=99";
+  char* argv[] = {prog, a1, a2, a3};
+  const auto opts = ExperimentOptions::parse(4, argv, 5000, 7);
+  EXPECT_EQ(opts.samples, 123u);
+  EXPECT_EQ(opts.nmax, 4u);
+  EXPECT_EQ(opts.seed, 99u);
+}
+
+TEST(ExperimentOptions, ZeroValuesFallBackToDefaults) {
+  char prog[] = "bench";
+  char a1[] = "--samples=0";
+  char* argv[] = {prog, a1};
+  const auto opts = ExperimentOptions::parse(2, argv, 5000, 7);
+  EXPECT_EQ(opts.samples, 5000u);
+}
+
+TEST(ExperimentOptions, IgnoresUnknownFlags) {
+  char prog[] = "bench";
+  char a1[] = "--whatever=3";
+  char* argv[] = {prog, a1};
+  const auto opts = ExperimentOptions::parse(2, argv, 100, 2);
+  EXPECT_EQ(opts.samples, 100u);
+}
+
+TEST(Formatting, CiString) {
+  EXPECT_EQ(fmt_ci(1.2345, 0.01, 2), "1.23 +- 0.01");
+}
+
+TEST(Formatting, Deviation) {
+  EXPECT_EQ(fmt_dev(110.0, 100.0), "+10.00%");
+  EXPECT_EQ(fmt_dev(95.0, 100.0), "-5.00%");
+  EXPECT_EQ(fmt_dev(1.0, 0.0), "n/a");
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,117 @@
+// Tests for the two model extensions beyond the paper's core results:
+// the stationary recovery-line age (renewal inspection paradox) and the
+// hybrid PRP + periodic-synchronization scheme suggested by the paper's
+// conclusion.
+#include <gtest/gtest.h>
+
+#include "des/async_sim.h"
+#include "des/prp_sim.h"
+#include "model/async_model.h"
+#include "model/async_symmetric.h"
+
+namespace rbx {
+namespace {
+
+TEST(LineAge, ClosedFormForExponentialIntervals) {
+  // With lambda = 0, X ~ Exp(n mu) and the stationary age is 1/(n mu)
+  // (memorylessness).
+  AsyncRbModel model(ProcessSetParams::three(1.0, 2.0, 3.0, 0, 0, 0));
+  EXPECT_NEAR(model.mean_line_age(), 1.0 / 6.0, 1e-10);
+}
+
+TEST(LineAge, InspectionParadoxExceedsHalfMean) {
+  // For any non-degenerate X, E[age] = E[X^2]/(2E[X]) >= E[X]/2 with
+  // equality iff X is deterministic; for these heavy-tailed intervals the
+  // age even exceeds the full mean.
+  AsyncRbModel model(ProcessSetParams::symmetric(3, 1.0, 1.0));
+  EXPECT_GT(model.mean_line_age(), 0.5 * model.mean_interval());
+  EXPECT_GT(model.mean_line_age(), model.mean_interval());
+}
+
+TEST(LineAge, SymmetricModelAgrees) {
+  AsyncRbModel full(ProcessSetParams::symmetric(4, 1.0, 0.5));
+  SymmetricAsyncModel lumped(4, 1.0, 0.5);
+  EXPECT_NEAR(full.mean_line_age(), lumped.mean_line_age(), 1e-8);
+}
+
+TEST(LineAge, MonteCarloSamplingConvergesToRenewalFormula) {
+  const auto params = ProcessSetParams::symmetric(3, 1.0, 1.0);
+  AsyncRbModel model(params);
+  AsyncRbSimulator sim(params, 2718);
+  const AsyncSimResult r = sim.run_lines(40000, /*error_rate=*/0.3);
+  ASSERT_GT(r.line_age.count(), 5000u);
+  EXPECT_NEAR(r.line_age.mean(), model.mean_line_age(),
+              5.0 * r.line_age.ci_half_width() / 1.96);
+}
+
+TEST(LineAge, NoErrorRateMeansNoSamples) {
+  AsyncRbSimulator sim(ProcessSetParams::symmetric(2, 1.0, 1.0), 3);
+  const AsyncSimResult r = sim.run_lines(500);
+  EXPECT_EQ(r.line_age.count(), 0u);
+}
+
+// --- hybrid scheme ---
+
+PrpSimParams hybrid_params(double period) {
+  PrpSimParams p;
+  p.error_rate = 0.2;
+  p.sync_period = period;
+  return p;
+}
+
+TEST(Hybrid, DistanceNeverExceedsPurePrp) {
+  const auto params = ProcessSetParams::symmetric(3, 1.0, 1.0);
+  PrpSimulator sim(params, hybrid_params(3.0), 11);
+  const PrpSimResult r = sim.run(1500);
+  ASSERT_EQ(r.hybrid_distance.count(), r.prp_distance.count());
+  EXPECT_LE(r.hybrid_distance.mean(), r.prp_distance.mean() + 1e-12);
+  EXPECT_LE(r.hybrid_distance.max(), r.prp_distance.max() + 1e-12);
+}
+
+TEST(Hybrid, SyncFloorEngagesUnderHeavyInteraction) {
+  // Dense interactions push the pointer loop deep; the sync line caps it.
+  const auto params = ProcessSetParams::symmetric(3, 0.4, 3.0);
+  PrpSimulator sim(params, hybrid_params(2.0), 13);
+  const PrpSimResult r = sim.run(1200);
+  EXPECT_GT(r.hybrid_sync_restores, 0u);
+  EXPECT_GT(r.sync_lines_established, 0u);
+  EXPECT_LT(r.hybrid_distance.mean(), r.prp_distance.mean());
+}
+
+TEST(Hybrid, TighterPeriodTightensTheCap) {
+  const auto params = ProcessSetParams::symmetric(3, 0.4, 3.0);
+  const PrpSimResult coarse =
+      PrpSimulator(params, hybrid_params(8.0), 17).run(1200);
+  const PrpSimResult fine =
+      PrpSimulator(params, hybrid_params(1.0), 17).run(1200);
+  EXPECT_LT(fine.hybrid_distance.mean(), coarse.hybrid_distance.mean());
+  // More lines established per unit time at the finer period.
+  EXPECT_GT(static_cast<double>(fine.sync_lines_established) / fine.horizon,
+            static_cast<double>(coarse.sync_lines_established) /
+                coarse.horizon);
+}
+
+TEST(Hybrid, DisabledByDefault) {
+  PrpSimParams p;
+  p.error_rate = 0.2;
+  PrpSimulator sim(ProcessSetParams::symmetric(3, 1.0, 1.0), p, 19);
+  const PrpSimResult r = sim.run(300);
+  EXPECT_EQ(r.hybrid_distance.count(), 0u);
+  EXPECT_EQ(r.sync_lines_established, 0u);
+}
+
+TEST(Hybrid, SkippedSyncsUnderLatentErrorsKeepLinesClean) {
+  // With a high error rate many sync instants fall inside latency windows
+  // and are skipped; the established count must reflect that.
+  const auto params = ProcessSetParams::symmetric(3, 1.0, 1.0);
+  PrpSimParams p = hybrid_params(0.5);
+  p.error_rate = 1.0;
+  PrpSimulator sim(params, p, 23);
+  const PrpSimResult r = sim.run(800);
+  const auto instants = static_cast<std::size_t>(r.horizon / 0.5);
+  EXPECT_LT(r.sync_lines_established, instants);
+  EXPECT_EQ(r.contaminated_restarts, 0u);
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,120 @@
+#include "des/prp_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "model/prp_model.h"
+#include "model/sync_model.h"
+
+namespace rbx {
+namespace {
+
+ProcessSetParams table_params() {
+  return ProcessSetParams::three(1.0, 1.0, 1.0, 1.0, 1.0, 1.0);
+}
+
+PrpSimParams sim_params() {
+  PrpSimParams p;
+  p.t_record = 1e-4;
+  p.error_rate = 0.2;
+  return p;
+}
+
+TEST(PrpSim, RunsToRequestedFailureCount) {
+  PrpSimulator sim(table_params(), sim_params(), 3);
+  const PrpSimResult r = sim.run(500);
+  EXPECT_EQ(r.failures, 500u);
+  EXPECT_EQ(r.prp_distance.count(), 500u);
+  EXPECT_EQ(r.async_distance.count(), 500u);
+  EXPECT_GT(r.horizon, 0.0);
+}
+
+TEST(PrpSim, RestartsAreCleanAgainstGroundTruth) {
+  PrpSimulator sim(table_params(), sim_params(), 5);
+  const PrpSimResult r = sim.run(1500);
+  // The Section 4 algorithm must never restore a contaminated state (up to
+  // the measure-zero implant race, which the tiny t_record makes rare).
+  EXPECT_EQ(r.contaminated_restarts, 0u);
+}
+
+TEST(PrpSim, PrpBoundsRollbackWhereAsyncDoesNot) {
+  // With rho >= 1 the asynchronous scheme suffers long propagations while
+  // PRP rollback stays within about one RP interval.
+  PrpSimulator sim(table_params(), sim_params(), 11);
+  const PrpSimResult r = sim.run(2000);
+  EXPECT_LT(r.prp_distance.mean(), r.async_distance.mean());
+  // Tail behaviour: the async 95th percentile dwarfs the PRP one.
+  EXPECT_LT(r.prp_distance.quantile(0.95), r.async_distance.quantile(0.95));
+}
+
+TEST(PrpSim, MeanPrpDistanceNearTheory) {
+  // For a locally detected error the rollback distance is roughly the age
+  // of the failing process's last RP plus the detection delay, both
+  // Exp(mu_i)-distributed; the paper bounds the line-wide distance by
+  // E[sup y_i].  The measured mean must sit in that ballpark: between the
+  // one-process mean (1/mu) and a few multiples of the sup bound.
+  const auto params = table_params();
+  PrpModel model(params, 1e-4);
+  PrpSimulator sim(params, sim_params(), 13);
+  const PrpSimResult r = sim.run(4000);
+  EXPECT_GT(r.prp_distance.mean(), 0.3 / params.mu(0));
+  EXPECT_LT(r.prp_distance.mean(), 4.0 * model.mean_rollback_bound());
+}
+
+TEST(PrpSim, SnapshotAccountingMatchesModel) {
+  const auto params = table_params();
+  PrpModel model(params, 1e-4);
+  PrpSimulator sim(params, sim_params(), 17);
+  const PrpSimResult r = sim.run(2000);
+  // Empirical snapshot rate ~ n * sum(mu), reduced slightly because failed
+  // ATs do not record states.
+  EXPECT_NEAR(r.snapshots_per_unit_time, model.system_snapshot_rate(),
+              0.1 * model.system_snapshot_rate());
+  EXPECT_NEAR(r.snapshots_per_unit_time, 3.0 * r.rp_per_unit_time, 1e-9);
+  EXPECT_GT(r.recording_time_fraction, 0.0);
+  EXPECT_LT(r.recording_time_fraction, 0.01);
+}
+
+TEST(PrpSim, AsyncDominoAppearsUnderHeavyInteraction) {
+  // Crank interactions up and make errors frequent: early failures strike
+  // before any consistent line has formed, so asynchronous rollback
+  // unravels to the start while PRP stays bounded.  (Late failures rarely
+  // domino to t = 0 - some ancient line exists - but their distances stay
+  // large; both effects are asserted.)
+  const auto params = ProcessSetParams::symmetric(3, 0.5, 3.0);
+  PrpSimParams sp = sim_params();
+  sp.error_rate = 2.0;
+  PrpSimulator sim(params, sp, 23);
+  const PrpSimResult r = sim.run(800);
+  EXPECT_GT(r.async_domino_count, 0u);
+  EXPECT_EQ(r.contaminated_restarts, 0u);
+  EXPECT_LT(r.prp_distance.mean(), r.async_distance.mean());
+}
+
+TEST(PrpSim, IterationsStayWithinProcessCount) {
+  PrpSimulator sim(table_params(), sim_params(), 29);
+  const PrpSimResult r = sim.run(2000);
+  EXPECT_LE(r.prp_iterations.max(), 3.0);
+  EXPECT_GE(r.prp_iterations.min(), 1.0);
+}
+
+TEST(PrpSim, ScopedVariantAffectsFewerProcesses) {
+  PrpSimParams everyone = sim_params();
+  PrpSimParams scoped = sim_params();
+  scoped.affects_everyone = false;
+  const PrpSimResult r_all =
+      PrpSimulator(table_params(), everyone, 31).run(1500);
+  const PrpSimResult r_scoped =
+      PrpSimulator(table_params(), scoped, 31).run(1500);
+  EXPECT_LE(r_scoped.prp_affected.mean(), r_all.prp_affected.mean());
+  EXPECT_EQ(r_scoped.contaminated_restarts, 0u);
+}
+
+TEST(PrpSim, DeterministicUnderSeed) {
+  PrpSimulator a(table_params(), sim_params(), 7);
+  PrpSimulator b(table_params(), sim_params(), 7);
+  EXPECT_DOUBLE_EQ(a.run(300).prp_distance.mean(),
+                   b.run(300).prp_distance.mean());
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,138 @@
+#include "des/sync_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "model/sync_model.h"
+
+namespace rbx {
+namespace {
+
+SyncSimParams base_params() {
+  SyncSimParams p;
+  p.mu = {1.5, 1.0, 0.5};
+  p.strategy = SyncStrategy::kElapsedTime;
+  p.elapsed_threshold = 2.0;
+  return p;
+}
+
+TEST(SyncSim, MaxWaitMatchesClosedForm) {
+  SyncRbModel model({1.5, 1.0, 0.5});
+  SyncRbSimulator sim(base_params(), 11);
+  const SyncSimResult r = sim.run(40000);
+  EXPECT_NEAR(r.max_wait.mean(), model.mean_max_wait(),
+              4.0 * r.max_wait.ci_half_width() / 1.96);
+}
+
+TEST(SyncSim, LossMatchesClosedForm) {
+  SyncRbModel model({1.5, 1.0, 0.5});
+  SyncRbSimulator sim(base_params(), 13);
+  const SyncSimResult r = sim.run(40000);
+  EXPECT_NEAR(r.loss.mean(), model.mean_loss(),
+              4.0 * r.loss.ci_half_width() / 1.96);
+}
+
+TEST(SyncSim, HomogeneousHarmonicLaw) {
+  SyncSimParams p;
+  p.mu = std::vector<double>(4, 2.0);
+  p.strategy = SyncStrategy::kElapsedTime;
+  p.elapsed_threshold = 1.0;
+  SyncRbSimulator sim(p, 3);
+  const SyncSimResult r = sim.run(30000);
+  const double h4 = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+  EXPECT_NEAR(r.max_wait.mean(), h4 / 2.0, 0.02);
+}
+
+TEST(SyncSim, ElapsedTimeStrategySpacing) {
+  SyncSimParams p = base_params();
+  p.elapsed_threshold = 3.0;
+  SyncRbSimulator sim(p, 21);
+  const SyncSimResult r = sim.run(20000);
+  // Spacing = threshold + Z.
+  SyncRbModel model(p.mu);
+  EXPECT_NEAR(r.line_spacing.mean(), 3.0 + model.mean_max_wait(),
+              4.0 * r.line_spacing.ci_half_width() / 1.96);
+  EXPECT_GE(r.line_spacing.min(), 3.0);
+}
+
+TEST(SyncSim, ConstantIntervalStrategyKeepsTimerGrid) {
+  SyncSimParams p = base_params();
+  p.strategy = SyncStrategy::kConstantInterval;
+  p.interval = 5.0;
+  SyncRbSimulator sim(p, 23);
+  const SyncSimResult r = sim.run(20000);
+  // Requests land on the 5-unit grid; when a commit window crosses a tick
+  // the next request skips to the following tick, so the mean spacing sits
+  // between the period and period + E[Z].
+  SyncRbModel model(p.mu);
+  EXPECT_GE(r.line_spacing.mean(), 5.0 - 1e-9);
+  EXPECT_LE(r.line_spacing.mean(), 5.0 + model.mean_max_wait());
+  // The skip probability is P(Z > period): spacing mean ~ 5 (1 + P).
+  const double p_skip = 1.0 - model.z_cdf(5.0);
+  EXPECT_NEAR(r.line_spacing.mean(), 5.0 * (1.0 + p_skip), 0.15);
+}
+
+TEST(SyncSim, SavedStatesStrategyCountsStates) {
+  SyncSimParams p = base_params();
+  p.strategy = SyncStrategy::kSavedStates;
+  p.saved_threshold = 6;
+  SyncRbSimulator sim(p, 29);
+  const SyncSimResult r = sim.run(20000);
+  // Exactly threshold RPs between lines plus n at the line itself.
+  EXPECT_DOUBLE_EQ(r.states_per_line.min(), 9.0);
+  EXPECT_DOUBLE_EQ(r.states_per_line.max(), 9.0);
+  // Request fires at the 6th RP: Erlang(6, total_mu=3) has mean 2.
+  SyncRbModel model(p.mu);
+  EXPECT_NEAR(r.line_spacing.mean(), 2.0 + model.mean_max_wait(), 0.05);
+}
+
+TEST(SyncSim, RollbackDistanceUnderErrors) {
+  SyncSimParams p = base_params();
+  p.elapsed_threshold = 2.0;
+  p.error_rate = 0.5;
+  SyncRbSimulator sim(p, 41);
+  const SyncSimResult r = sim.run(30000);
+  ASSERT_GT(r.rollback_distance.count(), 1000u);
+  // Distances are bounded by the line spacing and non-negative.
+  EXPECT_GE(r.rollback_distance.min(), 0.0);
+  EXPECT_LE(r.rollback_distance.max(), r.line_spacing.max());
+  // Errors arrive uniformly over the cycle: mean distance is below the
+  // mean spacing.
+  EXPECT_LT(r.rollback_distance.mean(), r.line_spacing.mean());
+}
+
+TEST(SyncSim, LossRateDecreasesWithLongerPeriods) {
+  SyncSimParams slow = base_params();
+  slow.elapsed_threshold = 8.0;
+  SyncSimParams fast = base_params();
+  fast.elapsed_threshold = 0.5;
+  const SyncSimResult r_slow = SyncRbSimulator(slow, 5).run(10000);
+  const SyncSimResult r_fast = SyncRbSimulator(fast, 5).run(10000);
+  EXPECT_LT(r_slow.loss_rate, r_fast.loss_rate);
+}
+
+TEST(SyncSim, DeterministicUnderSeed) {
+  SyncRbSimulator a(base_params(), 9), b(base_params(), 9);
+  EXPECT_DOUBLE_EQ(a.run(1000).loss.mean(), b.run(1000).loss.mean());
+}
+
+// Property: for every strategy the loss per sync matches the closed form
+// (the strategies change *when* syncs happen, not the commit cost).
+class SyncStrategyTest : public ::testing::TestWithParam<SyncStrategy> {};
+
+TEST_P(SyncStrategyTest, CommitCostIndependentOfStrategy) {
+  SyncSimParams p = base_params();
+  p.strategy = GetParam();
+  SyncRbSimulator sim(p, 63);
+  const SyncSimResult r = sim.run(30000);
+  SyncRbModel model(p.mu);
+  EXPECT_NEAR(r.loss.mean(), model.mean_loss(),
+              5.0 * r.loss.ci_half_width() / 1.96);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SyncStrategyTest,
+                         ::testing::Values(SyncStrategy::kConstantInterval,
+                                           SyncStrategy::kElapsedTime,
+                                           SyncStrategy::kSavedStates));
+
+}  // namespace
+}  // namespace rbx

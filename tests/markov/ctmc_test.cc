@@ -1,0 +1,197 @@
+#include "markov/ctmc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace rbx {
+namespace {
+
+// Two-state chain 0 <-> 1 with rates a and b has the classic closed-form
+// transient solution.
+TEST(Ctmc, TwoStateTransientClosedForm) {
+  const double a = 2.0, b = 0.5;
+  Ctmc chain(2);
+  chain.add_rate(0, 1, a);
+  chain.add_rate(1, 0, b);
+  chain.finalize();
+
+  for (double t : {0.0, 0.1, 0.5, 1.0, 3.0, 10.0}) {
+    const auto pi = chain.transient({1.0, 0.0}, t);
+    const double expected1 =
+        a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+    EXPECT_NEAR(pi[1], expected1, 1e-10) << "t=" << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-10);
+  }
+}
+
+TEST(Ctmc, GeneratorRowsSumToZero) {
+  Ctmc chain(4);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(0, 2, 2.0);
+  chain.add_rate(1, 3, 0.5);
+  chain.add_rate(2, 1, 1.5);
+  chain.finalize();
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(chain.generator().row_sum(r), 0.0, 1e-12);
+  }
+  // State 3 is absorbing: empty row.
+  EXPECT_DOUBLE_EQ(chain.generator().row_sum(3), 0.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(3), 0.0);
+}
+
+TEST(Ctmc, DuplicateRatesAccumulate) {
+  Ctmc chain(2);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(0, 1, 2.0);
+  chain.finalize();
+  EXPECT_DOUBLE_EQ(chain.rate(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(0), 3.0);
+}
+
+TEST(Ctmc, TransientConservesProbability) {
+  Rng rng(8);
+  Ctmc chain(6);
+  for (std::size_t u = 0; u < 6; ++u) {
+    for (std::size_t v = 0; v < 6; ++v) {
+      if (u != v && rng.bernoulli(0.5)) {
+        chain.add_rate(u, v, rng.uniform(0.1, 3.0));
+      }
+    }
+  }
+  chain.finalize();
+  std::vector<double> pi0(6, 0.0);
+  pi0[2] = 1.0;
+  for (double t : {0.3, 1.7, 9.0}) {
+    const auto pi = chain.transient(pi0, t);
+    double sum = 0.0;
+    for (double p : pi) {
+      EXPECT_GE(p, -1e-12);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Ctmc, UniformizationMatchesRk4) {
+  Rng rng(17);
+  Ctmc chain(5);
+  for (std::size_t u = 0; u < 5; ++u) {
+    for (std::size_t v = 0; v < 5; ++v) {
+      if (u != v && rng.bernoulli(0.6)) {
+        chain.add_rate(u, v, rng.uniform(0.1, 2.0));
+      }
+    }
+  }
+  chain.finalize();
+  const std::vector<double> pi0 = {0.2, 0.2, 0.2, 0.2, 0.2};
+  const auto a = chain.transient(pi0, 1.3);
+  const auto b = chain.transient_rk4(pi0, 1.3, 20000);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-8);
+  }
+}
+
+TEST(Ctmc, UniformizedDtmcIsStochastic) {
+  Ctmc chain(3);
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(1, 2, 1.0);
+  chain.add_rate(1, 0, 0.5);
+  chain.finalize();
+  const Dtmc p = chain.uniformized_dtmc();
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(p.transition().row_sum(r), 1.0, 1e-12);
+  }
+  // Transition structure: P = I + Q/lambda.
+  const double lambda = chain.uniformization_rate();
+  EXPECT_NEAR(p.probability(0, 1), 2.0 / lambda, 1e-12);
+  EXPECT_NEAR(p.probability(0, 0), 1.0 - 2.0 / lambda, 1e-12);
+}
+
+// Pure-birth chain 0 -> 1 -> 2 with rate r: absorption at 2 is Erlang(2, r).
+TEST(FirstPassage, ErlangAbsorption) {
+  const double r = 1.7;
+  Ctmc chain(3);
+  chain.add_rate(0, 1, r);
+  chain.add_rate(1, 2, r);
+  chain.finalize();
+  FirstPassage fp(chain, {2});
+  const std::vector<double> alpha = {1.0, 0.0, 0.0};
+
+  EXPECT_NEAR(fp.mean_hitting_time(alpha), 2.0 / r, 1e-12);
+  EXPECT_NEAR(fp.variance(alpha), 2.0 / (r * r), 1e-10);
+
+  for (double t : {0.1, 0.5, 1.0, 2.5}) {
+    const double pdf = fp.density(alpha, t);
+    const double expected = r * r * t * std::exp(-r * t);
+    EXPECT_NEAR(pdf, expected, 1e-9) << "t=" << t;
+    const double cdf = fp.cdf(alpha, t);
+    const double expected_cdf =
+        1.0 - std::exp(-r * t) * (1.0 + r * t);
+    EXPECT_NEAR(cdf, expected_cdf, 1e-9);
+  }
+}
+
+TEST(FirstPassage, SojournTimes) {
+  const double r = 2.0;
+  Ctmc chain(3);
+  chain.add_rate(0, 1, r);
+  chain.add_rate(1, 2, r);
+  chain.finalize();
+  FirstPassage fp(chain, {2});
+  const auto nu = fp.expected_sojourn({1.0, 0.0, 0.0});
+  EXPECT_NEAR(nu[0], 1.0 / r, 1e-12);
+  EXPECT_NEAR(nu[1], 1.0 / r, 1e-12);
+  EXPECT_DOUBLE_EQ(nu[2], 0.0);
+}
+
+TEST(FirstPassage, CompetingAbsorptionSojourn) {
+  // 0 -> A at rate a, 0 -> B at rate b; P(absorb A) = a/(a+b) recovered
+  // from sojourn * rate.
+  const double a = 3.0, b = 1.0;
+  Ctmc chain(3);
+  chain.add_rate(0, 1, a);
+  chain.add_rate(0, 2, b);
+  chain.finalize();
+  FirstPassage fp(chain, {1, 2});
+  const auto nu = fp.expected_sojourn({1.0, 0.0, 0.0});
+  EXPECT_NEAR(nu[0] * a, a / (a + b), 1e-12);
+  EXPECT_NEAR(nu[0] * b, b / (a + b), 1e-12);
+  EXPECT_NEAR(fp.mean_hitting_time({1.0, 0.0, 0.0}), 1.0 / (a + b), 1e-12);
+}
+
+TEST(FirstPassage, MeanFromMiddleState) {
+  const double r = 1.0;
+  Ctmc chain(3);
+  chain.add_rate(0, 1, r);
+  chain.add_rate(1, 2, r);
+  chain.finalize();
+  FirstPassage fp(chain, {2});
+  EXPECT_NEAR(fp.mean_hitting_time({0.0, 1.0, 0.0}), 1.0, 1e-12);
+  // Mixture initial distribution.
+  EXPECT_NEAR(fp.mean_hitting_time({0.5, 0.5, 0.0}), 1.5, 1e-12);
+}
+
+TEST(FirstPassage, DensityIntegratesToOne) {
+  Ctmc chain(4);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 0.7);
+  chain.add_rate(1, 2, 0.9);
+  chain.add_rate(2, 3, 2.0);
+  chain.add_rate(2, 0, 0.3);
+  chain.finalize();
+  FirstPassage fp(chain, {3});
+  const std::vector<double> alpha = {1.0, 0.0, 0.0, 0.0};
+  // Riemann sum of the density (coarse but sufficient at this tolerance).
+  double integral = 0.0;
+  const double dt = 0.01;
+  for (double t = dt / 2; t < 120.0; t += dt) {
+    integral += fp.density(alpha, t) * dt;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,113 @@
+#include "markov/dtmc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numerics/sparse.h"
+
+namespace rbx {
+namespace {
+
+SparseMatrix make_matrix(
+    std::size_t n,
+    const std::vector<std::tuple<std::size_t, std::size_t, double>>& entries) {
+  SparseMatrixBuilder b(n, n);
+  for (const auto& [r, c, v] : entries) {
+    b.add(r, c, v);
+  }
+  return b.build();
+}
+
+TEST(Dtmc, StepPropagatesDistribution) {
+  Dtmc p(make_matrix(2, {{0, 1, 1.0}, {1, 0, 1.0}}));
+  std::vector<double> out;
+  p.step({0.25, 0.75}, out);
+  EXPECT_DOUBLE_EQ(out[0], 0.75);
+  EXPECT_DOUBLE_EQ(out[1], 0.25);
+}
+
+// Symmetric random walk on 0..2 absorbed at both ends, started at 1:
+// expected visits to 1 before absorption is 1 (start) and the chain leaves
+// immediately, absorbing equally.
+TEST(Dtmc, GamblersRuinVisitsAndAbsorption) {
+  Dtmc p(make_matrix(3, {{0, 0, 1.0}, {1, 0, 0.5}, {1, 2, 0.5}, {2, 2, 1.0}}));
+  const std::vector<double> alpha = {0.0, 1.0, 0.0};
+  const std::vector<bool> absorbing = {true, false, true};
+  const auto visits = p.expected_visits(alpha, absorbing);
+  EXPECT_DOUBLE_EQ(visits[1], 1.0);
+  EXPECT_DOUBLE_EQ(visits[0], 0.0);
+  const auto dist = p.absorption_distribution(alpha, absorbing);
+  EXPECT_NEAR(dist[0], 0.5, 1e-12);
+  EXPECT_NEAR(dist[2], 0.5, 1e-12);
+}
+
+// A state with a self-loop q has expected visits 1/(1-q) (geometric).
+TEST(Dtmc, SelfLoopGeometricVisits) {
+  const double q = 0.75;
+  Dtmc p(make_matrix(2, {{0, 0, q}, {0, 1, 1.0 - q}, {1, 1, 1.0}}));
+  const auto visits =
+      p.expected_visits({1.0, 0.0}, std::vector<bool>{false, true});
+  EXPECT_NEAR(visits[0], 1.0 / (1.0 - q), 1e-12);
+}
+
+// Longer chain: 5-state symmetric walk with absorbing barriers; expected
+// visits from the middle match the classic formula N = (I-Q)^{-1}.
+TEST(Dtmc, FiveStateWalkVisits) {
+  Dtmc p(make_matrix(5, {{0, 0, 1.0},
+                         {1, 0, 0.5},
+                         {1, 2, 0.5},
+                         {2, 1, 0.5},
+                         {2, 3, 0.5},
+                         {3, 2, 0.5},
+                         {3, 4, 0.5},
+                         {4, 4, 1.0}}));
+  const std::vector<double> alpha = {0.0, 0.0, 1.0, 0.0, 0.0};
+  const std::vector<bool> absorbing = {true, false, false, false, true};
+  const auto visits = p.expected_visits(alpha, absorbing);
+  // Known fundamental matrix for the 3-transient-state symmetric walk:
+  // from the center, visits are (1, 2, 1).
+  EXPECT_NEAR(visits[1], 1.0, 1e-12);
+  EXPECT_NEAR(visits[2], 2.0, 1e-12);
+  EXPECT_NEAR(visits[3], 1.0, 1e-12);
+
+  const auto dist = p.absorption_distribution(alpha, absorbing);
+  EXPECT_NEAR(dist[0], 0.5, 1e-12);
+  EXPECT_NEAR(dist[4], 0.5, 1e-12);
+}
+
+TEST(Dtmc, BiasedWalkAbsorption) {
+  // Right bias 0.8: absorption probabilities follow the gambler's ruin
+  // formula with ratio q/p = 0.25.
+  const double pr = 0.8, pl = 0.2;
+  Dtmc p(make_matrix(4, {{0, 0, 1.0},
+                         {1, 0, pl},
+                         {1, 2, pr},
+                         {2, 1, pl},
+                         {2, 3, pr},
+                         {3, 3, 1.0}}));
+  const std::vector<double> alpha = {0.0, 1.0, 0.0, 0.0};
+  const std::vector<bool> absorbing = {true, false, false, true};
+  const auto dist = p.absorption_distribution(alpha, absorbing);
+  const double ratio = pl / pr;
+  // P(ruin from state 1 of 2 interior states) = (r^1 - r^3)/(1 - r^3) with
+  // r = q/p... use the standard formula with N=3 boundaries at 0 and 3.
+  const double p_ruin = (std::pow(ratio, 1.0) - std::pow(ratio, 3.0)) /
+                        (1.0 - std::pow(ratio, 3.0));
+  EXPECT_NEAR(dist[0], p_ruin, 1e-12);
+  EXPECT_NEAR(dist[3], 1.0 - p_ruin, 1e-12);
+}
+
+TEST(Dtmc, InitialMassOnAbsorbingStateStays) {
+  Dtmc p(make_matrix(2, {{0, 1, 1.0}, {1, 1, 1.0}}));
+  const auto dist = p.absorption_distribution(
+      {0.3, 0.7}, std::vector<bool>{false, true});
+  EXPECT_NEAR(dist[1], 1.0, 1e-12);
+}
+
+TEST(DtmcDeathTest, RejectsSuperStochasticRow) {
+  EXPECT_DEATH(Dtmc(make_matrix(1, {{0, 0, 1.5}})), "super-stochastic");
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,124 @@
+#include "markov/phase_type.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "numerics/quadrature.h"
+
+namespace rbx {
+namespace {
+
+PhaseType make_erlang(std::size_t stages, double rate) {
+  auto chain = std::make_shared<Ctmc>(stages + 1);
+  for (std::size_t s = 0; s < stages; ++s) {
+    chain->add_rate(s, s + 1, rate);
+  }
+  chain->finalize();
+  std::vector<double> alpha(stages + 1, 0.0);
+  alpha[0] = 1.0;
+  return PhaseType(chain, {stages}, alpha);
+}
+
+PhaseType make_hyperexponential(double p, double r1, double r2) {
+  // Mixture of Exp(r1) w.p. p and Exp(r2) w.p. 1-p.
+  auto chain = std::make_shared<Ctmc>(3);
+  chain->add_rate(0, 2, r1);
+  chain->add_rate(1, 2, r2);
+  chain->finalize();
+  return PhaseType(chain, {2}, {p, 1.0 - p, 0.0});
+}
+
+TEST(PhaseType, ExponentialSpecialCase) {
+  PhaseType ph = make_erlang(1, 2.5);
+  EXPECT_NEAR(ph.mean(), 0.4, 1e-12);
+  EXPECT_NEAR(ph.variance(), 0.16, 1e-10);
+  EXPECT_NEAR(ph.pdf(0.0), 2.5, 1e-9);
+  EXPECT_NEAR(ph.pdf(1.0), 2.5 * std::exp(-2.5), 1e-9);
+  EXPECT_NEAR(ph.cdf(1.0), 1.0 - std::exp(-2.5), 1e-9);
+}
+
+TEST(PhaseType, ErlangMoments) {
+  for (std::size_t k : {2u, 3u, 5u}) {
+    const double rate = 1.5;
+    PhaseType ph = make_erlang(k, rate);
+    EXPECT_NEAR(ph.mean(), static_cast<double>(k) / rate, 1e-10);
+    EXPECT_NEAR(ph.variance(), static_cast<double>(k) / (rate * rate), 1e-9);
+  }
+}
+
+TEST(PhaseType, ErlangDensity) {
+  const double rate = 2.0;
+  PhaseType ph = make_erlang(3, rate);
+  for (double t : {0.2, 0.7, 1.5}) {
+    const double expected = rate * rate * rate * t * t / 2.0 *
+                            std::exp(-rate * t);
+    EXPECT_NEAR(ph.pdf(t), expected, 1e-9);
+  }
+  EXPECT_NEAR(ph.pdf(0.0), 0.0, 1e-12);
+}
+
+TEST(PhaseType, HyperexponentialMomentsAndDensity) {
+  const double p = 0.3, r1 = 4.0, r2 = 0.5;
+  PhaseType ph = make_hyperexponential(p, r1, r2);
+  const double mean = p / r1 + (1.0 - p) / r2;
+  const double m2 = 2.0 * p / (r1 * r1) + 2.0 * (1.0 - p) / (r2 * r2);
+  EXPECT_NEAR(ph.mean(), mean, 1e-10);
+  EXPECT_NEAR(ph.second_moment(), m2, 1e-9);
+  for (double t : {0.1, 1.0, 4.0}) {
+    const double f =
+        p * r1 * std::exp(-r1 * t) + (1.0 - p) * r2 * std::exp(-r2 * t);
+    EXPECT_NEAR(ph.pdf(t), f, 1e-9);
+  }
+}
+
+TEST(PhaseType, PdfIntegratesToOne) {
+  PhaseType ph = make_hyperexponential(0.6, 3.0, 0.8);
+  const auto r = integrate_to_infinity([&ph](double t) { return ph.pdf(t); },
+                                       0.0, 1.0, 1e-9);
+  EXPECT_NEAR(r.value, 1.0, 1e-6);
+}
+
+TEST(PhaseType, CdfIsMonotoneAndMatchesPdfDerivative) {
+  PhaseType ph = make_erlang(2, 1.0);
+  double prev = -1.0;
+  for (double t = 0.0; t <= 5.0; t += 0.25) {
+    const double c = ph.cdf(t);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  // Central difference of the cdf approximates the pdf.
+  const double h = 1e-4;
+  const double deriv = (ph.cdf(1.0 + h) - ph.cdf(1.0 - h)) / (2.0 * h);
+  EXPECT_NEAR(deriv, ph.pdf(1.0), 1e-6);
+}
+
+TEST(PhaseType, QuantileInvertsCdf) {
+  PhaseType ph = make_erlang(3, 2.0);
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double t = ph.quantile(q);
+    EXPECT_NEAR(ph.cdf(t), q, 1e-6);
+  }
+}
+
+TEST(PhaseType, PdfGridMatchesPointwise) {
+  PhaseType ph = make_erlang(2, 1.3);
+  const auto grid = ph.pdf_grid(2.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_NEAR(grid[0], ph.pdf(0.0), 1e-9);
+  EXPECT_NEAR(grid[2], ph.pdf(1.0), 1e-9);
+  EXPECT_NEAR(grid[4], ph.pdf(2.0), 1e-9);
+}
+
+TEST(PhaseType, InitialMassOnTargetGivesAtomAtZero) {
+  auto chain = std::make_shared<Ctmc>(2);
+  chain->add_rate(0, 1, 1.0);
+  chain->finalize();
+  PhaseType ph(chain, {1}, {0.5, 0.5});
+  EXPECT_NEAR(ph.mean(), 0.5, 1e-12);
+  EXPECT_NEAR(ph.cdf(0.0), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,117 @@
+#include "model/async_symmetric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numerics/quadrature.h"
+
+namespace rbx {
+namespace {
+
+TEST(SymmetricModel, StateLayout) {
+  SymmetricAsyncModel m(4, 1.0, 1.0);
+  EXPECT_EQ(m.num_states(), 6u);
+  EXPECT_EQ(m.entry_state(), 0u);
+  EXPECT_EQ(m.lumped_state(0), 1u);
+  EXPECT_EQ(m.lumped_state(3), 4u);
+  EXPECT_EQ(m.absorbing_state(), 5u);
+}
+
+TEST(SymmetricModel, NoInteractionLimit) {
+  // lambda = 0: X ~ Exp(n mu).
+  for (std::size_t n : {1u, 2u, 5u, 20u}) {
+    SymmetricAsyncModel m(n, 2.0, 0.0);
+    EXPECT_NEAR(m.mean_interval(), 1.0 / (2.0 * static_cast<double>(n)),
+                1e-12);
+  }
+}
+
+TEST(SymmetricModel, RhoDefinition) {
+  SymmetricAsyncModel m(4, 2.0, 1.0);
+  // rho = (6 pairs * 1.0) / (4 * 2.0).
+  EXPECT_DOUBLE_EQ(m.rho(), 0.75);
+}
+
+TEST(SymmetricModel, TransitionRatesFollowPrimedRules) {
+  const std::size_t n = 5;
+  const double mu = 1.3, lambda = 0.7;
+  SymmetricAsyncModel m(n, mu, lambda);
+  const auto& chain = m.chain();
+  // R4': entry -> absorbing at n mu.
+  EXPECT_NEAR(chain.rate(m.entry_state(), m.absorbing_state()), 5.0 * mu,
+              1e-12);
+  // Entry -> S~_{n-2} at C(n,2) lambda.
+  EXPECT_NEAR(chain.rate(m.entry_state(), m.lumped_state(3)), 10.0 * lambda,
+              1e-12);
+  // R1' from u=2: rate (n-u) mu.
+  EXPECT_NEAR(chain.rate(m.lumped_state(2), m.lumped_state(3)), 3.0 * mu,
+              1e-12);
+  // R2' from u=3: rate u(u-1)/2 lambda.
+  EXPECT_NEAR(chain.rate(m.lumped_state(3), m.lumped_state(1)), 3.0 * lambda,
+              1e-12);
+  // R3' from u=3: rate u(n-u) lambda.
+  EXPECT_NEAR(chain.rate(m.lumped_state(3), m.lumped_state(2)), 6.0 * lambda,
+              1e-12);
+  // S~_{n-1} -> absorbing at mu.
+  EXPECT_NEAR(chain.rate(m.lumped_state(4), m.absorbing_state()), mu, 1e-12);
+}
+
+TEST(SymmetricModel, ScalesToManyProcesses) {
+  // The lumped chain is linear in n; this must be instant even at n = 100.
+  // (rho is kept below ~0.1 here: at high rho the mean interval grows
+  // beyond what dense hitting-time solves can condition, and the library
+  // aborts rather than return garbage - see the death test below.)
+  SymmetricAsyncModel m(100, 1.0, 0.002);
+  EXPECT_GT(m.mean_interval(), 0.0);
+  EXPECT_EQ(m.num_states(), 102u);
+}
+
+TEST(SymmetricModelDeathTest, AstronomicalMeansAbortLoudly) {
+  EXPECT_DEATH(SymmetricAsyncModel(100, 1.0, 0.05), "ill-conditioned");
+}
+
+TEST(SymmetricModel, MeanGrowsWithProcessCount) {
+  // Figure 5's qualitative shape: at fixed per-pair interaction rate the
+  // mean interval grows sharply with n.
+  double prev = 0.0;
+  for (std::size_t n = 2; n <= 8; ++n) {
+    SymmetricAsyncModel m(n, 1.0, 1.0);
+    EXPECT_GT(m.mean_interval(), prev) << "n=" << n;
+    prev = m.mean_interval();
+  }
+}
+
+TEST(SymmetricModel, DensityIntegratesToOne) {
+  SymmetricAsyncModel m(5, 1.0, 0.3);
+  const auto r = integrate_to_infinity(
+      [&m](double t) { return m.interval_pdf(t); }, 0.0, 1.0, 1e-9);
+  EXPECT_NEAR(r.value, 1.0, 1e-6);
+}
+
+TEST(SymmetricModel, RpCountConventions) {
+  SymmetricAsyncModel m(3, 1.0, 1.0);
+  EXPECT_NEAR(m.expected_rp_count_wald(), m.mean_interval(), 1e-12);
+  EXPECT_NEAR(m.expected_rp_count_excluding_final(),
+              m.mean_interval() - 1.0 / 3.0, 1e-12);
+}
+
+// Scaling property: multiplying all rates by c divides times by c.
+class SymmetricScalingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SymmetricScalingTest, TimeRescaling) {
+  const double c = GetParam();
+  SymmetricAsyncModel base(4, 1.0, 0.5);
+  SymmetricAsyncModel scaled(4, c * 1.0, c * 0.5);
+  EXPECT_NEAR(scaled.mean_interval(), base.mean_interval() / c, 1e-10);
+  EXPECT_NEAR(scaled.variance_interval(), base.variance_interval() / (c * c),
+              1e-9);
+  // Densities transform as f_c(t) = c f(ct).
+  EXPECT_NEAR(scaled.interval_pdf(0.4 / c), c * base.interval_pdf(0.4), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, SymmetricScalingTest,
+                         ::testing::Values(0.5, 2.0, 4.0, 10.0));
+
+}  // namespace
+}  // namespace rbx

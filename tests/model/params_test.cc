@@ -1,0 +1,80 @@
+#include "model/params.h"
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(Params, SymmetricFactory) {
+  const auto p = ProcessSetParams::symmetric(4, 2.0, 0.5);
+  EXPECT_EQ(p.n(), 4u);
+  EXPECT_DOUBLE_EQ(p.mu(3), 2.0);
+  EXPECT_DOUBLE_EQ(p.lambda(0, 3), 0.5);
+  EXPECT_DOUBLE_EQ(p.lambda(3, 0), 0.5);
+  EXPECT_DOUBLE_EQ(p.lambda(2, 2), 0.0);
+  EXPECT_TRUE(p.is_symmetric_rates());
+}
+
+TEST(Params, ThreeProcessFactoryUsesPaperOrdering) {
+  // Table 1 ordering: (lambda12, lambda23, lambda13).
+  const auto p = ProcessSetParams::three(1.5, 1.0, 0.5, 0.1, 0.2, 0.3);
+  EXPECT_DOUBLE_EQ(p.mu(0), 1.5);
+  EXPECT_DOUBLE_EQ(p.mu(2), 0.5);
+  EXPECT_DOUBLE_EQ(p.lambda(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(p.lambda(1, 2), 0.2);
+  EXPECT_DOUBLE_EQ(p.lambda(0, 2), 0.3);
+  EXPECT_FALSE(p.is_symmetric_rates());
+}
+
+TEST(Params, Totals) {
+  const auto p = ProcessSetParams::three(1.0, 2.0, 3.0, 0.5, 1.5, 2.5);
+  EXPECT_DOUBLE_EQ(p.total_mu(), 6.0);
+  EXPECT_DOUBLE_EQ(p.total_lambda(), 4.5);
+  EXPECT_DOUBLE_EQ(p.total_event_rate(), 10.5);
+  EXPECT_DOUBLE_EQ(p.rho(), 0.75);
+  EXPECT_DOUBLE_EQ(p.interaction_rate(0), 3.0);   // 0.5 + 2.5
+  EXPECT_DOUBLE_EQ(p.interaction_rate(1), 2.0);   // 0.5 + 1.5
+  EXPECT_DOUBLE_EQ(p.interaction_rate(2), 4.0);   // 1.5 + 2.5
+}
+
+TEST(Params, AllTableOneCasesHaveUnitRho) {
+  // The five (mu, lambda) triples of Table 1 (see DESIGN.md).
+  const ProcessSetParams cases[] = {
+      ProcessSetParams::three(1.0, 1.0, 1.0, 1.0, 1.0, 1.0),
+      ProcessSetParams::three(1.5, 1.0, 0.5, 1.0, 1.0, 1.0),
+      ProcessSetParams::three(1.0, 1.0, 1.0, 1.5, 0.5, 1.0),
+      ProcessSetParams::three(1.5, 1.0, 0.5, 1.5, 0.5, 1.0),
+      ProcessSetParams::three(1.5, 1.0, 0.5, 0.5, 1.5, 1.0),
+  };
+  for (const auto& p : cases) {
+    EXPECT_DOUBLE_EQ(p.rho(), 1.0) << p.describe();
+  }
+}
+
+TEST(Params, SingleProcessAllowed) {
+  const auto p = ProcessSetParams::symmetric(1, 1.0, 0.0);
+  EXPECT_EQ(p.n(), 1u);
+  EXPECT_DOUBLE_EQ(p.total_lambda(), 0.0);
+  EXPECT_DOUBLE_EQ(p.interaction_rate(0), 0.0);
+}
+
+TEST(Params, DescribeMentionsKeyNumbers) {
+  const auto p = ProcessSetParams::symmetric(2, 1.0, 3.0);
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("n=2"), std::string::npos);
+  EXPECT_NE(d.find("rho="), std::string::npos);
+}
+
+TEST(ParamsDeathTest, RejectsBadInputs) {
+  EXPECT_DEATH(ProcessSetParams({1.0, -1.0}, {0, 0, 0, 0}), "positive");
+  EXPECT_DEATH(ProcessSetParams({1.0}, {0, 0}), "n x n");
+  // Asymmetric lambda.
+  EXPECT_DEATH(ProcessSetParams({1.0, 1.0}, {0.0, 1.0, 2.0, 0.0}),
+               "symmetric");
+  // Nonzero diagonal.
+  EXPECT_DEATH(ProcessSetParams({1.0, 1.0}, {1.0, 0.0, 0.0, 0.0}),
+               "diagonal");
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,74 @@
+#include "model/prp_model.h"
+
+#include <gtest/gtest.h>
+
+#include "model/sync_model.h"
+
+namespace rbx {
+namespace {
+
+TEST(PrpModel, SnapshotAccounting) {
+  PrpModel m(ProcessSetParams::three(1.5, 1.0, 0.5, 1, 1, 1), 0.01);
+  EXPECT_EQ(m.snapshots_per_rp(), 3u);
+  // Every process snapshots at the system RP rate (own RPs + implants).
+  EXPECT_DOUBLE_EQ(m.snapshot_rate(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.snapshot_rate(2), 3.0);
+  EXPECT_DOUBLE_EQ(m.system_snapshot_rate(), 9.0);
+  EXPECT_EQ(m.retained_snapshots_per_process(), 3u);
+}
+
+TEST(PrpModel, TimeOverheadPerRp) {
+  PrpModel m(ProcessSetParams::symmetric(5, 1.0, 0.5), 0.02);
+  EXPECT_NEAR(m.time_overhead_per_rp(), 4 * 0.02, 1e-12);
+}
+
+TEST(PrpModel, RecordingFractionWithinBounds) {
+  PrpModel m(ProcessSetParams::symmetric(4, 2.0, 1.0), 0.05);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double f = m.recording_fraction(i);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0);
+  }
+}
+
+TEST(PrpModel, ZeroRecordTimeMeansZeroOverhead) {
+  PrpModel m(ProcessSetParams::symmetric(3, 1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.time_overhead_per_rp(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recording_fraction(0), 0.0);
+}
+
+TEST(PrpModel, RollbackBoundMatchesMaxExponential) {
+  const auto params = ProcessSetParams::three(1.5, 1.0, 0.5, 1, 1, 1);
+  PrpModel m(params, 0.01);
+  EXPECT_NEAR(m.mean_rollback_bound(),
+              expected_max_exponential({1.5, 1.0, 0.5}), 1e-12);
+}
+
+TEST(PrpModel, LocalRollbackIsMemorylessAge) {
+  PrpModel m(ProcessSetParams::three(2.0, 1.0, 0.25, 1, 1, 1), 0.01);
+  EXPECT_DOUBLE_EQ(m.mean_local_rollback(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.mean_local_rollback(2), 4.0);
+}
+
+TEST(PrpModel, LocalRollbackNeverExceedsBound) {
+  PrpModel m(ProcessSetParams::three(1.5, 1.0, 0.5, 1, 1, 1), 0.01);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(m.mean_local_rollback(i), m.mean_rollback_bound() + 1e-12);
+  }
+}
+
+// Overhead trade-off highlighted in the paper's conclusion: frequent RPs
+// with rare communication make PRP implantation expensive.
+TEST(PrpModel, OverheadGrowsWithRpRateAndProcessCount) {
+  PrpModel sparse(ProcessSetParams::symmetric(3, 0.5, 1.0), 0.01);
+  PrpModel dense(ProcessSetParams::symmetric(3, 5.0, 1.0), 0.01);
+  EXPECT_GT(dense.recording_fraction(0), sparse.recording_fraction(0));
+
+  PrpModel small(ProcessSetParams::symmetric(2, 1.0, 1.0), 0.01);
+  PrpModel large(ProcessSetParams::symmetric(10, 1.0, 1.0), 0.01);
+  EXPECT_GT(large.time_overhead_per_rp(), small.time_overhead_per_rp());
+  EXPECT_GT(large.system_snapshot_rate(), small.system_snapshot_rate());
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,140 @@
+#include "model/sync_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(MaxExponential, SingleRate) {
+  EXPECT_NEAR(expected_max_exponential({2.0}), 0.5, 1e-12);
+}
+
+TEST(MaxExponential, TwoEqualRates) {
+  // E[max(Exp(1), Exp(1))] = 1 + 1/2.
+  EXPECT_NEAR(expected_max_exponential({1.0, 1.0}), 1.5, 1e-12);
+}
+
+TEST(MaxExponential, HarmonicNumbersForEqualRates) {
+  // E[max of n iid Exp(mu)] = H_n / mu.
+  for (std::size_t n : {1u, 2u, 3u, 5u, 10u}) {
+    std::vector<double> rates(n, 2.0);
+    double h = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      h += 1.0 / static_cast<double>(k);
+    }
+    EXPECT_NEAR(expected_max_exponential(rates), h / 2.0, 1e-10) << n;
+  }
+}
+
+TEST(MaxExponential, TwoRateClosedForm) {
+  const double a = 1.5, b = 0.3;
+  EXPECT_NEAR(expected_max_exponential({a, b}),
+              1.0 / a + 1.0 / b - 1.0 / (a + b), 1e-12);
+}
+
+TEST(MaxExponential, QuadratureMatchesInclusionExclusion) {
+  const std::vector<std::vector<double>> cases = {
+      {1.0}, {1.0, 2.0}, {0.5, 0.5, 3.0}, {1.0, 1.0, 1.0, 1.0},
+      {0.1, 1.0, 10.0}};
+  for (const auto& rates : cases) {
+    EXPECT_NEAR(expected_max_exponential(rates),
+                expected_max_exponential_quadrature(rates), 1e-7);
+  }
+}
+
+TEST(SyncModel, SingleProcessHasNoLoss) {
+  SyncRbModel m({1.7});
+  EXPECT_NEAR(m.mean_loss(), 0.0, 1e-12);
+  EXPECT_NEAR(m.mean_wait(0), 0.0, 1e-12);
+}
+
+TEST(SyncModel, HomogeneousLossClosedForm) {
+  // CL = n H_n / mu - n / mu.
+  const double mu = 2.0;
+  for (std::size_t n : {2u, 3u, 6u}) {
+    std::vector<double> rates(n, mu);
+    SyncRbModel m(rates);
+    double h = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      h += 1.0 / static_cast<double>(k);
+    }
+    const double expected =
+        static_cast<double>(n) * (h - 1.0) / mu;
+    EXPECT_NEAR(m.mean_loss(), expected, 1e-10) << "n=" << n;
+  }
+}
+
+TEST(SyncModel, ZCdfIsProperDistribution) {
+  SyncRbModel m({1.0, 0.5, 2.0});
+  EXPECT_DOUBLE_EQ(m.z_cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.z_cdf(-1.0), 0.0);
+  double prev = 0.0;
+  for (double t = 0.1; t < 20.0; t += 0.5) {
+    const double g = m.z_cdf(t);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+  EXPECT_GT(m.z_cdf(50.0), 0.999);
+}
+
+TEST(SyncModel, MeanWaitIsNonNegativeAndConsistent) {
+  SyncRbModel m({1.5, 1.0, 0.5});
+  double total = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double w = m.mean_wait(i);
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, m.mean_loss(), 1e-10);
+  // The slowest process (smallest mu) waits least.
+  EXPECT_LT(m.mean_wait(2), m.mean_wait(0));
+}
+
+TEST(SyncModel, QuadraturePathMatchesClosedForm) {
+  SyncRbModel m({0.6, 0.45, 0.45});
+  EXPECT_NEAR(m.mean_max_wait(), m.mean_max_wait_quadrature(), 1e-7);
+}
+
+TEST(SyncModel, LossRateScalesLinearly) {
+  SyncRbModel m({1.0, 1.0});
+  EXPECT_NEAR(m.loss_rate(2.0), 2.0 * m.mean_loss(), 1e-12);
+}
+
+TEST(SyncModel, SlowestProcessDominatesLoss) {
+  // Slowing one process (smaller mu) increases everyone's wait.
+  SyncRbModel fast({2.0, 2.0, 2.0});
+  SyncRbModel slow({2.0, 2.0, 0.2});
+  EXPECT_GT(slow.mean_loss(), fast.mean_loss());
+  EXPECT_GT(slow.mean_max_wait(), fast.mean_max_wait());
+}
+
+// Property sweep: the inclusion-exclusion value always lies between
+// max_i 1/mu_i (Z >= every y_i) and sum_i 1/mu_i (union bound).
+class SyncBoundsTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(SyncBoundsTest, MaxWaitWithinElementaryBounds) {
+  const auto rates = GetParam();
+  SyncRbModel m(rates);
+  double max_inv = 0.0, sum_inv = 0.0;
+  for (double r : rates) {
+    max_inv = std::max(max_inv, 1.0 / r);
+    sum_inv += 1.0 / r;
+  }
+  EXPECT_GE(m.mean_max_wait(), max_inv - 1e-12);
+  EXPECT_LE(m.mean_max_wait(), sum_inv + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateSets, SyncBoundsTest,
+    ::testing::Values(std::vector<double>{1.0},
+                      std::vector<double>{1.0, 1.0},
+                      std::vector<double>{1.5, 1.0, 0.5},
+                      std::vector<double>{0.6, 0.45, 0.45},
+                      std::vector<double>{5.0, 0.1},
+                      std::vector<double>{1, 2, 3, 4, 5, 6, 7}));
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,109 @@
+#include "numerics/lu.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace rbx {
+namespace {
+
+TEST(Lu, SolvesSmallSystem) {
+  Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  const std::vector<double> x = solve_linear(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SolvesSystemRequiringPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a = {{0.0, 1.0}, {1.0, 0.0}};
+  const std::vector<double> x = solve_linear(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  LuDecomposition lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+}
+
+TEST(Lu, Determinant) {
+  Matrix a = {{2.0, 0.0, 0.0}, {0.0, 3.0, 0.0}, {0.0, 0.0, 4.0}};
+  LuDecomposition lu(a);
+  EXPECT_NEAR(lu.determinant(), 24.0, 1e-12);
+
+  Matrix swapped = {{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(LuDecomposition(swapped).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(30);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) = rng.uniform(-1.0, 1.0);
+      }
+      a(r, r) += 2.0;  // keep well-conditioned
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) {
+      v = rng.uniform(-5.0, 5.0);
+    }
+    std::vector<double> b;
+    mat_vec(a, x_true, b);
+    const std::vector<double> x = solve_linear(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+  }
+}
+
+TEST(Lu, TransposedSolveMatchesExplicitTranspose) {
+  Rng rng(505);
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0);
+    }
+    a(r, r) += 3.0;
+  }
+  std::vector<double> b(n);
+  for (auto& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  LuDecomposition lu(a);
+  const std::vector<double> x1 = lu.solve_transposed(b);
+  const std::vector<double> x2 = solve_linear(a.transposed(), b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x1[i], x2[i], 1e-9);
+  }
+}
+
+TEST(Lu, InvertRoundTrip) {
+  Matrix a = {{4.0, 7.0}, {2.0, 6.0}};
+  const Matrix inv = invert(a);
+  const Matrix prod = a.multiply(inv);
+  EXPECT_LT(prod.max_abs_diff(Matrix::identity(2)), 1e-12);
+}
+
+TEST(Lu, SolveMatchesInverseApplication) {
+  Matrix a = {{1.0, 2.0, 0.0}, {0.0, 1.0, 3.0}, {4.0, 0.0, 1.0}};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const std::vector<double> x = solve_linear(a, b);
+  const Matrix inv = invert(a);
+  std::vector<double> x2;
+  mat_vec(inv, b, x2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x[i], x2[i], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace rbx

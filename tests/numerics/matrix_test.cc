@@ -1,0 +1,94 @@
+#include "numerics/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(m.square());
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t.transposed().max_abs_diff(m), 0.0);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  Matrix a = {{1.0, -2.0}, {0.5, 4.0}};
+  EXPECT_DOUBLE_EQ(a.multiply(Matrix::identity(2)).max_abs_diff(a), 0.0);
+  EXPECT_DOUBLE_EQ(Matrix::identity(2).multiply(a).max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, Norms) {
+  Matrix m = {{3.0, -4.0}, {0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.inf_norm(), 7.0);
+}
+
+TEST(VectorOps, MatVecAndVecMat) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  std::vector<double> x = {1.0, -1.0};
+  std::vector<double> y;
+  mat_vec(a, x, y);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+
+  std::vector<double> row = {1.0, 0.0, 2.0};
+  std::vector<double> z;
+  vec_mat(row, a, z);
+  ASSERT_EQ(z.size(), 2u);
+  EXPECT_DOUBLE_EQ(z[0], 11.0);
+  EXPECT_DOUBLE_EQ(z[1], 14.0);
+}
+
+TEST(VectorOps, DotAxpySumNorm) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  EXPECT_DOUBLE_EQ(vec_sum(a), 6.0);
+  EXPECT_DOUBLE_EQ(vec_inf_norm(std::vector<double>{-9.0, 2.0}), 9.0);
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,89 @@
+#include "numerics/ode.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+// dy/dt = -y has solution y0 * exp(-t).
+TEST(Rk4, ExponentialDecay) {
+  OdeRhs rhs = [](double, const std::vector<double>& y,
+                  std::vector<double>& dy) { dy[0] = -y[0]; };
+  std::vector<double> y = {1.0};
+  rk4_integrate(rhs, 0.0, 2.0, 2000, y);
+  EXPECT_NEAR(y[0], std::exp(-2.0), 1e-10);
+}
+
+// Harmonic oscillator preserves energy reasonably over a few periods.
+TEST(Rk4, HarmonicOscillator) {
+  OdeRhs rhs = [](double, const std::vector<double>& y,
+                  std::vector<double>& dy) {
+    dy[0] = y[1];
+    dy[1] = -y[0];
+  };
+  std::vector<double> y = {1.0, 0.0};
+  rk4_integrate(rhs, 0.0, 2.0 * M_PI, 10000, y);
+  EXPECT_NEAR(y[0], 1.0, 1e-8);
+  EXPECT_NEAR(y[1], 0.0, 1e-8);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  OdeRhs rhs = [](double t, const std::vector<double>&,
+                  std::vector<double>& dy) { dy[0] = std::cos(t); };
+  auto run = [&](std::size_t steps) {
+    std::vector<double> y = {0.0};
+    rk4_integrate(rhs, 0.0, 1.0, steps, y);
+    return std::fabs(y[0] - std::sin(1.0));
+  };
+  const double e1 = run(10);
+  const double e2 = run(20);
+  // Halving the step should cut the error ~16x; allow slack.
+  EXPECT_GT(e1 / e2, 10.0);
+}
+
+TEST(Rkf45, ExponentialDecay) {
+  OdeRhs rhs = [](double, const std::vector<double>& y,
+                  std::vector<double>& dy) { dy[0] = -3.0 * y[0]; };
+  std::vector<double> y = {2.0};
+  const AdaptiveResult r = rkf45_integrate(rhs, 0.0, 1.5, y);
+  EXPECT_NEAR(y[0], 2.0 * std::exp(-4.5), 1e-7);
+  EXPECT_GT(r.steps_taken, 0u);
+}
+
+TEST(Rkf45, StiffnessAdaptsStepCount) {
+  // A fast then slow system: adaptive integration should spend far fewer
+  // steps than fixed-step at comparable accuracy.
+  OdeRhs rhs = [](double, const std::vector<double>& y,
+                  std::vector<double>& dy) { dy[0] = -50.0 * y[0]; };
+  std::vector<double> y = {1.0};
+  const AdaptiveResult r = rkf45_integrate(rhs, 0.0, 10.0, y);
+  EXPECT_NEAR(y[0], std::exp(-500.0), 1e-9);  // ~0
+  EXPECT_LT(r.steps_taken, 20000u);
+}
+
+TEST(Rkf45, ZeroLengthIntervalIsIdentity) {
+  OdeRhs rhs = [](double, const std::vector<double>& y,
+                  std::vector<double>& dy) { dy[0] = -y[0]; };
+  std::vector<double> y = {5.0};
+  rkf45_integrate(rhs, 1.0, 1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+}
+
+TEST(Rkf45, CoupledLinearSystemMatchesMatrixExponential) {
+  // y' = A y with A = [[0, 1], [-2, -3]]; eigenvalues -1, -2.
+  OdeRhs rhs = [](double, const std::vector<double>& y,
+                  std::vector<double>& dy) {
+    dy[0] = y[1];
+    dy[1] = -2.0 * y[0] - 3.0 * y[1];
+  };
+  std::vector<double> y = {1.0, 0.0};
+  rkf45_integrate(rhs, 0.0, 1.0, y);
+  // Exact: y(t) = 2 e^-t - e^-2t, y'(t) = -2 e^-t + 2 e^-2t.
+  EXPECT_NEAR(y[0], 2.0 * std::exp(-1.0) - std::exp(-2.0), 1e-7);
+  EXPECT_NEAR(y[1], -2.0 * std::exp(-1.0) + 2.0 * std::exp(-2.0), 1e-7);
+}
+
+}  // namespace
+}  // namespace rbx

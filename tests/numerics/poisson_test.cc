@@ -1,0 +1,71 @@
+#include "numerics/poisson.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(PoissonPmf, SmallMeanValues) {
+  EXPECT_NEAR(poisson_pmf(0, 1.0), std::exp(-1.0), 1e-14);
+  EXPECT_NEAR(poisson_pmf(1, 1.0), std::exp(-1.0), 1e-14);
+  EXPECT_NEAR(poisson_pmf(2, 1.0), std::exp(-1.0) / 2.0, 1e-14);
+  EXPECT_NEAR(poisson_pmf(3, 2.0), std::exp(-2.0) * 8.0 / 6.0, 1e-14);
+}
+
+TEST(PoissonPmf, ZeroMeanIsDegenerate) {
+  EXPECT_DOUBLE_EQ(poisson_pmf(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(3, 0.0), 0.0);
+}
+
+TEST(PoissonWindow, CoversRequestedMass) {
+  for (double mean : {0.1, 1.0, 10.0, 100.0, 5000.0}) {
+    const PoissonWindow w = poisson_window(mean, 1e-10);
+    EXPECT_LT(std::fabs(w.tail_mass), 1e-9) << "mean=" << mean;
+    double total = 0.0;
+    for (double v : w.weights) {
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << "mean=" << mean;  // renormalized
+  }
+}
+
+TEST(PoissonWindow, WeightsMatchPmf) {
+  const double mean = 37.5;
+  const PoissonWindow w = poisson_window(mean, 1e-12);
+  for (std::size_t i = 0; i < w.weights.size(); i += 7) {
+    const std::size_t k = w.k_lo + i;
+    EXPECT_NEAR(w.weights[i], poisson_pmf(k, mean), 1e-12);
+  }
+}
+
+TEST(PoissonWindow, WindowIsAroundMode) {
+  const double mean = 1000.0;
+  const PoissonWindow w = poisson_window(mean, 1e-12);
+  EXPECT_LT(w.k_lo, 1000u);
+  EXPECT_GT(w.k_lo + w.weights.size(), 1000u);
+  // Window width for Poisson(1000) should be O(sqrt(mean) * z): well under
+  // the naive 0..2*mean span.
+  EXPECT_LT(w.weights.size(), 600u);
+}
+
+TEST(PoissonWindow, MeanRecovered) {
+  const double mean = 250.0;
+  const PoissonWindow w = poisson_window(mean, 1e-13);
+  double m = 0.0;
+  for (std::size_t i = 0; i < w.weights.size(); ++i) {
+    m += static_cast<double>(w.k_lo + i) * w.weights[i];
+  }
+  EXPECT_NEAR(m, mean, 1e-6);
+}
+
+TEST(PoissonWindow, DegenerateZeroMean) {
+  const PoissonWindow w = poisson_window(0.0, 1e-10);
+  EXPECT_EQ(w.k_lo, 0u);
+  ASSERT_EQ(w.weights.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.weights[0], 1.0);
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,59 @@
+#include "numerics/quadrature.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(Quadrature, Polynomial) {
+  // Simpson is exact for cubics.
+  const auto r = integrate([](double x) { return x * x * x - 2.0 * x; }, 0.0,
+                           2.0);
+  EXPECT_NEAR(r.value, 0.0, 1e-12);
+}
+
+TEST(Quadrature, SinePeriod) {
+  const auto r = integrate([](double x) { return std::sin(x); }, 0.0, M_PI);
+  EXPECT_NEAR(r.value, 2.0, 1e-10);
+}
+
+TEST(Quadrature, SharpPeak) {
+  // Narrow Gaussian needs adaptivity.
+  const auto r = integrate(
+      [](double x) { return std::exp(-1000.0 * (x - 0.5) * (x - 0.5)); }, 0.0,
+      1.0, 1e-12);
+  EXPECT_NEAR(r.value, std::sqrt(M_PI / 1000.0), 1e-9);
+}
+
+TEST(Quadrature, EmptyInterval) {
+  const auto r = integrate([](double) { return 123.0; }, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(QuadratureToInfinity, ExponentialTail) {
+  const auto r =
+      integrate_to_infinity([](double x) { return std::exp(-x); }, 0.0);
+  EXPECT_NEAR(r.value, 1.0, 1e-9);
+}
+
+TEST(QuadratureToInfinity, ShiftedStart) {
+  const auto r = integrate_to_infinity(
+      [](double x) { return 2.0 * std::exp(-2.0 * x); }, 1.0, 0.5);
+  EXPECT_NEAR(r.value, std::exp(-2.0), 1e-9);
+}
+
+TEST(QuadratureToInfinity, MaxOfExponentialsSurvival) {
+  // E[max(Exp(1), Exp(1))] = 1.5 via survival function integration.
+  const auto r = integrate_to_infinity(
+      [](double t) {
+        const double g = (1.0 - std::exp(-t)) * (1.0 - std::exp(-t));
+        return 1.0 - g;
+      },
+      0.0);
+  EXPECT_NEAR(r.value, 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,111 @@
+#include "numerics/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "numerics/matrix.h"
+#include "support/rng.h"
+
+namespace rbx {
+namespace {
+
+TEST(Sparse, BuildAndLookup) {
+  SparseMatrixBuilder b(3, 3);
+  b.add(0, 1, 2.0);
+  b.add(1, 2, 3.0);
+  b.add(2, 0, 4.0);
+  const SparseMatrix m = b.build();
+  EXPECT_EQ(m.nonzeros(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(Sparse, DuplicatesSum) {
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(0, 1, 2.5);
+  const SparseMatrix m = b.build();
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.5);
+}
+
+TEST(Sparse, ZeroValuesDropped) {
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 0, 0.0);
+  b.add(1, 1, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 0, -1.0);  // cancels to zero
+  const SparseMatrix m = b.build();
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+}
+
+TEST(Sparse, RowSum) {
+  SparseMatrixBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 2, 4.0);
+  const SparseMatrix m = b.build();
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 5.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 0.0);
+}
+
+TEST(Sparse, MultiplicationMatchesDense) {
+  Rng rng(99);
+  const std::size_t rows = 17, cols = 23;
+  SparseMatrixBuilder b(rows, cols);
+  Matrix dense(rows, cols);
+  for (int k = 0; k < 80; ++k) {
+    const std::size_t r = rng.uniform_index(rows);
+    const std::size_t c = rng.uniform_index(cols);
+    const double v = rng.uniform(-2.0, 2.0);
+    b.add(r, c, v);
+    dense(r, c) += v;
+  }
+  const SparseMatrix sparse = b.build();
+
+  std::vector<double> x(rows), y_sparse, y_dense;
+  for (auto& v : x) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  sparse.left_multiply(x, y_sparse);
+  vec_mat(x, dense, y_dense);
+  ASSERT_EQ(y_sparse.size(), cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+  }
+
+  std::vector<double> z(cols), r_sparse, r_dense;
+  for (auto& v : z) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  sparse.right_multiply(z, r_sparse);
+  mat_vec(dense, z, r_dense);
+  for (std::size_t i = 0; i < rows; ++i) {
+    EXPECT_NEAR(r_sparse[i], r_dense[i], 1e-12);
+  }
+}
+
+TEST(Sparse, DenseConversion) {
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 7.0);
+  const auto dense = b.build().to_dense();
+  EXPECT_DOUBLE_EQ(dense[0][1], 7.0);
+  EXPECT_DOUBLE_EQ(dense[1][0], 0.0);
+}
+
+TEST(Sparse, RowIteration) {
+  SparseMatrixBuilder b(3, 4);
+  b.add(1, 0, 1.0);
+  b.add(1, 3, 2.0);
+  const SparseMatrix m = b.build();
+  EXPECT_EQ(m.row_end(0), m.row_begin(0));
+  double sum = 0.0;
+  for (std::size_t k = m.row_begin(1); k < m.row_end(1); ++k) {
+    sum += m.entry_value(k);
+  }
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,116 @@
+#include "runtime/channel.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+Message app(ProcessId sender, std::uint64_t seq, std::int64_t payload = 0,
+            std::uint64_t ticket = 0) {
+  Message m;
+  m.type = MessageType::kApp;
+  m.sender = sender;
+  m.seq = seq;
+  m.payload = payload;
+  m.send_ticket = ticket;
+  return m;
+}
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox box;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    box.push(app(0, i));
+  }
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    const auto m = box.try_pop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->seq, i);
+  }
+  EXPECT_FALSE(box.try_pop().has_value());
+}
+
+TEST(Mailbox, PopWaitTimesOutWhenEmpty) {
+  Mailbox box;
+  const auto m = box.pop_wait(std::chrono::milliseconds(5));
+  EXPECT_FALSE(m.has_value());
+}
+
+TEST(Mailbox, PopWaitWakesOnPush) {
+  Mailbox box;
+  std::thread producer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    box.push(app(1, 7));
+  });
+  const auto m = box.pop_wait(std::chrono::milliseconds(2000));
+  producer.join();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->seq, 7u);
+}
+
+TEST(Mailbox, FilterDropsMatching) {
+  Mailbox box;
+  box.push(app(0, 1, 0, /*ticket=*/10));
+  box.push(app(0, 2, 0, /*ticket=*/20));
+  box.push(app(1, 1, 0, /*ticket=*/30));
+  const std::size_t dropped =
+      box.filter([](const Message& m) { return m.send_ticket > 15; });
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_EQ(box.try_pop()->send_ticket, 10u);
+}
+
+TEST(Mailbox, DrainAllPreservesOrder) {
+  Mailbox box;
+  box.push(app(0, 1));
+  box.push(app(0, 2));
+  const auto all = box.drain_all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].seq, 1u);
+  EXPECT_EQ(all[1].seq, 2u);
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(Mailbox, PushFrontBatchReplaysAheadOfNewerTraffic) {
+  Mailbox box;
+  box.push(app(0, 5));
+  box.push_front_batch({app(0, 1), app(0, 2)});
+  EXPECT_EQ(box.try_pop()->seq, 1u);
+  EXPECT_EQ(box.try_pop()->seq, 2u);
+  EXPECT_EQ(box.try_pop()->seq, 5u);
+}
+
+TEST(Mailbox, ConcurrentProducersDeliverEverythingFifoPerSender) {
+  Mailbox box;
+  constexpr int kSenders = 4;
+  constexpr std::uint64_t kPerSender = 2000;
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kSenders; ++s) {
+    producers.emplace_back([&box, s] {
+      for (std::uint64_t i = 1; i <= kPerSender; ++i) {
+        box.push(app(static_cast<ProcessId>(s), i));
+      }
+    });
+  }
+  std::vector<std::uint64_t> last(kSenders, 0);
+  std::size_t received = 0;
+  while (received < kSenders * kPerSender) {
+    const auto m = box.pop_wait(std::chrono::milliseconds(1000));
+    ASSERT_TRUE(m.has_value()) << "lost messages";
+    ++received;
+    // Per-sender FIFO: sequence numbers strictly increase.
+    EXPECT_EQ(m->seq, last[m->sender] + 1);
+    last[m->sender] = m->seq;
+  }
+  for (auto& p : producers) {
+    p.join();
+  }
+  for (int s = 0; s < kSenders; ++s) {
+    EXPECT_EQ(last[s], kPerSender);
+  }
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,94 @@
+#include "runtime/event_log.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(EventLog, TicketsAreStrictlyMonotone) {
+  EventLog log(2);
+  std::uint64_t seq = 0;
+  const auto t1 = log.log_recovery_point(0, &seq);
+  const auto t2 = log.log_interaction(0, 1);
+  const auto t3 = log.now();
+  const auto t4 = log.log_prp(1, 0, seq);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+  EXPECT_LT(t3, t4);
+  EXPECT_EQ(log.last_ticket(), t4);
+}
+
+TEST(EventLog, RpSequenceNumbersPerProcess) {
+  EventLog log(2);
+  std::uint64_t s1 = 0, s2 = 0, s3 = 0;
+  log.log_recovery_point(0, &s1);
+  log.log_recovery_point(1, &s2);
+  log.log_recovery_point(0, &s3);
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(s2, 1u);
+  EXPECT_EQ(s3, 2u);
+}
+
+TEST(EventLog, SnapshotMaterializesHistory) {
+  EventLog log(3);
+  std::uint64_t seq = 0;
+  const auto t_rp = log.log_recovery_point(2, &seq);
+  log.log_prp(0, 2, seq);
+  log.log_interaction(0, 1);
+
+  const History h = log.snapshot();
+  EXPECT_EQ(h.rp_count(2), 1u);
+  EXPECT_EQ(h.rp_times(2)[0], static_cast<double>(t_rp));
+  EXPECT_TRUE(h.prp_for(0, 2, seq).has_value());
+  EXPECT_EQ(h.interaction_times(0, 1).size(), 1u);
+}
+
+TEST(EventLog, SnapshotIsPrefixStable) {
+  EventLog log(2);
+  std::uint64_t seq = 0;
+  log.log_recovery_point(0, &seq);
+  const History h1 = log.snapshot();
+  log.log_interaction(0, 1);
+  const History h2 = log.snapshot();
+  EXPECT_EQ(h1.rp_count(0), 1u);
+  EXPECT_EQ(h2.rp_count(0), 1u);
+  EXPECT_EQ(h1.interaction_times(0, 1).size(), 0u);
+  EXPECT_EQ(h2.interaction_times(0, 1).size(), 1u);
+}
+
+TEST(EventLog, ConcurrentAppendsProduceUniqueOrderedTickets) {
+  EventLog log(4);
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::uint64_t>> tickets(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&log, &tickets, t] {
+      tickets[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        tickets[t].push_back(
+            log.log_interaction(static_cast<ProcessId>(t), (t + 1) % 4));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // Per-thread tickets strictly increase; all tickets globally unique.
+  std::vector<std::uint64_t> all;
+  for (const auto& v : tickets) {
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      EXPECT_LT(v[i - 1], v[i]);
+    }
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  // And the snapshot is a valid, time-ordered history.
+  const History h = log.snapshot();
+  EXPECT_EQ(h.events().size(), all.size());
+}
+
+}  // namespace
+}  // namespace rbx

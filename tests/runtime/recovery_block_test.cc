@@ -1,0 +1,130 @@
+#include "runtime/recovery_block.h"
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+// A state whose acceptance depends on a controllable flag.
+struct FlagState final : Serializable {
+  std::int64_t value = 0;
+  bool bad = false;
+
+  std::vector<std::byte> serialize() const override {
+    std::vector<std::byte> out(sizeof(value) + 1);
+    std::memcpy(out.data(), &value, sizeof(value));
+    out[sizeof(value)] = static_cast<std::byte>(bad ? 1 : 0);
+    return out;
+  }
+  void deserialize(const std::vector<std::byte>& bytes) override {
+    std::memcpy(&value, bytes.data(), sizeof(value));
+    bad = bytes[sizeof(value)] == std::byte{1};
+  }
+};
+
+RecoveryBlock::AcceptanceTest not_bad() {
+  return [](const Serializable& s) {
+    return !static_cast<const FlagState&>(s).bad;
+  };
+}
+
+TEST(RecoveryBlock, PrimarySucceeds) {
+  RecoveryBlock rb(not_bad());
+  rb.add_alternative([](Serializable& s) {
+    static_cast<FlagState&>(s).value = 42;
+  });
+  FlagState state;
+  const auto outcome = rb.execute(state);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->accepted_alternative, 0u);
+  EXPECT_EQ(outcome->rollbacks, 0u);
+  EXPECT_EQ(state.value, 42);
+}
+
+TEST(RecoveryBlock, FallsBackToAlternate) {
+  RecoveryBlock rb(not_bad());
+  rb.add_alternative([](Serializable& s) {
+    auto& fs = static_cast<FlagState&>(s);
+    fs.value = 1;
+    fs.bad = true;  // rejected by the acceptance test
+  });
+  rb.add_alternative([](Serializable& s) {
+    static_cast<FlagState&>(s).value = 2;
+  });
+  FlagState state;
+  const auto outcome = rb.execute(state);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->accepted_alternative, 1u);
+  EXPECT_EQ(outcome->rollbacks, 1u);
+  EXPECT_EQ(state.value, 2);
+  EXPECT_FALSE(state.bad);
+}
+
+TEST(RecoveryBlock, FailedAttemptIsRolledBackBeforeNextAlternative) {
+  // The second alternative must see the recovery-point state, not the
+  // first alternative's leftovers.
+  RecoveryBlock rb(not_bad());
+  rb.add_alternative([](Serializable& s) {
+    auto& fs = static_cast<FlagState&>(s);
+    fs.value += 100;
+    fs.bad = true;
+  });
+  rb.add_alternative([](Serializable& s) {
+    auto& fs = static_cast<FlagState&>(s);
+    fs.value += 1;  // applied to the original value, not +101
+  });
+  FlagState state;
+  state.value = 5;
+  const auto outcome = rb.execute(state);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(state.value, 6);
+}
+
+TEST(RecoveryBlock, AllAlternativesFailRestoresEntryState) {
+  RecoveryBlock rb(not_bad());
+  for (int i = 0; i < 3; ++i) {
+    rb.add_alternative([](Serializable& s) {
+      auto& fs = static_cast<FlagState&>(s);
+      fs.value = 999;
+      fs.bad = true;
+    });
+  }
+  FlagState state;
+  state.value = 7;
+  const auto outcome = rb.execute(state);
+  EXPECT_FALSE(outcome.has_value());
+  EXPECT_EQ(state.value, 7);   // restored to the recovery point
+  EXPECT_FALSE(state.bad);
+}
+
+TEST(RecoveryBlock, AlternativesTriedInOrder) {
+  RecoveryBlock rb(not_bad());
+  std::vector<int> order;
+  rb.add_alternative([&order](Serializable& s) {
+    order.push_back(1);
+    static_cast<FlagState&>(s).bad = true;
+  });
+  rb.add_alternative([&order](Serializable& s) {
+    order.push_back(2);
+    static_cast<FlagState&>(s).bad = true;
+  });
+  rb.add_alternative([&order](Serializable& s) {
+    order.push_back(3);
+    static_cast<FlagState&>(s).bad = false;
+  });
+  FlagState state;
+  const auto outcome = rb.execute(state);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->accepted_alternative, 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RecoveryBlockDeathTest, RequiresAcceptanceTestAndAlternative) {
+  EXPECT_DEATH(RecoveryBlock(nullptr), "acceptance test");
+  RecoveryBlock rb(not_bad());
+  FlagState state;
+  EXPECT_DEATH(static_cast<void>(rb.execute(state)), "primary");
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,174 @@
+#include "runtime/system.h"
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+RuntimeConfig base(SchemeKind scheme, std::uint64_t seed = 1) {
+  RuntimeConfig cfg;
+  cfg.num_processes = 3;
+  cfg.scheme = scheme;
+  cfg.seed = seed;
+  cfg.steps = 300;
+  cfg.message_probability = 0.3;
+  cfg.rp_probability = 0.1;
+  cfg.sync_period_steps = 40;
+  return cfg;
+}
+
+TEST(RuntimeSystem, AsyncFaultFreeRun) {
+  RuntimeConfig cfg = base(SchemeKind::kAsynchronous);
+  RecoverySystem system(cfg);
+  const RuntimeReport r = system.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.restore_verified);
+  EXPECT_TRUE(r.line_consistency_verified);
+  EXPECT_EQ(r.recoveries, 0u);
+  EXPECT_EQ(r.fifo_violations, 0u);
+  EXPECT_GT(r.rps, 0u);
+  EXPECT_EQ(r.prps, 0u);
+  EXPECT_GT(r.messages_sent, 0u);
+  EXPECT_GT(r.rb_executions, 0u);
+  // Without failure injection every message eventually lands.
+  EXPECT_EQ(r.messages_applied, r.messages_sent);
+}
+
+TEST(RuntimeSystem, AsyncWithInjectedFailuresRecovers) {
+  RuntimeConfig cfg = base(SchemeKind::kAsynchronous, 7);
+  cfg.at_failure_probability = 0.08;
+  RecoverySystem system(cfg);
+  const RuntimeReport r = system.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.restore_verified);
+  EXPECT_TRUE(r.line_consistency_verified);
+  EXPECT_GT(r.at_failures, 0u);
+  EXPECT_GT(r.recoveries, 0u);
+  EXPECT_GT(r.affected_processes.count(), 0u);
+  // Rollback propagation: on average more than just the failing process.
+  EXPECT_GE(r.affected_processes.max(), 2.0);
+}
+
+TEST(RuntimeSystem, PrpImplantsAndRecovers) {
+  RuntimeConfig cfg = base(SchemeKind::kPseudoRecoveryPoints, 11);
+  cfg.at_failure_probability = 0.08;
+  RecoverySystem system(cfg);
+  const RuntimeReport r = system.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.restore_verified);
+  EXPECT_GT(r.rps, 0u);
+  EXPECT_GT(r.prps, 0u);
+  EXPECT_GT(r.implant_commits, 0u);
+  EXPECT_GT(r.recoveries, 0u);
+  // Purging keeps per-process storage bounded: at most two own RPs plus
+  // two PRPs per peer = 2 + 2*(n-1) snapshots per process.
+  EXPECT_LE(r.snapshots_retained, 3u * (2u + 2u * 2u));
+  EXPECT_GT(r.purged_snapshots, 0u);
+}
+
+TEST(RuntimeSystem, PrpImplantCountsAreConsistent) {
+  RuntimeConfig cfg = base(SchemeKind::kPseudoRecoveryPoints, 13);
+  RecoverySystem system(cfg);
+  const RuntimeReport r = system.run();
+  EXPECT_TRUE(r.completed);
+  // Every RP requests n-1 implants; shutdown may cut the tail short.
+  EXPECT_LE(r.prps, r.rps * 2);
+  EXPECT_GE(r.prps + 2 * 2, r.rps);  // all but the last RPs got implanted
+  EXPECT_EQ(r.recoveries, 0u);
+}
+
+TEST(RuntimeSystem, SyncEstablishesLinesWithoutFailures) {
+  RuntimeConfig cfg = base(SchemeKind::kSynchronized, 17);
+  RecoverySystem system(cfg);
+  const RuntimeReport r = system.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.sync_lines, 0u);
+  EXPECT_EQ(r.sync_aborts, 0u);
+  EXPECT_EQ(r.recoveries, 0u);
+  EXPECT_TRUE(r.restore_verified);
+  // Every line records one RP per process.
+  EXPECT_EQ(r.rps, r.sync_lines * 3);
+  EXPECT_GT(r.sync_wait_polls.count(), 0u);
+}
+
+TEST(RuntimeSystem, SyncAbortsAndRestoresOnFailure) {
+  RuntimeConfig cfg = base(SchemeKind::kSynchronized, 19);
+  // Enough lines that P(no acceptance test ever fails) is negligible.
+  cfg.steps = 600;
+  cfg.sync_period_steps = 30;
+  cfg.at_failure_probability = 0.15;
+  RecoverySystem system(cfg);
+  const RuntimeReport r = system.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.restore_verified);
+  EXPECT_GT(r.recoveries, 0u);
+  EXPECT_GT(r.sync_aborts, 0u);
+}
+
+TEST(RuntimeSystem, LocalRecoveryBlockAlternatesMaskFaults) {
+  // Alternate-level faults are absorbed by the sequential RB (no global
+  // recovery needed) as long as one alternative survives.
+  RuntimeConfig cfg = base(SchemeKind::kAsynchronous, 23);
+  cfg.alternate_failure_probability = 0.3;
+  cfg.rb_alternates = 4;  // P(all four fail) = 0.81%
+  RecoverySystem system(cfg);
+  const RuntimeReport r = system.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.rb_local_rollbacks, 0u);
+  // Local masking means far fewer global recoveries than RB executions.
+  EXPECT_LT(r.recoveries, r.rb_executions / 4 + 1);
+}
+
+TEST(RuntimeSystem, FourProcessRuns) {
+  for (SchemeKind scheme :
+       {SchemeKind::kAsynchronous, SchemeKind::kSynchronized,
+        SchemeKind::kPseudoRecoveryPoints}) {
+    RuntimeConfig cfg = base(scheme, 29);
+    cfg.num_processes = 4;
+    cfg.at_failure_probability = 0.05;
+    RecoverySystem system(cfg);
+    const RuntimeReport r = system.run();
+    EXPECT_TRUE(r.completed) << static_cast<int>(scheme);
+    EXPECT_TRUE(r.restore_verified);
+  }
+}
+
+// Fault-injection sweep across schemes and seeds: the runtime must always
+// terminate, never violate FIFO beyond rollback resets, and keep its
+// verified invariants.
+struct SweepCase {
+  SchemeKind scheme;
+  std::uint64_t seed;
+  double failure_p;
+};
+
+class RuntimeSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RuntimeSweepTest, InvariantsHoldUnderFaults) {
+  const SweepCase& c = GetParam();
+  RuntimeConfig cfg = base(c.scheme, c.seed);
+  cfg.steps = 200;
+  cfg.at_failure_probability = c.failure_p;
+  RecoverySystem system(cfg);
+  const RuntimeReport r = system.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.restore_verified);
+  EXPECT_TRUE(r.line_consistency_verified);
+  EXPECT_EQ(r.fifo_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultSweep, RuntimeSweepTest,
+    ::testing::Values(
+        SweepCase{SchemeKind::kAsynchronous, 101, 0.0},
+        SweepCase{SchemeKind::kAsynchronous, 102, 0.1},
+        SweepCase{SchemeKind::kAsynchronous, 103, 0.25},
+        SweepCase{SchemeKind::kSynchronized, 104, 0.0},
+        SweepCase{SchemeKind::kSynchronized, 105, 0.1},
+        SweepCase{SchemeKind::kSynchronized, 106, 0.25},
+        SweepCase{SchemeKind::kPseudoRecoveryPoints, 107, 0.0},
+        SweepCase{SchemeKind::kPseudoRecoveryPoints, 108, 0.1},
+        SweepCase{SchemeKind::kPseudoRecoveryPoints, 109, 0.25}));
+
+}  // namespace
+}  // namespace rbx

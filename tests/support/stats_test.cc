@@ -1,0 +1,149 @@
+#include "support/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(RunningStats, MeanAndVarianceOfKnownData) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_half_width(), 0.0);
+}
+
+TEST(RunningStats, EmptyMeanIsZero) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0 + i * 0.01;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) {
+    small.add(i % 7);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    large.add(i % 7);
+  }
+  EXPECT_LT(large.ci_half_width(), small.ci_half_width());
+}
+
+TEST(SampleSet, QuantilesOfUniformGrid) {
+  SampleSet s;
+  for (int i = 100; i >= 0; --i) {  // inserted unsorted on purpose
+    s.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 1e-12);
+  EXPECT_NEAR(s.quantile(0.25), 25.0, 1e-12);
+  EXPECT_NEAR(s.quantile(0.95), 95.0, 1e-12);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(1.0);
+  EXPECT_NEAR(s.quantile(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(s.quantile(0.75), 0.75, 1e-12);
+}
+
+TEST(SampleSet, StatsMatchRunningStats) {
+  SampleSet s;
+  RunningStats r;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = (i * 37 % 101) * 0.13;
+    s.add(x);
+    r.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), r.mean());
+  EXPECT_DOUBLE_EQ(s.variance(), r.variance());
+}
+
+TEST(Histogram, BinningAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 1000; ++i) {
+    h.add(static_cast<double>(i % 10) + 0.5);
+  }
+  EXPECT_EQ(h.total(), 1000u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  double density_integral = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    EXPECT_EQ(h.bin_count(i), 100u);
+    density_integral += h.density(i) * h.bin_width();
+  }
+  EXPECT_NEAR(density_integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, OverflowAndUnderflowCounted) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);   // hi is exclusive
+  h.add(2.0);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_NEAR(h.bin_center(0), 0.125, 1e-12);
+  EXPECT_NEAR(h.bin_center(3), 0.875, 1e-12);
+}
+
+TEST(RelativeError, BasicBehaviour) {
+  EXPECT_NEAR(relative_error(10.0, 11.0), 1.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_GT(relative_error(1e-15, 2e-15), 0.0);
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,47 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"n", "E[X]"});
+  t.add_row({"2", "1.25"});
+  t.add_row({"10", "3.5"});
+  const std::string out = t.render("demo");
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("E[X]"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 3), "2.000");
+  EXPECT_EQ(TextTable::fmt_int(42), "42");
+  EXPECT_EQ(TextTable::fmt_int(-7), "-7");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableDeathTest, RejectsRaggedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,52 @@
+#include "trace/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "model/async_symmetric.h"
+
+namespace rbx {
+namespace {
+
+TEST(Dot, HistoryExportContainsAllEvents) {
+  History h(2);
+  h.add_recovery_point(0, 1.0);
+  h.add_pseudo_recovery_point(1, 1.01, 0, 1);
+  h.add_interaction(0, 1, 2.0);
+
+  const std::string dot = history_to_dot(h, "fig1");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("fig1"), std::string::npos);
+  EXPECT_NE(dot.find("rp_0_1"), std::string::npos);
+  EXPECT_NE(dot.find("prp_1_0_1"), std::string::npos);
+  EXPECT_NE(dot.find("ix_0"), std::string::npos);
+  EXPECT_NE(dot.find("P1"), std::string::npos);
+  EXPECT_NE(dot.find("P2"), std::string::npos);
+}
+
+TEST(Dot, CtmcExportHasStatesAndRates) {
+  SymmetricAsyncModel m(3, 1.0, 1.0);
+  const std::string dot = ctmc_to_dot(
+      m.chain(),
+      [&m](std::size_t s) {
+        if (s == m.entry_state()) return std::string("Sr");
+        if (s == m.absorbing_state()) return std::string("Sr+1");
+        return "S~" + std::to_string(s - 1);
+      },
+      "fig3");
+  EXPECT_NE(dot.find("Sr"), std::string::npos);
+  EXPECT_NE(dot.find("S~0"), std::string::npos);
+  // R4' rate n*mu = 3.
+  EXPECT_NE(dot.find("label=\"3\""), std::string::npos);
+  // No self-loop edges.
+  EXPECT_EQ(dot.find("s0 -> s0"), std::string::npos);
+}
+
+TEST(Dot, DeterministicOutput) {
+  History h(2);
+  h.add_recovery_point(0, 1.0);
+  h.add_interaction(0, 1, 2.0);
+  EXPECT_EQ(history_to_dot(h), history_to_dot(h));
+}
+
+}  // namespace
+}  // namespace rbx

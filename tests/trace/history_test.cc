@@ -1,0 +1,105 @@
+#include "trace/history.h"
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(History, RecordsRecoveryPointsInOrder) {
+  History h(2);
+  h.add_recovery_point(0, 1.0);
+  h.add_recovery_point(1, 2.0);
+  h.add_recovery_point(0, 3.0);
+  EXPECT_EQ(h.rp_count(0), 2u);
+  EXPECT_EQ(h.rp_count(1), 1u);
+  EXPECT_EQ(h.rp_times(0), (std::vector<double>{1.0, 3.0}));
+  EXPECT_DOUBLE_EQ(h.last_time(), 3.0);
+  EXPECT_EQ(h.events().size(), 3u);
+}
+
+TEST(History, LatestRpQueries) {
+  History h(1);
+  h.add_recovery_point(0, 1.0);
+  h.add_recovery_point(0, 2.0);
+  h.add_recovery_point(0, 3.0);
+
+  const auto at2 = h.latest_rp_at_or_before(0, 2.0);
+  ASSERT_TRUE(at2.has_value());
+  EXPECT_DOUBLE_EQ(at2->time, 2.0);
+  EXPECT_EQ(at2->rp_seq, 2u);
+  EXPECT_FALSE(at2->is_initial);
+  EXPECT_FALSE(at2->is_pseudo);
+
+  const auto before2 = h.latest_rp_before(0, 2.0);
+  ASSERT_TRUE(before2.has_value());
+  EXPECT_DOUBLE_EQ(before2->time, 1.0);
+  EXPECT_EQ(before2->rp_seq, 1u);
+
+  EXPECT_FALSE(h.latest_rp_before(0, 1.0).has_value());
+  EXPECT_FALSE(h.latest_rp_at_or_before(0, 0.5).has_value());
+}
+
+TEST(History, InteractionQueriesAreSymmetricAndOrdered) {
+  History h(3);
+  h.add_interaction(0, 1, 1.0);
+  h.add_interaction(1, 0, 2.0);  // reversed order, same pair
+  h.add_interaction(1, 2, 3.0);
+
+  EXPECT_EQ(h.interaction_times(0, 1), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(h.interaction_times(1, 0), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(h.interaction_times(0, 2).size(), 0u);
+
+  EXPECT_TRUE(h.has_interaction_in(0, 1, 0.5, 1.5));
+  EXPECT_TRUE(h.has_interaction_in(0, 1, 1.0, 1.0));  // closed interval
+  EXPECT_FALSE(h.has_interaction_in(0, 1, 2.5, 9.0));
+  // Bounds swap transparently.
+  EXPECT_TRUE(h.has_interaction_in(0, 1, 1.5, 0.5));
+
+  const auto first = h.first_interaction_in(0, 1, 0.0, 10.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(*first, 1.0);
+}
+
+TEST(History, PrpLookup) {
+  History h(3);
+  h.add_recovery_point(0, 1.0);
+  h.add_pseudo_recovery_point(1, 1.01, 0, 1);
+  h.add_pseudo_recovery_point(2, 1.02, 0, 1);
+  h.add_recovery_point(0, 2.0);
+  h.add_pseudo_recovery_point(1, 2.01, 0, 2);
+
+  const auto prp = h.prp_for(1, 0, 1);
+  ASSERT_TRUE(prp.has_value());
+  EXPECT_DOUBLE_EQ(prp->time, 1.01);
+  EXPECT_TRUE(prp->is_pseudo);
+
+  const auto prp2 = h.prp_for(1, 0, 2);
+  ASSERT_TRUE(prp2.has_value());
+  EXPECT_DOUBLE_EQ(prp2->time, 2.01);
+
+  EXPECT_FALSE(h.prp_for(2, 0, 2).has_value());
+  EXPECT_FALSE(h.prp_for(1, 0, 9).has_value());
+}
+
+TEST(History, RecoveryLineTimeSpan) {
+  RecoveryLine line;
+  line.points = {RestartPoint{1.0, false, false, 1},
+                 RestartPoint{3.0, false, false, 2},
+                 RestartPoint{2.0, false, false, 1}};
+  EXPECT_DOUBLE_EQ(line.min_time(), 1.0);
+  EXPECT_DOUBLE_EQ(line.max_time(), 3.0);
+}
+
+TEST(HistoryDeathTest, RejectsOutOfOrderEvents) {
+  History h(2);
+  h.add_recovery_point(0, 5.0);
+  EXPECT_DEATH(h.add_recovery_point(1, 4.0), "time-ordered");
+}
+
+TEST(HistoryDeathTest, RejectsSelfInteraction) {
+  History h(2);
+  EXPECT_DEATH(h.add_interaction(1, 1, 1.0), "");
+}
+
+}  // namespace
+}  // namespace rbx

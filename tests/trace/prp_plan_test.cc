@@ -1,0 +1,193 @@
+#include "trace/prp_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace rbx {
+namespace {
+
+// Builds a history in which every RP of every process is followed by PRP
+// implants in all other processes (the paper's implantation algorithm),
+// with a small recording delay.
+History implanted_history(std::size_t n,
+                          const std::vector<std::pair<ProcessId, double>>& rps,
+                          const std::vector<std::tuple<ProcessId, ProcessId,
+                                                       double>>& interactions,
+                          double implant_delay = 0.001) {
+  struct Ev {
+    double t;
+    int type;  // 0 = rp, 1 = interaction
+    ProcessId a, b;
+  };
+  std::vector<Ev> evs;
+  for (const auto& [p, t] : rps) {
+    evs.push_back({t, 0, p, p});
+  }
+  for (const auto& [a, b, t] : interactions) {
+    evs.push_back({t, 1, a, b});
+  }
+  std::sort(evs.begin(), evs.end(),
+            [](const Ev& x, const Ev& y) { return x.t < y.t; });
+  History h(n);
+  std::vector<std::size_t> seq(n, 0);
+  double cursor = 0.0;  // keeps emission monotone even for tight event gaps
+  auto clamp = [&cursor](double t) {
+    cursor = std::max(cursor, t);
+    return cursor;
+  };
+  for (const Ev& e : evs) {
+    if (e.type == 0) {
+      h.add_recovery_point(e.a, clamp(e.t));
+      ++seq[e.a];
+      for (ProcessId q = 0; q < n; ++q) {
+        if (q != e.a) {
+          h.add_pseudo_recovery_point(q, clamp(e.t + implant_delay), e.a,
+                                      seq[e.a]);
+        }
+      }
+    } else {
+      h.add_interaction(e.a, e.b, clamp(e.t));
+    }
+  }
+  return h;
+}
+
+TEST(PrpPlanner, LocalErrorRollsToPseudoRecoveryLine) {
+  // P0 establishes RP2 at t=2; PRPs implanted in P1 and P2 right after.
+  // A local error in P0 detected at t=3 restarts everyone from the pseudo
+  // recovery line of RP2^0.
+  const History h = implanted_history(
+      3, {{0, 1.0}, {1, 1.2}, {2, 1.4}, {0, 2.0}}, {{0, 1, 2.5}});
+
+  const PrpRollbackResult r =
+      PrpRollbackPlanner(h).plan(0, 3.0, ErrorScope::kLocal);
+  EXPECT_EQ(r.iterations, 1u);
+  EXPECT_DOUBLE_EQ(r.restart[0].time, 2.0);
+  EXPECT_FALSE(r.restart[0].is_pseudo);
+  EXPECT_DOUBLE_EQ(r.restart[1].time, 2.001);
+  EXPECT_TRUE(r.restart[1].is_pseudo);
+  EXPECT_DOUBLE_EQ(r.restart[2].time, 2.001);
+  EXPECT_EQ(r.affected_count, 3u);
+  EXPECT_NEAR(r.rollback_distance, 1.0, 1e-9);
+}
+
+TEST(PrpPlanner, RollbackDistanceIsBoundedByOwnRpGap) {
+  // Unlike asynchronous RBs, the PRP restart stays within one RP of the
+  // failing process even under heavy interaction.
+  const History h = implanted_history(
+      2, {{0, 1.0}, {1, 1.1}, {0, 2.0}, {1, 2.1}, {0, 3.0}},
+      {{0, 1, 1.5}, {0, 1, 2.5}, {0, 1, 3.5}});
+  const PrpRollbackResult r =
+      PrpRollbackPlanner(h).plan(0, 4.0, ErrorScope::kLocal);
+  // P0 restarts from RP@3.0; P1 from PRP@3.001.
+  EXPECT_DOUBLE_EQ(r.restart[0].time, 3.0);
+  EXPECT_NEAR(r.restart[1].time, 3.001, 1e-12);
+  EXPECT_NEAR(r.rollback_distance, 1.0, 1e-9);
+}
+
+TEST(PrpPlanner, ContaminatedPrpTriggersSecondIteration) {
+  // Propagated error: P1's restored PRP (implanted at 2.001, after P1's own
+  // last acceptance test at 1.2) may hold contaminated state, so step 3
+  // moves the pointer to P1, pushing the line back to P1's RP and the PRPs
+  // implanted for it.
+  const History h = implanted_history(
+      3, {{0, 1.0}, {1, 1.2}, {2, 1.4}, {0, 2.0}}, {{0, 1, 2.5}});
+  const PrpRollbackResult r =
+      PrpRollbackPlanner(h).plan(0, 3.0, ErrorScope::kPropagated);
+  EXPECT_GE(r.iterations, 2u);
+  EXPECT_DOUBLE_EQ(r.restart[1].time, 1.2);
+  EXPECT_FALSE(r.restart[1].is_pseudo);
+  // P0 now restores the PRP for P1's RP1 at 1.201 (older than its RP@2.0).
+  EXPECT_NEAR(r.restart[0].time, 1.201, 1e-12);
+  EXPECT_TRUE(r.restart[0].is_pseudo);
+}
+
+TEST(PrpPlanner, TerminatesWithinNIterations) {
+  const History h = implanted_history(
+      4,
+      {{0, 1.0}, {1, 1.5}, {2, 2.0}, {3, 2.5}, {0, 3.0}, {1, 3.5}},
+      {{0, 1, 3.2}, {1, 2, 3.3}, {2, 3, 3.4}});
+  const PrpRollbackResult r = PrpRollbackPlanner(h).plan(0, 4.0);
+  EXPECT_LE(r.iterations, 4u);
+  EXPECT_EQ(r.affected_count, 4u);
+}
+
+TEST(PrpPlanner, RestartNeverMovesForward) {
+  const History h = implanted_history(
+      3, {{0, 1.0}, {1, 1.5}, {2, 2.0}, {0, 2.5}, {1, 3.0}}, {{0, 1, 2.7}});
+  const PrpRollbackResult r = PrpRollbackPlanner(h).plan(1, 3.5);
+  for (ProcessId q = 0; q < 3; ++q) {
+    EXPECT_LE(r.restart[q].time, 3.5);
+  }
+}
+
+TEST(PrpPlanner, NoRecoveryPointsFallsBackToStart) {
+  History h(2);
+  h.add_interaction(0, 1, 1.0);
+  const PrpRollbackResult r = PrpRollbackPlanner(h).plan(0, 2.0);
+  EXPECT_TRUE(r.domino_to_start);
+  EXPECT_TRUE(r.restart[0].is_initial);
+  EXPECT_TRUE(r.restart[1].is_initial);
+}
+
+TEST(PrpPlanner, ScopedVariantLimitsAffectedSet) {
+  // With affects_everyone = false, a process that never interacted with the
+  // pointer keeps running.
+  const History h = implanted_history(
+      3, {{0, 1.0}, {1, 1.2}, {2, 1.4}, {0, 2.0}}, {{0, 1, 2.5}});
+  const PrpRollbackResult r =
+      PrpRollbackPlanner(h, /*affects_everyone=*/false).plan(0, 3.0);
+  EXPECT_TRUE(r.affected[0]);
+  EXPECT_TRUE(r.affected[1]);   // interacted at 2.5 in (2.0, 3.0]
+  EXPECT_FALSE(r.affected[2]);  // never touched P0
+  EXPECT_EQ(r.affected_count, 2u);
+}
+
+// Property: PRP rollback distance <= async rollback distance is NOT a
+// theorem (different restart semantics), but PRP never falls back to the
+// initial state when every process has an RP, and the pointer loop
+// terminates within n iterations.
+class PrpRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PrpRandomTest, TerminationAndBoundedness) {
+  Rng rng(GetParam() * 104729u);
+  const std::size_t n = 2 + rng.uniform_index(3);
+  std::vector<std::pair<ProcessId, double>> rps;
+  std::vector<std::tuple<ProcessId, ProcessId, double>> interactions;
+  double t = 0.5;
+  for (ProcessId p = 0; p < n; ++p) {
+    rps.push_back({p, t});
+    t += 0.01;
+  }
+  for (int e = 0; e < 120; ++e) {
+    t += rng.exponential(2.0);
+    if (rng.bernoulli(0.4)) {
+      rps.push_back({rng.uniform_index(n), t});
+    } else {
+      const ProcessId a = rng.uniform_index(n);
+      ProcessId b = rng.uniform_index(n - 1);
+      if (b >= a) {
+        ++b;
+      }
+      interactions.push_back({a, b, t});
+    }
+  }
+  const History h = implanted_history(n, rps, interactions);
+  const double t_f = t + 1.0;
+  const ProcessId failed = rng.uniform_index(n);
+
+  const PrpRollbackResult r = PrpRollbackPlanner(h).plan(failed, t_f);
+  EXPECT_LE(r.iterations, n);
+  EXPECT_FALSE(r.domino_to_start);
+  EXPECT_TRUE(r.affected[failed]);
+  for (ProcessId q = 0; q < n; ++q) {
+    EXPECT_LE(r.restart[q].time, t_f);
+    EXPECT_GE(r.restart[q].time, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrpRandomTest, ::testing::Range(1u, 16u));
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,158 @@
+#include "trace/rollback.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace rbx {
+namespace {
+
+TEST(RollbackAnalyzer, IsolatedFailureRollsOnlyTheFailingProcess) {
+  History h(3);
+  h.add_recovery_point(0, 1.0);
+  h.add_recovery_point(1, 1.0);
+  h.add_recovery_point(2, 1.0);
+  h.add_recovery_point(0, 2.0);
+
+  const RollbackResult r = RollbackAnalyzer(h).analyze_failure(0, 3.0);
+  EXPECT_TRUE(r.affected[0]);
+  EXPECT_FALSE(r.affected[1]);
+  EXPECT_FALSE(r.affected[2]);
+  EXPECT_EQ(r.affected_count, 1u);
+  EXPECT_DOUBLE_EQ(r.line.points[0].time, 2.0);
+  EXPECT_DOUBLE_EQ(r.rollback_distance, 1.0);
+  EXPECT_FALSE(r.domino_to_start);
+}
+
+TEST(RollbackAnalyzer, PropagatesThroughInteraction) {
+  // P0 interacts with P1 after P0's RP; P0's rollback undoes the
+  // interaction and drags P1 back to its own RP.
+  History h(2);
+  h.add_recovery_point(0, 1.0);
+  h.add_recovery_point(1, 1.5);
+  h.add_interaction(0, 1, 2.0);
+
+  const RollbackResult r = RollbackAnalyzer(h).analyze_failure(0, 3.0);
+  EXPECT_TRUE(r.affected[0]);
+  EXPECT_TRUE(r.affected[1]);
+  EXPECT_DOUBLE_EQ(r.line.points[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(r.line.points[1].time, 1.5);
+  EXPECT_DOUBLE_EQ(r.rollback_distance, 2.0);
+}
+
+TEST(RollbackAnalyzer, PeerWithLaterRpIsNotAffected) {
+  // The interaction happened before P0's restored RP: nothing to undo.
+  History h(2);
+  h.add_interaction(0, 1, 0.5);
+  h.add_recovery_point(0, 1.0);
+  h.add_recovery_point(1, 1.5);
+
+  const RollbackResult r = RollbackAnalyzer(h).analyze_failure(0, 2.0);
+  EXPECT_TRUE(r.affected[0]);
+  EXPECT_FALSE(r.affected[1]);
+  EXPECT_DOUBLE_EQ(r.line.points[0].time, 1.0);
+}
+
+TEST(RollbackAnalyzer, TransitivePropagation) {
+  // P0 -> P1 -> P2 chain of interactions; P0's failure cascades to P2.
+  History h(3);
+  h.add_recovery_point(0, 1.0);
+  h.add_recovery_point(1, 1.2);
+  h.add_recovery_point(2, 1.4);
+  h.add_interaction(0, 1, 2.0);
+  h.add_recovery_point(1, 2.5);  // after the (0,1) interaction
+  h.add_interaction(1, 2, 3.0);
+  h.add_recovery_point(2, 3.5);  // after the (1,2) interaction
+
+  const RollbackResult r = RollbackAnalyzer(h).analyze_failure(0, 4.0);
+  EXPECT_EQ(r.affected_count, 3u);
+  EXPECT_DOUBLE_EQ(r.line.points[0].time, 1.0);
+  // P1 cannot use RP@2.5 (straddles 2.0 against P0@1.0) -> 1.2.
+  EXPECT_DOUBLE_EQ(r.line.points[1].time, 1.2);
+  // P2 cannot use RP@3.5 (straddles 3.0 against P1@1.2) -> 1.4.
+  EXPECT_DOUBLE_EQ(r.line.points[2].time, 1.4);
+}
+
+TEST(RollbackAnalyzer, DominoToTheStart) {
+  History h(2);
+  h.add_interaction(0, 1, 1.0);
+  h.add_recovery_point(0, 2.0);
+  h.add_interaction(0, 1, 3.0);
+  h.add_recovery_point(1, 4.0);
+  h.add_interaction(0, 1, 5.0);
+
+  // P1's only RP@4.0 straddles 3.0 against P0's RP@2.0 and straddles 5.0
+  // against "now"; with P0 forced behind 2.0 the system unravels.
+  const RollbackResult r = RollbackAnalyzer(h).analyze_failure(0, 6.0);
+  EXPECT_TRUE(r.domino_to_start);
+  EXPECT_EQ(r.affected_count, 2u);
+  EXPECT_DOUBLE_EQ(r.rollback_distance, 6.0);
+}
+
+TEST(RollbackAnalyzer, FailureWithoutAnyRpRestartsFromScratch) {
+  History h(2);
+  h.add_interaction(0, 1, 1.0);
+  const RollbackResult r = RollbackAnalyzer(h).analyze_failure(0, 2.0);
+  EXPECT_TRUE(r.line.points[0].is_initial);
+  EXPECT_TRUE(r.domino_to_start);
+}
+
+TEST(RollbackAnalyzer, DistancesPerProcess) {
+  History h(2);
+  h.add_recovery_point(0, 1.0);
+  h.add_recovery_point(1, 3.0);
+  h.add_interaction(0, 1, 4.0);
+
+  const RollbackResult r = RollbackAnalyzer(h).analyze_failure(0, 5.0);
+  EXPECT_DOUBLE_EQ(r.distance[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.distance[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.rollback_distance, 4.0);
+}
+
+// Property: the restart line is always consistent, never newer than the
+// failing process's last RP, and unaffected processes have zero distance.
+class RollbackRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RollbackRandomTest, InvariantsOnRandomHistories) {
+  Rng rng(GetParam() * 7919u);
+  const std::size_t n = 2 + rng.uniform_index(3);
+  History h(n);
+  double t = 0.0;
+  for (int e = 0; e < 150; ++e) {
+    t += rng.exponential(1.0);
+    if (rng.bernoulli(0.45)) {
+      h.add_recovery_point(rng.uniform_index(n), t);
+    } else {
+      const ProcessId a = rng.uniform_index(n);
+      ProcessId b = rng.uniform_index(n - 1);
+      if (b >= a) {
+        ++b;
+      }
+      h.add_interaction(a, b, t);
+    }
+  }
+  const double t_f = t + 1.0;
+  const ProcessId failed = rng.uniform_index(n);
+
+  const RollbackResult r = RollbackAnalyzer(h).analyze_failure(failed, t_f);
+  EXPECT_TRUE(r.affected[failed]);
+  EXPECT_TRUE(RecoveryLineFinder(h).is_consistent(r.line));
+  const auto last_rp = h.latest_rp_before(failed, t_f);
+  const double cap = last_rp ? last_rp->time : 0.0;
+  EXPECT_LE(r.line.points[failed].time, cap + 1e-12);
+  for (ProcessId q = 0; q < n; ++q) {
+    if (!r.affected[q]) {
+      EXPECT_DOUBLE_EQ(r.distance[q], 0.0);
+      EXPECT_DOUBLE_EQ(r.line.points[q].time, t_f);
+    } else {
+      EXPECT_GE(r.distance[q], 0.0);
+      EXPECT_LE(r.distance[q], t_f + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RollbackRandomTest,
+                         ::testing::Range(1u, 16u));
+
+}  // namespace
+}  // namespace rbx
