@@ -6,7 +6,13 @@
 // depth (in global event tickets), affected-set sizes, snapshot storage,
 // orphan messages dropped and the verified invariants (restart-line
 // consistency, bit-exact restores).
+//
+// The scheme x n grid is evaluated by SweepEngine on the RuntimeBackend.
+// Each cell spawns its own process threads, so this bench defaults to one
+// SweepEngine worker (pass --threads=N to oversubscribe on purpose);
+// counters vary run to run regardless (real scheduling).
 #include <cstdio>
+#include <vector>
 
 #include "core/api.h"
 
@@ -32,63 +38,76 @@ int main(int argc, char** argv) {
       ExperimentOptions::parse(argc, argv, /*samples=*/1500, /*nmax=*/4);
   print_banner("RT", "Thread runtime: protocol counters under faults");
 
-  TextTable table({"scheme", "n", "recoveries", "rollback depth (mean)",
-                   "affected (mean)", "orphans", "snapshots", "bytes",
-                   "verified"});
+  RuntimeWorkload workload;
+  workload.steps = opts.samples;
+  workload.message_probability = 0.4;
+  workload.rp_probability = 0.06;
+  workload.sync_period_steps = 60;
+
+  std::vector<Scenario> cells;
   for (SchemeKind scheme :
        {SchemeKind::kAsynchronous, SchemeKind::kSynchronized,
         SchemeKind::kPseudoRecoveryPoints}) {
     for (std::size_t n = 3; n <= opts.nmax; ++n) {
-      RuntimeConfig cfg;
-      cfg.num_processes = n;
-      cfg.scheme = scheme;
-      cfg.seed = opts.seed + n;
-      cfg.steps = opts.samples;
-      cfg.message_probability = 0.4;
-      cfg.rp_probability = 0.06;
-      cfg.at_failure_probability = 0.1;
-      cfg.sync_period_steps = 60;
-      RecoverySystem system(cfg);
-      const RuntimeReport r = system.run();
-
-      const bool ok = r.completed && r.restore_verified &&
-                      r.line_consistency_verified &&
-                      r.fifo_violations == 0;
-      table.add_row(
-          {scheme_name(scheme), TextTable::fmt_int(static_cast<long long>(n)),
-           TextTable::fmt_int(static_cast<long long>(r.recoveries)),
-           r.rollback_tickets.count() > 0
-               ? TextTable::fmt(r.rollback_tickets.mean(), 1)
-               : std::string("-"),
-           r.affected_processes.count() > 0
-               ? TextTable::fmt(r.affected_processes.mean(), 2)
-               : std::string("-"),
-           TextTable::fmt_int(
-               static_cast<long long>(r.orphan_messages_dropped)),
-           TextTable::fmt_int(static_cast<long long>(r.snapshots_retained)),
-           TextTable::fmt_int(static_cast<long long>(r.snapshot_bytes)),
-           ok ? "yes" : "NO"});
+      cells.push_back(Scenario::symmetric(n, 1.0, 1.0)
+                          .scheme(scheme)
+                          .seed(opts.seed + n)
+                          .at_failure_probability(0.1)
+                          .workload(workload));
     }
+  }
+
+  // 0 would mean hardware concurrency; each cell already runs n threads.
+  const std::vector<ResultSet> results =
+      SweepEngine({opts.threads == 0 ? 1 : opts.threads})
+          .run(cells, runtime_backend());
+
+  TextTable table({"scheme", "n", "recoveries", "rollback depth (mean)",
+                   "affected (mean)", "orphans", "snapshots", "bytes",
+                   "verified"});
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    const ResultSet& r = results[k];
+    const bool ok = r.value("completed") != 0.0 &&
+                    r.value("restore_verified") != 0.0 &&
+                    r.value("line_consistency_verified") != 0.0 &&
+                    r.value("fifo_violations") == 0.0;
+    const auto as_int = [&r](const char* name) {
+      return TextTable::fmt_int(static_cast<long long>(r.value(name)));
+    };
+    table.add_row(
+        {scheme_name(cells[k].scheme()),
+         TextTable::fmt_int(static_cast<long long>(cells[k].n())),
+         as_int("recoveries"),
+         r.metric("rollback_depth").count > 0
+             ? TextTable::fmt(r.value("rollback_depth"), 1)
+             : std::string("-"),
+         r.metric("affected_processes").count > 0
+             ? TextTable::fmt(r.value("affected_processes"), 2)
+             : std::string("-"),
+         as_int("orphan_messages_dropped"), as_int("snapshots_retained"),
+         as_int("snapshot_bytes"), ok ? "yes" : "NO"});
   }
   std::printf("%s\n",
               table.render("Runtime schemes (5% AT failure injection)")
                   .c_str());
 
   // Protocol cost detail for the synchronized scheme.
-  RuntimeConfig cfg;
-  cfg.num_processes = 3;
-  cfg.scheme = SchemeKind::kSynchronized;
-  cfg.seed = opts.seed;
-  cfg.steps = opts.samples;
-  cfg.sync_period_steps = 50;
-  RecoverySystem system(cfg);
-  const RuntimeReport r = system.run();
+  RuntimeWorkload sync_workload;
+  sync_workload.steps = opts.samples;
+  sync_workload.sync_period_steps = 50;
+  const Scenario sync_scenario = Scenario::symmetric(3, 1.0, 1.0)
+                                     .scheme(SchemeKind::kSynchronized)
+                                     .seed(opts.seed)
+                                     .workload(sync_workload);
+  const ResultSet r = runtime_backend().evaluate(sync_scenario);
+  const Metric& polls = r.metric("sync_wait_polls");
   std::printf("Synchronized detail: %zu lines, %zu aborts, mean commit wait "
               "%.1f polls (max %.0f), %zu RPs (= 3 per line)\n",
-              r.sync_lines, r.sync_aborts,
-              r.sync_wait_polls.count() ? r.sync_wait_polls.mean() : 0.0,
-              r.sync_wait_polls.count() ? r.sync_wait_polls.max() : 0.0,
-              r.rps);
+              static_cast<std::size_t>(r.value("sync_lines")),
+              static_cast<std::size_t>(r.value("sync_aborts")),
+              polls.count > 0 ? polls.value : 0.0,
+              r.value("sync_wait_polls_max"),
+              static_cast<std::size_t>(r.value("rps")));
   std::printf(
       "\nReading: asynchronous rollback depth varies wildly (isolated\n"
       "failures are cheap, propagated ones spike and can domino) and the\n"

@@ -7,8 +7,13 @@
 // The paper gives the formula without a numbered table; this bench prints
 // the curve for homogeneous systems (CL = n (H_n - 1) / mu), heterogeneous
 // rate sets, and a Monte-Carlo validation through the commit simulator.
-#include <cmath>
+//
+// Rows are SweepEngine cells (analytic + Monte-Carlo backends per cell);
+// the per-row seeds match the original loop so --threads only changes the
+// wall-clock, not the printed values.
+#include <cstddef>
 #include <cstdio>
+#include <vector>
 
 #include "core/api.h"
 
@@ -19,30 +24,43 @@ int main(int argc, char** argv) {
   print_banner("SEC3-CL",
                "Section 3: computation-power loss of synchronized RBs");
 
+  std::vector<Scenario> cells;
+  for (std::size_t n = 1; n <= opts.nmax; ++n) {
+    cells.push_back(Scenario::from_mu(std::vector<double>(n, 1.0))
+                        .scheme(SchemeKind::kSynchronized)
+                        .seed(opts.seed + n)
+                        .samples(opts.samples));
+  }
+
+  const SweepEngine engine({opts.threads});
+  const std::vector<ResultSet> results =
+      engine.run(cells, [](const Scenario& s, std::size_t) {
+        ResultSet out = analytic_backend().evaluate(s);
+        if (s.n() >= 2) {
+          out.merge(monte_carlo_backend().evaluate(s), "mc_");
+        }
+        return out;
+      });
+
   TextTable homo({"n", "E[Z] = H_n/mu", "CL closed form", "CL quadrature",
                   "CL monte-carlo", "mc-dev"});
-  for (std::size_t n = 1; n <= opts.nmax; ++n) {
-    std::vector<double> mu(n, 1.0);
-    SyncRbModel model(mu);
-    const double cl = model.mean_loss();
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const std::size_t n = k + 1;
+    const ResultSet& res = results[k];
+    const double cl = res.value("sync_mean_loss");
     const double cl_quad =
-        static_cast<double>(n) * model.mean_max_wait_quadrature() -
+        static_cast<double>(n) * res.value("sync_mean_max_wait_quadrature") -
         static_cast<double>(n);
 
     std::string mc = "-";
     std::string dev = "-";
     if (n >= 2) {
-      SyncSimParams sp;
-      sp.mu = mu;
-      sp.strategy = SyncStrategy::kElapsedTime;
-      sp.elapsed_threshold = 1.0;
-      SyncRbSimulator sim(sp, opts.seed + n);
-      const SyncSimResult r = sim.run(opts.samples);
-      mc = fmt_ci(r.loss.mean(), r.loss.ci_half_width());
-      dev = fmt_dev(r.loss.mean(), cl);
+      const Metric& loss = res.metric("mc_sync_mean_loss");
+      mc = fmt_ci(loss.value, loss.half_width);
+      dev = fmt_dev(loss.value, cl);
     }
     homo.add_row({TextTable::fmt_int(static_cast<long long>(n)),
-                  TextTable::fmt(model.mean_max_wait(), 4),
+                  TextTable::fmt(res.value("sync_mean_max_wait"), 4),
                   TextTable::fmt(cl, 4), TextTable::fmt(cl_quad, 4), mc,
                   dev});
   }
@@ -60,10 +78,19 @@ int main(int argc, char** argv) {
       {"one straggler", {2.0, 2.0, 2.0, 0.2}},
       {"two classes", {1.0, 1.0, 0.25, 0.25}},
   };
+  std::vector<Scenario> het_cells;
+  for (const HeteroCase& c : hetero) {
+    het_cells.push_back(
+        Scenario::from_mu(c.mu).scheme(SchemeKind::kSynchronized));
+  }
+  const std::vector<ResultSet> het_results =
+      engine.run(het_cells, analytic_backend());
+
   TextTable het({"rates", "E[Z]", "CL", "wait of fastest",
                  "wait of slowest"});
-  for (const HeteroCase& c : hetero) {
-    SyncRbModel model(c.mu);
+  for (std::size_t k = 0; k < het_cells.size(); ++k) {
+    const HeteroCase& c = hetero[k];
+    const ResultSet& res = het_results[k];
     std::size_t fastest = 0, slowest = 0;
     for (std::size_t i = 0; i < c.mu.size(); ++i) {
       if (c.mu[i] > c.mu[fastest]) {
@@ -73,10 +100,14 @@ int main(int argc, char** argv) {
         slowest = i;
       }
     }
-    het.add_row({c.label, TextTable::fmt(model.mean_max_wait(), 4),
-                 TextTable::fmt(model.mean_loss(), 4),
-                 TextTable::fmt(model.mean_wait(fastest), 4),
-                 TextTable::fmt(model.mean_wait(slowest), 4)});
+    het.add_row(
+        {c.label, TextTable::fmt(res.value("sync_mean_max_wait"), 4),
+         TextTable::fmt(res.value("sync_mean_loss"), 4),
+         TextTable::fmt(
+             res.value("sync_mean_wait_" + std::to_string(fastest + 1)), 4),
+         TextTable::fmt(
+             res.value("sync_mean_wait_" + std::to_string(slowest + 1)),
+             4)});
   }
   std::printf("%s\n", het.render("Heterogeneous rate sets").c_str());
   std::printf(

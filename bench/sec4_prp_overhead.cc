@@ -9,7 +9,13 @@
 //    distance ... without synchronization" - validated by a paired
 //    Monte-Carlo comparison of PRP vs plain asynchronous rollback on
 //    identical failure histories.
+//
+// The Monte-Carlo cases run concurrently on SweepEngine with the seeds of
+// the original sequential loop; printed values are --threads-invariant.
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "core/api.h"
 
@@ -19,20 +25,32 @@ int main(int argc, char** argv) {
       ExperimentOptions::parse(argc, argv, /*samples=*/2000, /*nmax=*/8);
   print_banner("SEC4-PRP", "Section 4: pseudo recovery point overheads");
 
+  const SweepEngine engine({opts.threads});
+
   // --- analytic overhead vs process count ---
   constexpr double kRecordTime = 0.01;
+  std::vector<Scenario> overhead_cells;
+  for (std::size_t n = 2; n <= opts.nmax; ++n) {
+    overhead_cells.push_back(Scenario::symmetric(n, 1.0, 1.0)
+                                 .scheme(SchemeKind::kPseudoRecoveryPoints)
+                                 .t_record(kRecordTime));
+  }
+  const std::vector<ResultSet> overhead_results =
+      engine.run(overhead_cells, analytic_backend());
+
   TextTable overhead({"n", "states/RP", "time/RP ((n-1)t_r)",
                       "snapshot rate/proc", "E[sup y] bound",
                       "recording fraction"});
-  for (std::size_t n = 2; n <= opts.nmax; ++n) {
-    PrpModel model(ProcessSetParams::symmetric(n, 1.0, 1.0), kRecordTime);
+  for (std::size_t k = 0; k < overhead_cells.size(); ++k) {
+    const ResultSet& res = overhead_results[k];
     overhead.add_row(
-        {TextTable::fmt_int(static_cast<long long>(n)),
-         TextTable::fmt_int(static_cast<long long>(model.snapshots_per_rp())),
-         TextTable::fmt(model.time_overhead_per_rp(), 3),
-         TextTable::fmt(model.snapshot_rate(0), 2),
-         TextTable::fmt(model.mean_rollback_bound(), 4),
-         TextTable::fmt(model.recording_fraction(0), 4)});
+        {TextTable::fmt_int(static_cast<long long>(k + 2)),
+         TextTable::fmt_int(
+             static_cast<long long>(res.value("prp_snapshots_per_rp"))),
+         TextTable::fmt(res.value("prp_time_overhead_per_rp"), 3),
+         TextTable::fmt(res.value("prp_snapshot_rate"), 2),
+         TextTable::fmt(res.value("prp_mean_rollback_bound"), 4),
+         TextTable::fmt(res.value("prp_recording_fraction_1"), 4)});
   }
   std::printf("%s\n",
               overhead
@@ -51,29 +69,54 @@ int main(int argc, char** argv) {
       {"tab1-5", 1.5, 1.0, 0.5, 0.5, 1.5, 1.0},
       {"hot", 0.5, 0.5, 0.5, 3.0, 3.0, 3.0},
   };
+  std::vector<Scenario> mc_cells;
+  for (const Case& c : cases) {
+    mc_cells.push_back(
+        Scenario(ProcessSetParams::three(c.mu1, c.mu2, c.mu3, c.l12, c.l23,
+                                         c.l13))
+            .scheme(SchemeKind::kPseudoRecoveryPoints)
+            .t_record(1e-4)
+            .error_rate(0.25)
+            .seed(opts.seed)
+            .samples(opts.samples));
+  }
+  // The storage-accounting run rides in the same batch (last cell).
+  mc_cells.push_back(Scenario(ProcessSetParams::three(1.0, 1.0, 1.0, 1, 1, 1))
+                         .scheme(SchemeKind::kPseudoRecoveryPoints)
+                         .t_record(1e-4)
+                         .error_rate(0.1)
+                         .seed(opts.seed + 1)
+                         .samples(std::max<std::size_t>(1, opts.samples / 2)));
+  const std::vector<ResultSet> mc_results =
+      engine.run(mc_cells, [&cases](const Scenario& s, std::size_t i) {
+        ResultSet out = monte_carlo_backend().evaluate(s);
+        // Only the comparison cases read exact_* metrics; the trailing
+        // storage cell needs none.
+        if (i < std::size(cases)) {
+          out.merge(analytic_backend().evaluate(s), "exact_");
+        }
+        return out;
+      });
+
   TextTable cmp({"case", "E[sup y] bound", "PRP dist (mc)", "PRP p95",
                  "async dist (mc)", "async p95", "async domino",
                  "PRP iter max"});
-  for (const Case& c : cases) {
-    const auto params =
-        ProcessSetParams::three(c.mu1, c.mu2, c.mu3, c.l12, c.l23, c.l13);
-    PrpModel model(params, kRecordTime);
-    PrpSimParams sp;
-    sp.t_record = 1e-4;
-    sp.error_rate = 0.25;
-    PrpSimulator sim(params, sp, opts.seed);
-    const PrpSimResult r = sim.run(opts.samples);
+  for (std::size_t k = 0; k < std::size(cases); ++k) {
+    const ResultSet& res = mc_results[k];
+    const Metric& prp_d = res.metric("prp_distance");
+    const Metric& async_d = res.metric("async_distance");
     char domino[32];
-    std::snprintf(domino, sizeof(domino), "%zu/%zu", r.async_domino_count,
-                  r.failures);
-    cmp.add_row({c.label, TextTable::fmt(model.mean_rollback_bound(), 3),
-                 fmt_ci(r.prp_distance.mean(),
-                        r.prp_distance.ci_half_width(), 3),
-                 TextTable::fmt(r.prp_distance.quantile(0.95), 3),
-                 fmt_ci(r.async_distance.mean(),
-                        r.async_distance.ci_half_width(), 3),
-                 TextTable::fmt(r.async_distance.quantile(0.95), 3), domino,
-                 TextTable::fmt(r.prp_iterations.max(), 0)});
+    std::snprintf(domino, sizeof(domino), "%zu/%zu",
+                  static_cast<std::size_t>(res.value("async_domino_count")),
+                  static_cast<std::size_t>(res.value("failures")));
+    cmp.add_row({cases[k].label,
+                 TextTable::fmt(res.value("exact_prp_mean_rollback_bound"),
+                                3),
+                 fmt_ci(prp_d.value, prp_d.half_width, 3),
+                 TextTable::fmt(res.value("prp_distance_p95"), 3),
+                 fmt_ci(async_d.value, async_d.half_width, 3),
+                 TextTable::fmt(res.value("async_distance_p95"), 3), domino,
+                 TextTable::fmt(res.value("prp_iterations_max"), 0)});
   }
   std::printf(
       "%s\n",
@@ -82,19 +125,17 @@ int main(int argc, char** argv) {
           .c_str());
 
   // --- storage accounting from the simulator ---
-  const auto params = ProcessSetParams::three(1.0, 1.0, 1.0, 1, 1, 1);
-  PrpSimParams sp;
-  sp.t_record = 1e-4;
-  sp.error_rate = 0.1;
-  PrpSimulator sim(params, sp, opts.seed + 1);
-  const PrpSimResult r = sim.run(opts.samples / 2);
+  const ResultSet& storage = mc_results.back();
   std::printf("Storage (n = 3, mu = 1): snapshots/time = %.3f "
               "(model n*sum(mu) = %.1f reduced by failed ATs), RP rate = "
               "%.3f, recording fraction = %.5f, clean restarts verified: "
               "%zu contaminated of %zu failures\n",
-              r.snapshots_per_unit_time, 9.0, r.rp_per_unit_time,
-              r.recording_time_fraction, r.contaminated_restarts,
-              r.failures);
+              storage.value("snapshots_per_unit_time"), 9.0,
+              storage.value("rp_per_unit_time"),
+              storage.value("recording_time_fraction"),
+              static_cast<std::size_t>(
+                  storage.value("contaminated_restarts")),
+              static_cast<std::size_t>(storage.value("failures")));
   std::printf(
       "\nShape check: PRP mean distance tracks E[sup y] and stays bounded\n"
       "while the asynchronous distance grows with interaction density and\n"

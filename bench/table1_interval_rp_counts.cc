@@ -13,7 +13,13 @@
 //    the exact mean;
 //  * case 5's printed E(L2) = 3.111 is a typo for 3.311 (the column sum
 //    9.933 only works with 3.311 = mu_2 * E[X]).
+//
+// The five cases run concurrently on SweepEngine with the per-case seeds
+// of the original sequential loop (opts.seed + k * 0x9e3779b9), keeping
+// the Monte-Carlo columns identical at any --threads.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/api.h"
 
@@ -46,37 +52,50 @@ int main(int argc, char** argv) {
   print_banner("TAB1",
                "Table 1: E[X] and E[L_i] for five rate cases at rho = 1");
 
-  TextTable table({"case", "quantity", "paper", "analytic", "monte-carlo",
-                   "mc-dev"});
+  // A distinct stream per case keeps the Monte-Carlo columns
+  // statistically independent across rows.
+  std::vector<Scenario> cells;
   std::uint64_t case_seed = opts.seed;
   for (const Table1Case& c : kCases) {
-    const auto params =
-        ProcessSetParams::three(c.mu1, c.mu2, c.mu3, c.l12, c.l23, c.l13);
-    AsyncRbModel model(params);
-    // A distinct stream per case keeps the Monte-Carlo columns
-    // statistically independent across rows.
-    AsyncRbSimulator sim(params, case_seed += 0x9e3779b9);
-    const AsyncSimResult mc = sim.run_lines(opts.samples);
+    cells.push_back(
+        Scenario(ProcessSetParams::three(c.mu1, c.mu2, c.mu3, c.l12, c.l23,
+                                         c.l13))
+            .seed(case_seed += 0x9e3779b9)
+            .samples(opts.samples));
+  }
 
+  const SweepEngine engine({opts.threads});
+  const std::vector<ResultSet> results =
+      engine.run(cells, [](const Scenario& s, std::size_t) {
+        ResultSet out = analytic_backend().evaluate(s);
+        out.merge(monte_carlo_backend().evaluate(s), "mc_");
+        return out;
+      });
+
+  TextTable table({"case", "quantity", "paper", "analytic", "monte-carlo",
+                   "mc-dev"});
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    const Table1Case& c = kCases[k];
+    const ResultSet& res = results[k];
+    const Metric& mc_x = res.metric("mc_mean_interval_x");
     table.add_row({c.label, "E[X]", TextTable::fmt(c.paper_ex, 3),
-                   TextTable::fmt(model.mean_interval(), 4),
-                   fmt_ci(mc.interval.mean(), mc.interval.ci_half_width()),
-                   fmt_dev(mc.interval.mean(), model.mean_interval())});
+                   TextTable::fmt(res.value("mean_interval_x"), 4),
+                   fmt_ci(mc_x.value, mc_x.half_width),
+                   fmt_dev(mc_x.value, res.value("mean_interval_x"))});
     const double paper_l[3] = {c.paper_l1, c.paper_l2, c.paper_l3};
     for (std::size_t i = 0; i < 3; ++i) {
-      const auto counts = model.expected_rp_count(i);
+      const double wald = res.value(indexed_metric("rp_count_", i));
+      const Metric& mc_l = res.metric(indexed_metric("mc_rp_count_", i));
       char q[16];
       std::snprintf(q, sizeof(q), "E[L%zu]", i + 1);
-      table.add_row(
-          {c.label, q, TextTable::fmt(paper_l[i], 3),
-           TextTable::fmt(counts.wald, 4),
-           fmt_ci(mc.rp_incl_final[i].mean(),
-                  mc.rp_incl_final[i].ci_half_width()),
-           fmt_dev(mc.rp_incl_final[i].mean(), counts.wald)});
+      table.add_row({c.label, q, TextTable::fmt(paper_l[i], 3),
+                     TextTable::fmt(wald, 4),
+                     fmt_ci(mc_l.value, mc_l.half_width),
+                     fmt_dev(mc_l.value, wald)});
     }
     double sum_wald = 0.0;
     for (std::size_t i = 0; i < 3; ++i) {
-      sum_wald += model.expected_rp_count(i).wald;
+      sum_wald += res.value(indexed_metric("rp_count_", i));
     }
     table.add_row({c.label, "sum E[L]",
                    TextTable::fmt(c.paper_l1 + c.paper_l2 + c.paper_l3, 3),
@@ -89,17 +108,17 @@ int main(int argc, char** argv) {
   // convention is the paper's.
   TextTable conv({"case-2 process", "incl. final (a)", "excl. final (b)",
                   "state-changing (c)", "paper"});
-  const auto params2 = ProcessSetParams::three(1.5, 1.0, 0.5, 1, 1, 1);
-  AsyncRbModel model2(params2);
+  const ResultSet& case2 = results[1];
   const double paper2[3] = {4.847, 3.231, 1.616};
   for (std::size_t i = 0; i < 3; ++i) {
-    const auto counts = model2.expected_rp_count(i);
     char p[8];
     std::snprintf(p, sizeof(p), "P%zu", i + 1);
-    conv.add_row({p, TextTable::fmt(counts.wald, 4),
-                  TextTable::fmt(counts.excluding_final, 4),
-                  TextTable::fmt(counts.state_changing, 4),
-                  TextTable::fmt(paper2[i], 3)});
+    conv.add_row(
+        {p, TextTable::fmt(case2.value(indexed_metric("rp_count_", i)), 4),
+         TextTable::fmt(case2.value(indexed_metric("rp_count_excl_", i)), 4),
+         TextTable::fmt(case2.value(indexed_metric("rp_count_statechg_", i)),
+                        4),
+         TextTable::fmt(paper2[i], 3)});
   }
   std::printf("%s\n",
               conv.render("L_i counting conventions (case 2)").c_str());

@@ -6,9 +6,12 @@
 //   $ ./scheme_comparison [n] [mu] [lambda]
 //
 // Prints the analytic comparison, Monte-Carlo validation, and a thread
-// runtime shakedown for each scheme.
+// runtime shakedown of each scheme - all driven by one Scenario flowing
+// through the three EvalBackends, with the shakedown grid evaluated by
+// SweepEngine.
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "core/api.h"
 
@@ -32,58 +35,81 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto params = ProcessSetParams::symmetric(n, mu, lambda);
-  std::printf("Comparing schemes for %s\n\n", params.describe().c_str());
+  const Scenario scenario =
+      Scenario::symmetric(n, mu, lambda).t_record(0.01);
+  std::printf("Comparing schemes for %s\n\n",
+              scenario.params().describe().c_str());
 
-  Analyzer analyzer(params, /*t_record=*/0.01);
-  const SchemeComparison cmp = analyzer.compare();
-  std::printf("%s\n\n", cmp.summary().c_str());
+  const ResultSet async_exact = analytic_backend().evaluate(
+      Scenario(scenario).scheme(SchemeKind::kAsynchronous));
+  const ResultSet sync_exact = analytic_backend().evaluate(
+      Scenario(scenario).scheme(SchemeKind::kSynchronized));
+  const ResultSet prp_exact = analytic_backend().evaluate(
+      Scenario(scenario).scheme(SchemeKind::kPseudoRecoveryPoints));
+
+  std::printf("%s\n\n",
+              scheme_summary(async_exact, sync_exact, prp_exact).c_str());
 
   TextTable table({"criterion", "asynchronous", "synchronized",
                    "pseudo RPs"});
-  SyncRbModel sync(params.mu());
-  PrpModel prp(params, 0.01);
-  table.add_row({"normal-operation cost", "none",
-                 "CL = " + TextTable::fmt(sync.mean_loss(), 3) + "/sync",
-                 TextTable::fmt(prp.time_overhead_per_rp(), 3) +
-                     " per RP + storage"});
-  table.add_row({"expected rollback scale",
-                 "E[X] = " + TextTable::fmt(cmp.mean_interval_x, 3),
-                 "<= sync period + E[Z]",
-                 "E[sup y] = " +
-                     TextTable::fmt(prp.mean_rollback_bound(), 3)});
+  table.add_row(
+      {"normal-operation cost", "none",
+       "CL = " + TextTable::fmt(sync_exact.value("sync_mean_loss"), 3) +
+           "/sync",
+       TextTable::fmt(prp_exact.value("prp_time_overhead_per_rp"), 3) +
+           " per RP + storage"});
+  table.add_row(
+      {"expected rollback scale",
+       "E[X] = " + TextTable::fmt(async_exact.value("mean_interval_x"), 3),
+       "<= sync period + E[Z]",
+       "E[sup y] = " +
+           TextTable::fmt(prp_exact.value("prp_mean_rollback_bound"), 3)});
   table.add_row({"states kept per process", "every RP (unbounded)",
                  "1 line (+1 in flight)",
-                 TextTable::fmt_int(
-                     static_cast<long long>(prp.retained_snapshots_per_process()))});
+                 TextTable::fmt_int(static_cast<long long>(prp_exact.value(
+                     "prp_retained_snapshots_per_process")))});
   table.add_row({"process autonomy", "full", "none at commits", "full"});
   std::printf("%s\n", table.render("Trade-off summary").c_str());
 
   // Monte-Carlo check of the asynchronous column.
-  AsyncRbSimulator async_sim(params, 11);
-  const AsyncSimResult mc = async_sim.run_lines(20000);
+  const ResultSet mc = monte_carlo_backend().evaluate(
+      Scenario(scenario).scheme(SchemeKind::kAsynchronous).seed(11).samples(
+          20000));
+  const Metric& mc_x = mc.metric("mean_interval_x");
   std::printf("asynchronous E[X] monte-carlo: %s\n\n",
-              fmt_ci(mc.interval.mean(), mc.interval.ci_half_width()).c_str());
+              fmt_ci(mc_x.value, mc_x.half_width).c_str());
 
-  // Thread-runtime shakedown of each scheme on this process count.
-  for (SchemeKind scheme :
-       {SchemeKind::kAsynchronous, SchemeKind::kSynchronized,
-        SchemeKind::kPseudoRecoveryPoints}) {
-    RuntimeConfig cfg;
-    cfg.num_processes = n;
-    cfg.scheme = scheme;
-    cfg.steps = 400;
-    cfg.at_failure_probability = 0.05;
-    RecoverySystem system(cfg);
-    const RuntimeReport r = system.run();
-    const char* name = scheme == SchemeKind::kAsynchronous ? "asynchronous"
-                       : scheme == SchemeKind::kSynchronized
+  // Thread-runtime shakedown of each scheme on this process count: a
+  // one-axis SweepEngine grid over the scheme knob.
+  const Scenario shakedown =
+      Scenario(scenario).seed(1).at_failure_probability(0.05);
+  const std::vector<SchemeKind> schemes = {
+      SchemeKind::kAsynchronous, SchemeKind::kSynchronized,
+      SchemeKind::kPseudoRecoveryPoints};
+  std::vector<Scenario> cells;
+  for (SchemeKind scheme : schemes) {
+    cells.push_back(Scenario(shakedown).scheme(scheme));
+  }
+  // One worker: each runtime cell already spawns n process threads.
+  const std::vector<ResultSet> reports =
+      SweepEngine({1}).run(cells, runtime_backend());
+  for (std::size_t k = 0; k < reports.size(); ++k) {
+    const ResultSet& r = reports[k];
+    const char* name = schemes[k] == SchemeKind::kAsynchronous
+                           ? "asynchronous"
+                       : schemes[k] == SchemeKind::kSynchronized
                            ? "synchronized"
                            : "pseudo RPs  ";
     std::printf("runtime %s: %4zu RPs %4zu PRPs %3zu recoveries "
                 "%5zu snapshot bytes  verified=%s\n",
-                name, r.rps, r.prps, r.recoveries, r.snapshot_bytes,
-                r.completed && r.restore_verified ? "yes" : "NO");
+                name, static_cast<std::size_t>(r.value("rps")),
+                static_cast<std::size_t>(r.value("prps")),
+                static_cast<std::size_t>(r.value("recoveries")),
+                static_cast<std::size_t>(r.value("snapshot_bytes")),
+                r.value("completed") != 0.0 &&
+                        r.value("restore_verified") != 0.0
+                    ? "yes"
+                    : "NO");
   }
   return 0;
 }

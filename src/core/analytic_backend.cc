@@ -1,0 +1,126 @@
+#include "core/analytic_backend.h"
+
+#include <cmath>
+#include <string>
+
+#include "model/async_model.h"
+#include "model/async_symmetric.h"
+#include "model/prp_model.h"
+#include "model/sync_model.h"
+#include "support/check.h"
+
+namespace rbx {
+
+namespace {
+
+// Largest n for which the full 2^n + 1 state chain is built (matches the
+// AsyncRbModel cap).
+constexpr std::size_t kFullChainMaxN = 12;
+// For homogeneous rates the lumped R1'-R4' chain is an exact lumping of the
+// full model (pinned state-by-state in tests/model/async_symmetric_test.cc),
+// so above this n the O(8^n) full chain adds nothing over the O(n^3) lumped
+// solve and is skipped.
+constexpr std::size_t kFullChainSymmetricMaxN = 7;
+
+void evaluate_async(const Scenario& s, ResultSet& out) {
+  const ProcessSetParams& p = s.params();
+  const std::size_t n = p.n();
+  const bool lumped_exact = p.is_symmetric_rates() && n >= 2;
+  RBX_CHECK_MSG(n <= kFullChainMaxN || p.is_symmetric_rates(),
+                "async analytic model needs n <= 12 or homogeneous rates");
+  const bool full_chain =
+      n <= (lumped_exact ? kFullChainSymmetricMaxN : kFullChainMaxN);
+  // Marker for consumers that must distinguish full-chain numbers from
+  // promoted lumped ones (e.g. fig5's cross-check column).
+  out.set("async_full_chain", full_chain ? 1.0 : 0.0);
+  if (full_chain) {
+    AsyncRbModel model(p);
+    out.set("mean_interval_x", model.mean_interval());
+    out.set("variance_interval_x", model.variance_interval());
+    out.set("stddev_interval_x", std::sqrt(model.variance_interval()));
+    out.set("mean_line_age", model.mean_line_age());
+    for (std::size_t i = 0; i < n; ++i) {
+      const AsyncRbModel::RpCounts counts = model.expected_rp_count(i);
+      out.set(indexed_metric("rp_count_", i), counts.wald);
+      out.set(indexed_metric("rp_count_excl_", i), counts.excluding_final);
+      out.set(indexed_metric("rp_count_statechg_", i), counts.state_changing);
+    }
+  }
+  if (lumped_exact) {
+    SymmetricAsyncModel lumped(n, p.mu(0), p.lambda(0, 1));
+    out.set("mean_interval_x_lumped", lumped.mean_interval());
+    out.set("variance_interval_x_lumped", lumped.variance_interval());
+    out.set("stddev_interval_x_lumped",
+            std::sqrt(lumped.variance_interval()));
+    out.set("mean_line_age_lumped", lumped.mean_line_age());
+    out.set("rp_count_lumped", lumped.expected_rp_count_wald());
+    if (!full_chain) {
+      // The lumped chain is the exact model here; promote its numbers to
+      // the shared metric names so cross-backend joins keep working.
+      out.set("mean_interval_x", lumped.mean_interval());
+      out.set("variance_interval_x", lumped.variance_interval());
+      out.set("stddev_interval_x", std::sqrt(lumped.variance_interval()));
+      out.set("mean_line_age", lumped.mean_line_age());
+      for (std::size_t i = 0; i < n; ++i) {
+        out.set(indexed_metric("rp_count_", i),
+                lumped.expected_rp_count_wald());
+      }
+    }
+  }
+}
+
+void evaluate_sync(const Scenario& s, ResultSet& out) {
+  SyncRbModel model(s.params().mu());
+  out.set("sync_mean_max_wait", model.mean_max_wait());
+  out.set("sync_mean_max_wait_quadrature", model.mean_max_wait_quadrature());
+  out.set("sync_mean_loss", model.mean_loss());
+  for (std::size_t i = 0; i < model.n(); ++i) {
+    out.set(indexed_metric("sync_mean_wait_", i), model.mean_wait(i));
+  }
+}
+
+void evaluate_prp(const Scenario& s, ResultSet& out) {
+  PrpModel model(s.params(), s.t_record());
+  out.set("prp_snapshots_per_rp",
+          static_cast<double>(model.snapshots_per_rp()));
+  out.set("prp_time_overhead_per_rp", model.time_overhead_per_rp());
+  out.set("prp_snapshot_rate", model.snapshot_rate(0));
+  out.set("prp_system_snapshot_rate", model.system_snapshot_rate());
+  out.set("prp_retained_snapshots_per_process",
+          static_cast<double>(model.retained_snapshots_per_process()));
+  out.set("prp_mean_rollback_bound", model.mean_rollback_bound());
+  for (std::size_t i = 0; i < model.n(); ++i) {
+    out.set(indexed_metric("prp_recording_fraction_", i),
+            model.recording_fraction(i));
+    out.set(indexed_metric("prp_mean_local_rollback_", i),
+            model.mean_local_rollback(i));
+  }
+}
+
+}  // namespace
+
+bool AnalyticBackend::supports(const Scenario& scenario) const {
+  if (scenario.scheme() == SchemeKind::kAsynchronous) {
+    return scenario.n() <= kFullChainMaxN ||
+           scenario.params().is_symmetric_rates();
+  }
+  return true;
+}
+
+ResultSet AnalyticBackend::evaluate(const Scenario& scenario) const {
+  ResultSet out(name(), scenario.label());
+  switch (scenario.scheme()) {
+    case SchemeKind::kAsynchronous:
+      evaluate_async(scenario, out);
+      break;
+    case SchemeKind::kSynchronized:
+      evaluate_sync(scenario, out);
+      break;
+    case SchemeKind::kPseudoRecoveryPoints:
+      evaluate_prp(scenario, out);
+      break;
+  }
+  return out;
+}
+
+}  // namespace rbx

@@ -1,0 +1,33 @@
+// Closed-form / Markov-chain evaluation of a Scenario (paper Sections 2-4).
+//
+// Dispatches on the scenario's scheme:
+//
+//  * kAsynchronous - the Section 2 phase-type chain.  For n <= 12 the full
+//    2^n + 1 state model is solved ("mean_interval_x", "stddev_interval_x",
+//    "mean_line_age", per-process "rp_count_i" in the three counting
+//    conventions).  For homogeneous rates the lumped R1'-R4' chain is also
+//    evaluated ("mean_interval_x_lumped", ...), and for n > 12 it is the
+//    only representation (the full chain would be 4097+ states).
+//  * kSynchronized - Section 3: "sync_mean_max_wait" (E[Z], closed form and
+//    quadrature cross-check), "sync_mean_loss" (CL) and per-process
+//    "sync_mean_wait_i".
+//  * kPseudoRecoveryPoints - Section 4 overheads: snapshots and time
+//    overhead per RP, recording fractions, and the E[sup y_i] rollback
+//    bound.
+//
+// All metrics are exact (half_width = 0, count = 0); the seed and sample
+// budget of the scenario are ignored.
+#pragma once
+
+#include "core/backend.h"
+
+namespace rbx {
+
+class AnalyticBackend : public EvalBackend {
+ public:
+  std::string name() const override { return "analytic"; }
+  bool supports(const Scenario& scenario) const override;
+  ResultSet evaluate(const Scenario& scenario) const override;
+};
+
+}  // namespace rbx

@@ -3,6 +3,12 @@
 // Bundles the Section 2 asynchronous-RB chain, the Section 3 synchronized
 // loss model and the Section 4 PRP overhead model behind a single call so
 // applications can compare schemes without touching the individual models.
+//
+// LEGACY SHIM: new code should build a Scenario and evaluate it through
+// analytic_backend() (core/backend.h), which covers the same models plus
+// scheme selection, and composes with SweepEngine and the other backends.
+// Analyzer is kept so existing callers keep compiling; it adds no
+// functionality over the backend route.
 #pragma once
 
 #include <cstddef>

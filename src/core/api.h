@@ -1,5 +1,35 @@
 // Umbrella header: the public API of the recovery-blocks library.
 //
+// The library reproduces and extends Shin & Lee's analysis of backward
+// error recovery for concurrent processes (ICPP 1983).  The primary entry
+// points are three core abstractions:
+//
+//   Scenario     one experiment definition: process-set rates, recovery
+//                scheme, fault injection, workload shape and seed
+//                (core/scenario.h);
+//   EvalBackend  an evaluation semantics for a Scenario - analytic Markov
+//                models, Monte-Carlo simulation, or the real thread
+//                runtime - returning a ResultSet of named metrics
+//                (core/backend.h, core/result.h);
+//   SweepEngine  parameter-grid expansion and parallel evaluation of
+//                scenario batches with deterministic per-cell seeding
+//                (core/sweep.h).
+//
+// A scenario flows through all three backends unchanged:
+//
+//   const Scenario s = Scenario::symmetric(3, 1.0, 1.0);
+//   ResultSet exact = analytic_backend().evaluate(s);
+//   ResultSet mc    = monte_carlo_backend().evaluate(s);
+//   ResultSet real  = runtime_backend().evaluate(s);
+//   // exact.value("mean_interval_x") vs mc.metric("mean_interval_x")...
+//
+// and sweeps replace hand-written bench loops:
+//
+//   auto cells = SweepGrid(s).axis({2, 3, 4, 5}, apply_n)
+//                    .expand(master_seed);
+//   auto results = SweepEngine({opts.threads})
+//                      .run(cells, monte_carlo_backend());
+//
 // Layered as follows (each layer usable on its own):
 //
 //   support/   deterministic RNG, statistics, tables
@@ -9,22 +39,32 @@
 //   trace/     histories, exact recovery lines, rollback planning
 //   des/       Monte-Carlo simulators of the three schemes
 //   runtime/   thread-based processes with real checkpoint/rollback
-//   core/      this facade: Analyzer + experiment helpers
+//   core/      Scenario + EvalBackend + SweepEngine (and the legacy
+//              Analyzer facade, kept as a thin shim)
+//
+// The per-layer entry points (AsyncRbModel, SyncRbSimulator,
+// RecoverySystem, ...) remain public for code that needs one layer only;
+// new code should prefer the Scenario/EvalBackend route so experiments
+// stay portable across evaluation semantics.
 #pragma once
 
-#include "core/analyzer.h"          // IWYU pragma: export
-#include "core/experiment.h"        // IWYU pragma: export
-#include "des/async_sim.h"          // IWYU pragma: export
-#include "des/prp_sim.h"            // IWYU pragma: export
-#include "des/sync_sim.h"           // IWYU pragma: export
-#include "model/async_model.h"      // IWYU pragma: export
-#include "model/async_symmetric.h"  // IWYU pragma: export
-#include "model/params.h"           // IWYU pragma: export
-#include "model/prp_model.h"        // IWYU pragma: export
-#include "model/sync_model.h"       // IWYU pragma: export
-#include "runtime/system.h"         // IWYU pragma: export
-#include "support/table.h"          // IWYU pragma: export
-#include "trace/dot.h"              // IWYU pragma: export
-#include "trace/prp_plan.h"         // IWYU pragma: export
-#include "trace/recovery_line.h"    // IWYU pragma: export
-#include "trace/rollback.h"         // IWYU pragma: export
+#include "core/analyzer.h"             // IWYU pragma: export (legacy shim)
+#include "core/backend.h"              // IWYU pragma: export
+#include "core/experiment.h"           // IWYU pragma: export
+#include "core/result.h"               // IWYU pragma: export
+#include "core/scenario.h"             // IWYU pragma: export
+#include "core/sweep.h"                // IWYU pragma: export
+#include "des/async_sim.h"             // IWYU pragma: export
+#include "des/prp_sim.h"               // IWYU pragma: export
+#include "des/sync_sim.h"              // IWYU pragma: export
+#include "model/async_model.h"         // IWYU pragma: export
+#include "model/async_symmetric.h"     // IWYU pragma: export
+#include "model/params.h"              // IWYU pragma: export
+#include "model/prp_model.h"           // IWYU pragma: export
+#include "model/sync_model.h"          // IWYU pragma: export
+#include "runtime/system.h"            // IWYU pragma: export
+#include "support/table.h"             // IWYU pragma: export
+#include "trace/dot.h"                 // IWYU pragma: export
+#include "trace/prp_plan.h"            // IWYU pragma: export
+#include "trace/recovery_line.h"       // IWYU pragma: export
+#include "trace/rollback.h"            // IWYU pragma: export

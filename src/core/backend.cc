@@ -1,0 +1,42 @@
+#include "core/backend.h"
+
+#include "core/analytic_backend.h"
+#include "core/monte_carlo_backend.h"
+#include "core/runtime_backend.h"
+
+namespace rbx {
+
+bool EvalBackend::supports(const Scenario& scenario) const {
+  (void)scenario;
+  return true;
+}
+
+const EvalBackend& analytic_backend() {
+  static const AnalyticBackend backend;
+  return backend;
+}
+
+const EvalBackend& monte_carlo_backend() {
+  static const MonteCarloBackend backend;
+  return backend;
+}
+
+const EvalBackend& runtime_backend() {
+  static const RuntimeBackend backend;
+  return backend;
+}
+
+std::vector<const EvalBackend*> all_backends() {
+  return {&analytic_backend(), &monte_carlo_backend(), &runtime_backend()};
+}
+
+const EvalBackend* find_backend(const std::string& name) {
+  for (const EvalBackend* b : all_backends()) {
+    if (b->name() == name) {
+      return b;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rbx

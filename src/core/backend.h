@@ -1,0 +1,58 @@
+// EvalBackend: one interface over the library's three evaluation semantics.
+//
+// The paper validates every claim three ways - closed-form/Markov analysis,
+// Monte-Carlo simulation of the Section 2.1 stochastic process, and a real
+// thread runtime with checkpoint/rollback.  Each of those lives in its own
+// layer (model/+markov/, des/, runtime/); EvalBackend is the seam that lets
+// a single Scenario flow through any of them and come back as a ResultSet
+// of named metrics:
+//
+//   const Scenario s = Scenario::symmetric(3, 1.0, 1.0);
+//   for (const EvalBackend* b : all_backends()) {
+//     ResultSet r = b->evaluate(s);
+//     ...
+//   }
+//
+// Backends share metric names where the semantics coincide (e.g.
+// "mean_interval_x" is the analytic E[X] from the phase-type chain and the
+// sample mean from the DES), so cross-backend validation is a join on
+// metric name instead of per-experiment glue.  The registered backends are
+// stateless singletons; evaluate() is const and safe to call concurrently
+// from SweepEngine worker threads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/scenario.h"
+
+namespace rbx {
+
+class EvalBackend {
+ public:
+  virtual ~EvalBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  // Whether this backend can evaluate the scenario (e.g. the full analytic
+  // chain has 2^n + 1 states and caps n; the PRP simulator needs a
+  // positive error rate).  evaluate() RBX_CHECKs the same conditions, so
+  // misuse is loud either way.
+  virtual bool supports(const Scenario& scenario) const;
+
+  virtual ResultSet evaluate(const Scenario& scenario) const = 0;
+};
+
+// The three standard backends (stateless singletons).
+const EvalBackend& analytic_backend();      // model/ + markov/
+const EvalBackend& monte_carlo_backend();   // des/
+const EvalBackend& runtime_backend();       // runtime/ (real threads)
+
+// All registered backends, in the order above.
+std::vector<const EvalBackend*> all_backends();
+
+// Lookup by name ("analytic", "monte-carlo", "runtime"); nullptr if unknown.
+const EvalBackend* find_backend(const std::string& name);
+
+}  // namespace rbx

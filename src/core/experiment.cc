@@ -1,10 +1,45 @@
 #include "core/experiment.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "core/analyzer.h"
+
 namespace rbx {
+
+namespace {
+
+[[noreturn]] void usage_error(const char* prog, const char* arg,
+                              const char* why) {
+  std::fprintf(stderr, "%s: bad argument '%s' (%s)\n", prog, arg, why);
+  std::fprintf(stderr,
+               "usage: %s [--samples=N] [--nmax=N] [--seed=N] [--threads=N]\n",
+               prog);
+  std::exit(2);
+}
+
+// Strict non-negative integer parse: rejects empty strings, signs,
+// non-digit suffixes and out-of-range values.  strtoull itself skips
+// leading whitespace and negates '-' values into huge uint64s, so insist
+// the text starts with a digit.
+bool parse_u64(const char* text, std::uint64_t* out) {
+  if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
 
 ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
                                            std::size_t default_samples,
@@ -12,18 +47,42 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
   ExperimentOptions opts;
   opts.samples = default_samples;
   opts.nmax = default_nmax;
+  const char* prog = argc > 0 ? argv[0] : "bench";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    const char* value = nullptr;
+    std::uint64_t* target = nullptr;
+    std::uint64_t parsed = 0;
+    std::size_t* size_target = nullptr;
     if (std::strncmp(arg, "--samples=", 10) == 0) {
-      opts.samples = static_cast<std::size_t>(std::strtoull(arg + 10,
-                                                            nullptr, 10));
+      value = arg + 10;
+      size_target = &opts.samples;
     } else if (std::strncmp(arg, "--nmax=", 7) == 0) {
-      opts.nmax = static_cast<std::size_t>(std::strtoull(arg + 7, nullptr,
-                                                         10));
+      value = arg + 7;
+      size_target = &opts.nmax;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      opts.seed = std::strtoull(arg + 7, nullptr, 10);
+      value = arg + 7;
+      target = &opts.seed;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      value = arg + 10;
+      size_target = &opts.threads;
+    } else {
+      usage_error(prog, arg, "unknown flag");
+    }
+    if (!parse_u64(value, &parsed)) {
+      usage_error(prog, arg, "expected a non-negative integer");
+    }
+    if (size_target == &opts.threads && parsed == 0) {
+      usage_error(prog, arg, "thread count must be >= 1");
+    }
+    if (target != nullptr) {
+      *target = parsed;
+    } else {
+      *size_target = static_cast<std::size_t>(parsed);
     }
   }
+  // 0 keeps the bench's default budget (documented escape hatch, and what
+  // --nmax=0 has always meant).
   if (opts.samples == 0) {
     opts.samples = default_samples;
   }
@@ -48,6 +107,26 @@ std::string fmt_dev(double measured, double reference) {
   std::snprintf(buf, sizeof(buf), "%+.2f%%",
                 100.0 * (measured - reference) / reference);
   return buf;
+}
+
+std::string scheme_summary(const ResultSet& async_exact,
+                           const ResultSet& sync_exact,
+                           const ResultSet& prp_exact) {
+  // Adapter onto the one three-line formatter, SchemeComparison::summary()
+  // (also reached through the legacy Analyzer route).
+  SchemeComparison cmp;
+  cmp.mean_interval_x = async_exact.value("mean_interval_x");
+  cmp.stddev_interval_x = async_exact.value("stddev_interval_x");
+  for (std::size_t i = 0; async_exact.has(indexed_metric("rp_count_", i));
+       ++i) {
+    cmp.rp_counts.push_back(async_exact.value(indexed_metric("rp_count_", i)));
+  }
+  cmp.sync_mean_max_wait = sync_exact.value("sync_mean_max_wait");
+  cmp.sync_mean_loss = sync_exact.value("sync_mean_loss");
+  cmp.prp_snapshots_per_rp = prp_exact.value("prp_snapshots_per_rp");
+  cmp.prp_time_overhead_per_rp = prp_exact.value("prp_time_overhead_per_rp");
+  cmp.prp_mean_rollback_bound = prp_exact.value("prp_mean_rollback_bound");
+  return cmp.summary();
 }
 
 void print_banner(const std::string& experiment_id,

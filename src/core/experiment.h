@@ -6,6 +6,12 @@
 //   --samples=N   Monte-Carlo sample count (lines / failures / commits)
 //   --nmax=N      largest process count in sweeps
 //   --seed=N      master RNG seed
+//   --threads=N   SweepEngine worker threads (default: hardware concurrency)
+//
+// Parsing is strict: an unknown flag, a malformed number, a negative value
+// or --threads=0 prints a usage message to stderr and exits with status 2
+// (a typo'd flag silently falling back to defaults once cost a day of
+// benchmarking against the wrong sample count).
 #pragma once
 
 #include <cstddef>
@@ -13,12 +19,15 @@
 #include <string>
 #include <vector>
 
+#include "core/result.h"
+
 namespace rbx {
 
 struct ExperimentOptions {
   std::size_t samples = 20000;
-  std::size_t nmax = 0;  // 0 = bench default
+  std::size_t nmax = 0;      // 0 = bench default
   std::uint64_t seed = 20260610;
+  std::size_t threads = 0;   // 0 = hardware concurrency (SweepEngine default)
 
   static ExperimentOptions parse(int argc, char** argv,
                                  std::size_t default_samples,
@@ -35,5 +44,12 @@ std::string fmt_dev(double measured, double reference);
 // self-describing when tee'd into logs).
 void print_banner(const std::string& experiment_id,
                   const std::string& description);
+
+// Three-line digest of one scenario's analytic evaluation under each scheme
+// (async E[X]/sd/E[L], sync E[Z]/CL, PRP overheads/rollback bound); the
+// shared opening block of quickstart and scheme_comparison.
+std::string scheme_summary(const ResultSet& async_exact,
+                           const ResultSet& sync_exact,
+                           const ResultSet& prp_exact);
 
 }  // namespace rbx

@@ -1,0 +1,105 @@
+#include "core/monte_carlo_backend.h"
+
+#include <string>
+
+#include "des/async_sim.h"
+#include "des/prp_sim.h"
+#include "des/sync_sim.h"
+#include "support/stats.h"
+
+namespace rbx {
+
+namespace {
+
+void set_sample(ResultSet& out, const std::string& name, const SampleSet& s) {
+  out.set(name, s.mean(), s.ci_half_width(), s.count());
+}
+
+void set_stats(ResultSet& out, const std::string& name,
+               const RunningStats& s) {
+  out.set(name, s.mean(), s.ci_half_width(), s.count());
+}
+
+void evaluate_async(const Scenario& s, ResultSet& out) {
+  AsyncRbSimulator sim(s.params(), s.seed());
+  const AsyncSimResult r = sim.run_lines(s.samples(), s.error_rate());
+  set_sample(out, "mean_interval_x", r.interval);
+  out.set("stddev_interval_x", r.interval.stddev(), 0.0, r.interval.count());
+  for (std::size_t i = 0; i < s.n(); ++i) {
+    set_stats(out, indexed_metric("rp_count_", i), r.rp_incl_final[i]);
+    set_stats(out, indexed_metric("rp_count_excl_", i), r.rp_excl_final[i]);
+    set_stats(out, indexed_metric("rp_count_statechg_", i),
+              r.rp_state_changing[i]);
+  }
+  if (s.error_rate() > 0.0) {
+    set_sample(out, "line_age", r.line_age);
+  }
+}
+
+void evaluate_sync(const Scenario& s, ResultSet& out) {
+  SyncRbSimulator sim(s.sync_sim_params(), s.seed());
+  const SyncSimResult r = sim.run(s.samples());
+  set_sample(out, "sync_mean_max_wait", r.max_wait);
+  set_sample(out, "sync_mean_loss", r.loss);
+  set_sample(out, "sync_line_spacing", r.line_spacing);
+  set_sample(out, "sync_states_per_line", r.states_per_line);
+  out.set("sync_loss_rate", r.loss_rate);
+  if (s.error_rate() > 0.0) {
+    set_sample(out, "sync_rollback_distance", r.rollback_distance);
+  }
+}
+
+void evaluate_prp(const Scenario& s, ResultSet& out) {
+  PrpSimulator sim(s.params(), s.prp_sim_params(), s.seed());
+  const PrpSimResult r = sim.run(s.samples());
+  set_sample(out, "prp_distance", r.prp_distance);
+  out.set("prp_distance_p95", r.prp_distance.quantile(0.95));
+  set_sample(out, "prp_affected", r.prp_affected);
+  set_sample(out, "prp_iterations", r.prp_iterations);
+  out.set("prp_iterations_max", r.prp_iterations.max());
+  set_sample(out, "async_distance", r.async_distance);
+  out.set("async_distance_p95", r.async_distance.quantile(0.95));
+  set_sample(out, "async_affected", r.async_affected);
+  out.set("async_domino_count", static_cast<double>(r.async_domino_count));
+  out.set("failures", static_cast<double>(r.failures));
+  out.set("contaminated_restarts",
+          static_cast<double>(r.contaminated_restarts));
+  out.set("snapshots_per_unit_time", r.snapshots_per_unit_time);
+  out.set("rp_per_unit_time", r.rp_per_unit_time);
+  out.set("recording_time_fraction", r.recording_time_fraction);
+  out.set("horizon", r.horizon);
+  if (s.prp_sync_period() > 0.0) {
+    set_sample(out, "hybrid_distance", r.hybrid_distance);
+    out.set("hybrid_sync_restores",
+            static_cast<double>(r.hybrid_sync_restores));
+    out.set("sync_lines_established",
+            static_cast<double>(r.sync_lines_established));
+  }
+}
+
+}  // namespace
+
+bool MonteCarloBackend::supports(const Scenario& scenario) const {
+  if (scenario.scheme() == SchemeKind::kPseudoRecoveryPoints) {
+    return scenario.error_rate() > 0.0;
+  }
+  return true;
+}
+
+ResultSet MonteCarloBackend::evaluate(const Scenario& scenario) const {
+  ResultSet out(name(), scenario.label());
+  switch (scenario.scheme()) {
+    case SchemeKind::kAsynchronous:
+      evaluate_async(scenario, out);
+      break;
+    case SchemeKind::kSynchronized:
+      evaluate_sync(scenario, out);
+      break;
+    case SchemeKind::kPseudoRecoveryPoints:
+      evaluate_prp(scenario, out);
+      break;
+  }
+  return out;
+}
+
+}  // namespace rbx

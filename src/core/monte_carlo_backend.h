@@ -1,0 +1,34 @@
+// Monte-Carlo (discrete-event) evaluation of a Scenario via des/.
+//
+// Dispatches on the scenario's scheme:
+//
+//  * kAsynchronous - AsyncRbSimulator::run_lines(samples, error_rate):
+//    "mean_interval_x" with its CI, per-process "rp_count_i" under the
+//    three counting conventions, and "line_age" when errors are injected.
+//  * kSynchronized - SyncRbSimulator under the scenario's SyncPolicy:
+//    "sync_mean_max_wait", "sync_mean_loss", "sync_loss_rate",
+//    "sync_line_spacing", "sync_states_per_line", and
+//    "sync_rollback_distance" when errors are injected.
+//  * kPseudoRecoveryPoints - PrpSimulator until `samples` failures:
+//    "prp_distance" (+ p95), the paired "async_distance" (+ p95),
+//    affected-set sizes, domino counts, storage accounting, and the
+//    hybrid-scheme metrics when prp_sync_period > 0.  Needs a positive
+//    error rate.
+//
+// Deterministic: the same scenario (seed included) produces bitwise
+// identical results on any thread of any machine - the property the
+// SweepEngine determinism tests pin down.
+#pragma once
+
+#include "core/backend.h"
+
+namespace rbx {
+
+class MonteCarloBackend : public EvalBackend {
+ public:
+  std::string name() const override { return "monte-carlo"; }
+  bool supports(const Scenario& scenario) const override;
+  ResultSet evaluate(const Scenario& scenario) const override;
+};
+
+}  // namespace rbx

@@ -1,0 +1,101 @@
+#include "core/result.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace rbx {
+
+std::string indexed_metric(const char* stem, std::size_t i) {
+  std::string name(stem);
+  name += std::to_string(i + 1);
+  return name;
+}
+
+ResultSet::ResultSet(std::string backend, std::string scenario)
+    : backend_(std::move(backend)), scenario_(std::move(scenario)) {}
+
+void ResultSet::set(const std::string& name, double value, double half_width,
+                    std::size_t count) {
+  for (Metric& m : metrics_) {
+    if (m.name == name) {
+      m.value = value;
+      m.half_width = half_width;
+      m.count = count;
+      return;
+    }
+  }
+  metrics_.push_back(Metric{name, value, half_width, count});
+}
+
+const Metric* ResultSet::find(const std::string& name) const {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+bool ResultSet::has(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+double ResultSet::value(const std::string& name) const {
+  const Metric* m = find(name);
+  RBX_CHECK_MSG(m != nullptr, "unknown metric requested from ResultSet");
+  return m->value;
+}
+
+double ResultSet::value_or(const std::string& name, double fallback) const {
+  const Metric* m = find(name);
+  return m != nullptr ? m->value : fallback;
+}
+
+const Metric& ResultSet::metric(const std::string& name) const {
+  const Metric* m = find(name);
+  RBX_CHECK_MSG(m != nullptr, "unknown metric requested from ResultSet");
+  return *m;
+}
+
+void ResultSet::merge(const ResultSet& other, const std::string& prefix) {
+  for (const Metric& m : other.metrics_) {
+    set(prefix + m.name, m.value, m.half_width, m.count);
+  }
+}
+
+std::string ResultSet::to_string() const {
+  std::ostringstream os;
+  os << backend_ << " / " << scenario_ << "\n";
+  for (const Metric& m : metrics_) {
+    char line[160];
+    if (m.exact()) {
+      std::snprintf(line, sizeof(line), "  %-28s = %.6g\n", m.name.c_str(),
+                    m.value);
+    } else {
+      std::snprintf(line, sizeof(line), "  %-28s = %.6g +- %.6g (%zu samples)\n",
+                    m.name.c_str(), m.value, m.half_width, m.count);
+    }
+    os << line;
+  }
+  return os.str();
+}
+
+bool operator==(const ResultSet& a, const ResultSet& b) {
+  if (a.backend_ != b.backend_ || a.scenario_ != b.scenario_ ||
+      a.metrics_.size() != b.metrics_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.metrics_.size(); ++i) {
+    const Metric& x = a.metrics_[i];
+    const Metric& y = b.metrics_[i];
+    if (x.name != y.name || x.value != y.value ||
+        x.half_width != y.half_width || x.count != y.count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rbx

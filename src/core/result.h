@@ -1,0 +1,73 @@
+// Structured results of evaluating a Scenario on an EvalBackend.
+//
+// Every backend - analytic, Monte-Carlo or thread runtime - reports its
+// output as a flat list of named metrics.  A metric carries the point value,
+// the half-width of its 95% confidence interval (zero for closed-form
+// results) and the number of samples behind the estimate (zero when exact).
+// Shared metric names across backends (e.g. "mean_interval_x" from both the
+// phase-type chain and the DES) are what make cross-backend validation a
+// simple join instead of bespoke glue code per experiment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rbx {
+
+// 1-based per-process metric name, the cross-backend naming convention:
+// indexed_metric("rp_count_", 0) == "rp_count_1".  Analytic and Monte-Carlo
+// results for process i join on this name.
+std::string indexed_metric(const char* stem, std::size_t i);
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  double half_width = 0.0;  // 95% CI half-width; 0 for exact results
+  std::size_t count = 0;    // samples behind the estimate; 0 = closed form
+
+  bool exact() const { return count == 0; }
+};
+
+class ResultSet {
+ public:
+  ResultSet() = default;
+  ResultSet(std::string backend, std::string scenario);
+
+  const std::string& backend() const { return backend_; }
+  const std::string& scenario() const { return scenario_; }
+
+  // Upserts a metric, preserving first-insertion order.
+  void set(const std::string& name, double value, double half_width = 0.0,
+           std::size_t count = 0);
+
+  bool has(const std::string& name) const;
+  // Point value of a metric; RBX_CHECKs that the metric exists.
+  double value(const std::string& name) const;
+  double value_or(const std::string& name, double fallback) const;
+  const Metric& metric(const std::string& name) const;
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+  // Appends every metric of `other`, prefixing its names (e.g. "mc_").
+  // Lets one sweep cell combine several backend evaluations.
+  void merge(const ResultSet& other, const std::string& prefix = "");
+
+  // One metric per line: "name = value [+- hw (count samples)]".
+  std::string to_string() const;
+
+  // Exact (bitwise) equality of all metric names, values, half-widths and
+  // counts - the determinism contract checked by the SweepEngine tests.
+  friend bool operator==(const ResultSet& a, const ResultSet& b);
+  friend bool operator!=(const ResultSet& a, const ResultSet& b) {
+    return !(a == b);
+  }
+
+ private:
+  const Metric* find(const std::string& name) const;
+
+  std::string backend_;
+  std::string scenario_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace rbx

@@ -1,0 +1,46 @@
+#include "core/runtime_backend.h"
+
+#include "runtime/system.h"
+
+namespace rbx {
+
+ResultSet RuntimeBackend::evaluate(const Scenario& scenario) const {
+  RecoverySystem system(scenario.runtime_config());
+  const RuntimeReport r = system.run();
+
+  ResultSet out(name(), scenario.label());
+  const auto count = [&out](const char* name, std::size_t v) {
+    out.set(name, static_cast<double>(v));
+  };
+  count("messages_sent", r.messages_sent);
+  count("messages_applied", r.messages_applied);
+  count("fifo_violations", r.fifo_violations);
+  count("rps", r.rps);
+  count("prps", r.prps);
+  count("implant_commits", r.implant_commits);
+  count("snapshots_retained", r.snapshots_retained);
+  count("snapshot_bytes", r.snapshot_bytes);
+  count("purged_snapshots", r.purged_snapshots);
+  count("rb_executions", r.rb_executions);
+  count("rb_local_rollbacks", r.rb_local_rollbacks);
+  count("at_failures", r.at_failures);
+  count("recoveries", r.recoveries);
+  count("orphan_messages_dropped", r.orphan_messages_dropped);
+  count("domino_restarts", r.domino_restarts);
+  out.set("rollback_depth", r.rollback_tickets.mean(),
+          r.rollback_tickets.ci_half_width(), r.rollback_tickets.count());
+  out.set("affected_processes", r.affected_processes.mean(),
+          r.affected_processes.ci_half_width(), r.affected_processes.count());
+  count("sync_lines", r.sync_lines);
+  count("sync_aborts", r.sync_aborts);
+  out.set("sync_wait_polls", r.sync_wait_polls.mean(),
+          r.sync_wait_polls.ci_half_width(), r.sync_wait_polls.count());
+  out.set("sync_wait_polls_max",
+          r.sync_wait_polls.count() > 0 ? r.sync_wait_polls.max() : 0.0);
+  out.set("line_consistency_verified", r.line_consistency_verified ? 1.0 : 0.0);
+  out.set("restore_verified", r.restore_verified ? 1.0 : 0.0);
+  out.set("completed", r.completed ? 1.0 : 0.0);
+  return out;
+}
+
+}  // namespace rbx

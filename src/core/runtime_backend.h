@@ -1,0 +1,27 @@
+// Thread-runtime evaluation of a Scenario via runtime/RecoverySystem.
+//
+// Projects the scenario onto a RuntimeConfig (scheme, seed, fault
+// injection, workload shape) and runs the real checkpoint/rollback runtime:
+// n std::jthread processes exchanging messages, establishing recovery
+// points and recovering from injected acceptance-test failures.  The
+// report's protocol counters come back as metrics ("recoveries",
+// "rollback_depth", "affected_processes", "snapshot_bytes", ...) plus the
+// verified invariants ("line_consistency_verified", "restore_verified",
+// "completed") as 0/1 values.
+//
+// Unlike the other two backends this one is subject to real thread
+// scheduling: counters vary from run to run even with a fixed seed, so it
+// validates protocol behaviour and invariants, not exact numbers.
+#pragma once
+
+#include "core/backend.h"
+
+namespace rbx {
+
+class RuntimeBackend : public EvalBackend {
+ public:
+  std::string name() const override { return "runtime"; }
+  ResultSet evaluate(const Scenario& scenario) const override;
+};
+
+}  // namespace rbx

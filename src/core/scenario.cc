@@ -1,0 +1,144 @@
+#include "core/scenario.h"
+
+#include <sstream>
+#include <utility>
+
+#include "support/check.h"
+
+namespace rbx {
+
+namespace {
+
+const char* scheme_tag(SchemeKind scheme) {
+  switch (scheme) {
+    case SchemeKind::kAsynchronous:
+      return "async";
+    case SchemeKind::kSynchronized:
+      return "sync";
+    case SchemeKind::kPseudoRecoveryPoints:
+      return "prp";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Scenario::Scenario(ProcessSetParams params) : params_(std::move(params)) {}
+
+Scenario Scenario::symmetric(std::size_t n, double mu, double lambda) {
+  return Scenario(ProcessSetParams::symmetric(n, mu, lambda));
+}
+
+Scenario Scenario::from_mu(std::vector<double> mu) {
+  const std::size_t n = mu.size();
+  return Scenario(
+      ProcessSetParams(std::move(mu), std::vector<double>(n * n, 0.0)));
+}
+
+Scenario& Scenario::params(ProcessSetParams p) {
+  params_ = std::move(p);
+  return *this;
+}
+
+Scenario& Scenario::scheme(SchemeKind s) {
+  scheme_ = s;
+  return *this;
+}
+
+Scenario& Scenario::seed(std::uint64_t s) {
+  seed_ = s;
+  return *this;
+}
+
+Scenario& Scenario::error_rate(double rate) {
+  RBX_CHECK_MSG(rate >= 0.0, "error rate must be non-negative");
+  error_rate_ = rate;
+  return *this;
+}
+
+Scenario& Scenario::at_failure_probability(double p) {
+  RBX_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                "AT failure probability must be in [0, 1]");
+  at_failure_probability_ = p;
+  return *this;
+}
+
+Scenario& Scenario::t_record(double t) {
+  RBX_CHECK_MSG(t >= 0.0, "state-recording time must be non-negative");
+  t_record_ = t;
+  return *this;
+}
+
+Scenario& Scenario::sync_policy(SyncPolicy policy) {
+  sync_policy_ = policy;
+  return *this;
+}
+
+Scenario& Scenario::scoped_prp(bool scoped) {
+  scoped_prp_ = scoped;
+  return *this;
+}
+
+Scenario& Scenario::prp_sync_period(double period) {
+  RBX_CHECK_MSG(period >= 0.0, "sync period must be non-negative");
+  prp_sync_period_ = period;
+  return *this;
+}
+
+Scenario& Scenario::samples(std::size_t s) {
+  RBX_CHECK_MSG(s > 0, "sample budget must be positive");
+  samples_ = s;
+  return *this;
+}
+
+Scenario& Scenario::workload(RuntimeWorkload w) {
+  workload_ = w;
+  return *this;
+}
+
+std::string Scenario::label() const {
+  std::ostringstream os;
+  os << scheme_tag(scheme_) << " " << params_.describe() << " seed=" << seed_;
+  return os.str();
+}
+
+RuntimeConfig Scenario::runtime_config() const {
+  RuntimeConfig cfg;
+  cfg.num_processes = params_.n();
+  cfg.scheme = scheme_;
+  cfg.seed = seed_;
+  cfg.steps = workload_.steps;
+  cfg.message_probability = workload_.message_probability;
+  cfg.rp_probability = workload_.rp_probability;
+  cfg.at_failure_probability = at_failure_probability_;
+  cfg.alternate_failure_probability = workload_.alternate_failure_probability;
+  cfg.rb_alternates = workload_.rb_alternates;
+  cfg.sync_period_steps = workload_.sync_period_steps;
+  cfg.scoped_prp = scoped_prp_;
+  return cfg;
+}
+
+SyncSimParams Scenario::sync_sim_params() const {
+  SyncSimParams sp;
+  sp.mu = params_.mu();
+  sp.strategy = sync_policy_.strategy;
+  sp.interval = sync_policy_.interval;
+  sp.elapsed_threshold = sync_policy_.elapsed_threshold;
+  sp.saved_threshold = sync_policy_.saved_threshold;
+  sp.error_rate = error_rate_;
+  return sp;
+}
+
+PrpSimParams Scenario::prp_sim_params() const {
+  RBX_CHECK_MSG(error_rate_ > 0.0,
+                "PRP simulation needs a positive error rate (it runs until "
+                "a failure count is reached)");
+  PrpSimParams sp;
+  sp.t_record = t_record_;
+  sp.error_rate = error_rate_;
+  sp.affects_everyone = !scoped_prp_;
+  sp.sync_period = prp_sync_period_;
+  return sp;
+}
+
+}  // namespace rbx

@@ -1,0 +1,99 @@
+// SweepEngine: parameter-grid expansion and parallel scenario evaluation.
+//
+// Every bench in this repository is a sweep: vary (n, rho, failure rate,
+// scheme, ...) over a grid, evaluate each cell, print a table.  SweepGrid
+// expands a base Scenario and a list of axes into the cartesian product of
+// cells; SweepEngine evaluates a cell batch on a thread pool.  Two
+// properties make the results independent of the thread count:
+//
+//  * per-cell seeds are derived deterministically from the master seed and
+//    the cell index (derive_cell_seed, a splitmix64 output - cells get
+//    decorrelated streams and cell i's seed never depends on how many
+//    cells or threads there are);
+//  * cells are evaluated independently (the backends are stateless) and
+//    results land in input order.
+//
+// So `engine.run(grid.expand(seed), monte_carlo_backend())` is bitwise
+// reproducible whether it runs on 1 thread or 64 - the contract
+// tests/core/sweep_test.cc pins down, and what lets benches parallelize
+// without changing their printed reference values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/result.h"
+#include "core/scenario.h"
+
+namespace rbx {
+
+// i-th output of the splitmix64 stream seeded with `master_seed`; used as
+// the RNG seed of cell i.  Pure function of (master_seed, cell_index).
+std::uint64_t derive_cell_seed(std::uint64_t master_seed,
+                               std::uint64_t cell_index);
+
+class SweepEngine {
+ public:
+  struct Options {
+    // Worker threads; 0 = std::thread::hardware_concurrency().
+    std::size_t threads = 0;
+  };
+
+  SweepEngine() : SweepEngine(Options()) {}
+  explicit SweepEngine(Options options);
+
+  std::size_t threads() const { return threads_; }
+
+  // Evaluates cell i as cell_fn(cells[i], i); results in input order.
+  // cell_fn must be safe to call concurrently (pure backends are).
+  std::vector<ResultSet> run(
+      const std::vector<Scenario>& cells,
+      const std::function<ResultSet(const Scenario&, std::size_t)>& cell_fn)
+      const;
+
+  // Shorthand: evaluate every cell on one backend.
+  std::vector<ResultSet> run(const std::vector<Scenario>& cells,
+                             const EvalBackend& backend) const;
+
+ private:
+  std::size_t threads_;
+};
+
+// Cartesian-product expansion of a base Scenario.
+//
+//   auto cells = SweepGrid(base)
+//                    .axis({0.5, 1.0, 2.0}, apply_rho)
+//                    .schemes({SchemeKind::kAsynchronous,
+//                              SchemeKind::kSynchronized})
+//                    .expand(master_seed);
+//
+// Axes vary row-major (the first axis slowest, the scheme axis fastest);
+// each cell's seed is derive_cell_seed(master_seed, cell_index).
+class SweepGrid {
+ public:
+  using Apply = std::function<void(Scenario&, double)>;
+
+  explicit SweepGrid(Scenario base);
+
+  SweepGrid& axis(std::vector<double> values, Apply apply);
+  SweepGrid& schemes(std::vector<SchemeKind> schemes);
+
+  std::size_t cells() const;
+  std::vector<Scenario> expand(std::uint64_t master_seed) const;
+
+ private:
+  struct Axis {
+    std::vector<double> values;
+    Apply apply;
+  };
+
+  Scenario base_;
+  std::vector<Axis> axes_;
+  std::vector<SchemeKind> schemes_;
+};
+
+}  // namespace rbx

@@ -64,7 +64,8 @@ std::string history_to_dot(const History& history, const std::string& title) {
 
   for (ProcessId p = 0; p < n; ++p) {
     os << "  p" << p << " [shape=box, label=\"P" << p + 1 << "\"];\n";
-    std::string prev = "p" + std::to_string(p);
+    std::string prev = "p";
+    prev += std::to_string(p);
     for (const std::string& node : columns[p]) {
       os << "  " << prev << " -> " << node << ";\n";
       prev = node;

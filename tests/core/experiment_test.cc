@@ -11,6 +11,7 @@ TEST(ExperimentOptions, Defaults) {
   const auto opts = ExperimentOptions::parse(1, argv, 5000, 7);
   EXPECT_EQ(opts.samples, 5000u);
   EXPECT_EQ(opts.nmax, 7u);
+  EXPECT_EQ(opts.threads, 0u);  // 0 = hardware concurrency in SweepEngine
 }
 
 TEST(ExperimentOptions, ParsesFlags) {
@@ -18,11 +19,13 @@ TEST(ExperimentOptions, ParsesFlags) {
   char a1[] = "--samples=123";
   char a2[] = "--nmax=4";
   char a3[] = "--seed=99";
-  char* argv[] = {prog, a1, a2, a3};
-  const auto opts = ExperimentOptions::parse(4, argv, 5000, 7);
+  char a4[] = "--threads=16";
+  char* argv[] = {prog, a1, a2, a3, a4};
+  const auto opts = ExperimentOptions::parse(5, argv, 5000, 7);
   EXPECT_EQ(opts.samples, 123u);
   EXPECT_EQ(opts.nmax, 4u);
   EXPECT_EQ(opts.seed, 99u);
+  EXPECT_EQ(opts.threads, 16u);
 }
 
 TEST(ExperimentOptions, ZeroValuesFallBackToDefaults) {
@@ -33,12 +36,54 @@ TEST(ExperimentOptions, ZeroValuesFallBackToDefaults) {
   EXPECT_EQ(opts.samples, 5000u);
 }
 
-TEST(ExperimentOptions, IgnoresUnknownFlags) {
+TEST(ExperimentOptionsDeathTest, RejectsUnknownFlag) {
   char prog[] = "bench";
   char a1[] = "--whatever=3";
   char* argv[] = {prog, a1};
-  const auto opts = ExperimentOptions::parse(2, argv, 100, 2);
-  EXPECT_EQ(opts.samples, 100u);
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsMalformedNumber) {
+  char prog[] = "bench";
+  char a1[] = "--samples=12abc";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsNegativeValue) {
+  char prog[] = "bench";
+  char a1[] = "--nmax=-4";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsWhitespacePaddedNegative) {
+  // strtoull would skip the space and wrap -5 to a huge uint64; the parser
+  // must not let it.
+  char prog[] = "bench";
+  char a1[] = "--samples= -5";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsEmptyValue) {
+  char prog[] = "bench";
+  char a1[] = "--seed=";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsZeroThreads) {
+  char prog[] = "bench";
+  char a1[] = "--threads=0";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "thread count");
 }
 
 TEST(Formatting, CiString) {

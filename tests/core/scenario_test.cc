@@ -1,0 +1,118 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(Scenario, DefaultsAreTheLibraryDefaults) {
+  const Scenario s = Scenario::symmetric(3, 1.0, 1.0);
+  EXPECT_EQ(s.n(), 3u);
+  EXPECT_EQ(s.scheme(), SchemeKind::kAsynchronous);
+  EXPECT_EQ(s.samples(), 20000u);
+  EXPECT_DOUBLE_EQ(s.error_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.t_record(), 0.01);
+  EXPECT_FALSE(s.scoped_prp());
+}
+
+TEST(Scenario, FluentSettersChain) {
+  const Scenario s = Scenario::symmetric(4, 2.0, 0.5)
+                         .scheme(SchemeKind::kSynchronized)
+                         .seed(99)
+                         .samples(123)
+                         .error_rate(0.25)
+                         .t_record(0.002);
+  EXPECT_EQ(s.scheme(), SchemeKind::kSynchronized);
+  EXPECT_EQ(s.seed(), 99u);
+  EXPECT_EQ(s.samples(), 123u);
+  EXPECT_DOUBLE_EQ(s.error_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(s.t_record(), 0.002);
+}
+
+TEST(Scenario, FromMuBuildsZeroInteractionMatrix) {
+  const Scenario s = Scenario::from_mu({1.5, 1.0, 0.5});
+  EXPECT_EQ(s.n(), 3u);
+  EXPECT_DOUBLE_EQ(s.params().mu(0), 1.5);
+  EXPECT_DOUBLE_EQ(s.params().total_lambda(), 0.0);
+}
+
+TEST(Scenario, RuntimeConfigProjection) {
+  RuntimeWorkload w;
+  w.steps = 777;
+  w.message_probability = 0.5;
+  w.rp_probability = 0.125;
+  w.rb_alternates = 3;
+  w.sync_period_steps = 42;
+  const Scenario s = Scenario::symmetric(5, 1.0, 1.0)
+                         .scheme(SchemeKind::kPseudoRecoveryPoints)
+                         .seed(7)
+                         .at_failure_probability(0.125)
+                         .scoped_prp(true)
+                         .workload(w);
+  const RuntimeConfig cfg = s.runtime_config();
+  EXPECT_EQ(cfg.num_processes, 5u);
+  EXPECT_EQ(cfg.scheme, SchemeKind::kPseudoRecoveryPoints);
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_EQ(cfg.steps, 777u);
+  EXPECT_DOUBLE_EQ(cfg.message_probability, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.rp_probability, 0.125);
+  EXPECT_DOUBLE_EQ(cfg.at_failure_probability, 0.125);
+  EXPECT_EQ(cfg.rb_alternates, 3u);
+  EXPECT_EQ(cfg.sync_period_steps, 42u);
+  EXPECT_TRUE(cfg.scoped_prp);
+}
+
+TEST(Scenario, SyncSimParamsProjection) {
+  SyncPolicy policy;
+  policy.strategy = SyncStrategy::kSavedStates;
+  policy.saved_threshold = 17;
+  const Scenario s = Scenario::from_mu({2.0, 1.0})
+                         .scheme(SchemeKind::kSynchronized)
+                         .sync_policy(policy)
+                         .error_rate(0.3);
+  const SyncSimParams sp = s.sync_sim_params();
+  ASSERT_EQ(sp.mu.size(), 2u);
+  EXPECT_DOUBLE_EQ(sp.mu[0], 2.0);
+  EXPECT_EQ(sp.strategy, SyncStrategy::kSavedStates);
+  EXPECT_EQ(sp.saved_threshold, 17u);
+  EXPECT_DOUBLE_EQ(sp.error_rate, 0.3);
+}
+
+TEST(Scenario, PrpSimParamsProjection) {
+  const Scenario s = Scenario::symmetric(3, 1.0, 1.0)
+                         .scheme(SchemeKind::kPseudoRecoveryPoints)
+                         .t_record(1e-4)
+                         .error_rate(0.25)
+                         .scoped_prp(true)
+                         .prp_sync_period(4.0);
+  const PrpSimParams sp = s.prp_sim_params();
+  EXPECT_DOUBLE_EQ(sp.t_record, 1e-4);
+  EXPECT_DOUBLE_EQ(sp.error_rate, 0.25);
+  EXPECT_FALSE(sp.affects_everyone);
+  EXPECT_DOUBLE_EQ(sp.sync_period, 4.0);
+}
+
+TEST(Scenario, LabelNamesSchemeRatesAndSeed) {
+  const std::string label = Scenario::symmetric(3, 1.0, 1.0)
+                                .scheme(SchemeKind::kSynchronized)
+                                .seed(42)
+                                .label();
+  EXPECT_NE(label.find("sync"), std::string::npos);
+  EXPECT_NE(label.find("n=3"), std::string::npos);
+  EXPECT_NE(label.find("seed=42"), std::string::npos);
+}
+
+TEST(ScenarioDeathTest, LoudMisuse) {
+  EXPECT_DEATH(Scenario::symmetric(3, 1.0, 1.0).error_rate(-0.1),
+               "non-negative");
+  EXPECT_DEATH(Scenario::symmetric(3, 1.0, 1.0).samples(0), "positive");
+  // The PRP simulator runs to a failure count; a zero error rate would
+  // never terminate, so the projection refuses it.
+  EXPECT_DEATH(Scenario::symmetric(3, 1.0, 1.0)
+                   .scheme(SchemeKind::kPseudoRecoveryPoints)
+                   .prp_sim_params(),
+               "error rate");
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,107 @@
+#include "core/sweep.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace {
+
+TEST(DeriveCellSeed, DeterministicAndDecorrelated) {
+  EXPECT_EQ(derive_cell_seed(42, 0), derive_cell_seed(42, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t cell = 0; cell < 1000; ++cell) {
+    seeds.insert(derive_cell_seed(42, cell));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions across cells
+  EXPECT_NE(derive_cell_seed(42, 0), derive_cell_seed(43, 0));
+}
+
+TEST(SweepGridTest, ExpandsCartesianProductRowMajor) {
+  const auto apply_samples = [](Scenario& s, double v) {
+    s.samples(static_cast<std::size_t>(v));
+  };
+  const auto apply_error = [](Scenario& s, double v) { s.error_rate(v); };
+  SweepGrid grid(Scenario::symmetric(3, 1.0, 1.0));
+  grid.axis({100, 200}, apply_samples)
+      .axis({0.0, 0.1, 0.2}, apply_error)
+      .schemes({SchemeKind::kAsynchronous, SchemeKind::kSynchronized});
+  EXPECT_EQ(grid.cells(), 12u);
+
+  const std::vector<Scenario> cells = grid.expand(7);
+  ASSERT_EQ(cells.size(), 12u);
+  // First axis slowest, schemes fastest.
+  EXPECT_EQ(cells[0].samples(), 100u);
+  EXPECT_EQ(cells[0].scheme(), SchemeKind::kAsynchronous);
+  EXPECT_EQ(cells[1].scheme(), SchemeKind::kSynchronized);
+  EXPECT_DOUBLE_EQ(cells[2].error_rate(), 0.1);
+  EXPECT_EQ(cells[6].samples(), 200u);
+  // Per-cell seeds follow the documented derivation.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].seed(), derive_cell_seed(7, i));
+  }
+}
+
+TEST(SweepGridTest, NoAxesExpandsToSingleCell) {
+  const std::vector<Scenario> cells =
+      SweepGrid(Scenario::symmetric(2, 1.0, 1.0)).expand(3);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].seed(), derive_cell_seed(3, 0));
+}
+
+std::vector<Scenario> mc_grid(std::uint64_t master_seed) {
+  const auto apply_n = [](Scenario& s, double n) {
+    s.params(ProcessSetParams::symmetric(static_cast<std::size_t>(n), 1.0,
+                                         1.0));
+  };
+  return SweepGrid(Scenario::symmetric(2, 1.0, 1.0).samples(400))
+      .axis({2, 3, 4}, apply_n)
+      .schemes({SchemeKind::kAsynchronous, SchemeKind::kSynchronized})
+      .expand(master_seed);
+}
+
+TEST(SweepEngineTest, SameGridAndSeedIsBitwiseIdentical) {
+  const SweepEngine engine({2});
+  const auto a = engine.run(mc_grid(11), monte_carlo_backend());
+  const auto b = engine.run(mc_grid(11), monte_carlo_backend());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "cell " << i;
+  }
+  // A different master seed changes every Monte-Carlo cell.
+  const auto c = engine.run(mc_grid(12), monte_carlo_backend());
+  EXPECT_NE(a[0].value("mean_interval_x"), c[0].value("mean_interval_x"));
+}
+
+TEST(SweepEngineTest, ThreadCountDoesNotChangeResults) {
+  const auto cells = mc_grid(17);
+  const auto serial = SweepEngine({1}).run(cells, monte_carlo_backend());
+  const auto parallel = SweepEngine({8}).run(cells, monte_carlo_backend());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+  }
+}
+
+TEST(SweepEngineTest, CellFnReceivesIndexAndOrderIsPreserved) {
+  std::vector<Scenario> cells(5, Scenario::symmetric(2, 1.0, 1.0));
+  const auto results = SweepEngine({4}).run(
+      cells, [](const Scenario& s, std::size_t index) {
+        ResultSet out("test", s.label());
+        out.set("index", static_cast<double>(index));
+        return out;
+      });
+  ASSERT_EQ(results.size(), 5u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].value("index"), static_cast<double>(i));
+  }
+}
+
+TEST(SweepEngineTest, DefaultsToHardwareConcurrency) {
+  EXPECT_GE(SweepEngine().threads(), 1u);
+  EXPECT_EQ(SweepEngine({3}).threads(), 3u);
+  EXPECT_TRUE(SweepEngine({2}).run({}, monte_carlo_backend()).empty());
+}
+
+}  // namespace
+}  // namespace rbx

@@ -76,5 +76,23 @@ TEST(ParamsDeathTest, RejectsBadInputs) {
                "diagonal");
 }
 
+TEST(ParamsDeathTest, RejectsNonPositiveMu) {
+  // mu = 0 is as invalid as negative: assumption A5 needs a proper Poisson
+  // process per participant.
+  EXPECT_DEATH(ProcessSetParams({1.0, 0.0}, {0, 0, 0, 0}), "positive");
+  EXPECT_DEATH(ProcessSetParams({}, {}), "at least one process");
+}
+
+TEST(ParamsDeathTest, RejectsNegativeLambda) {
+  EXPECT_DEATH(ProcessSetParams({1.0, 1.0}, {0.0, -0.5, -0.5, 0.0}),
+               "non-negative");
+}
+
+TEST(ParamsDeathTest, RejectsOutOfRangeAccess) {
+  const auto p = ProcessSetParams::symmetric(2, 1.0, 1.0);
+  EXPECT_DEATH(p.mu(2), "");
+  EXPECT_DEATH(p.lambda(0, 2), "");
+}
+
 }  // namespace
 }  // namespace rbx
