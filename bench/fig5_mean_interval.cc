@@ -8,9 +8,10 @@
 // simplified R1'-R4' chain against the full 2^n + 1 state model and a
 // Monte-Carlo run.
 //
-// Grid cells are evaluated concurrently by SweepEngine (--threads=N); the
+// Grid cells are evaluated concurrently (--threads=N in-process,
+// --workers=N forked processes, --shard=i/k across hosts + --merge); the
 // per-cell seeds reproduce the original sequential loop, so the printed
-// values are independent of the thread count.
+// values are identical under every execution mode.
 #include <algorithm>
 #include <cstdio>
 #include <iterator>
@@ -37,15 +38,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  const SweepEngine engine({opts.threads});
-  const std::vector<ResultSet> results =
-      engine.run(cells, [](const Scenario& s, std::size_t) {
-        ResultSet out = analytic_backend().evaluate(s);
-        if (s.n() <= 6) {
-          out.merge(monte_carlo_backend().evaluate(s), "mc_");
-        }
-        return out;
-      });
+  SweepRunner runner(opts);
+  const auto sweep = runner.run(cells, [](const Scenario& s, std::size_t) {
+    ResultSet out = analytic_backend().evaluate(s);
+    if (s.n() <= 6) {
+      out.merge(monte_carlo_backend().evaluate(s), "mc_");
+    }
+    return out;
+  });
+  if (!sweep) {
+    return 0;  // --shard: partial written
+  }
+  const std::vector<ResultSet>& results = *sweep;
 
   const std::size_t per_rho = cells.size() / std::size(rho_levels);
   for (std::size_t r = 0; r < std::size(rho_levels); ++r) {

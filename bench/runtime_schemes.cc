@@ -7,10 +7,11 @@
 // orphan messages dropped and the verified invariants (restart-line
 // consistency, bit-exact restores).
 //
-// The scheme x n grid is evaluated by SweepEngine on the RuntimeBackend.
-// Each cell spawns its own process threads, so this bench defaults to one
-// SweepEngine worker (pass --threads=N to oversubscribe on purpose);
-// counters vary run to run regardless (real scheduling).
+// The scheme x n grid is evaluated on the RuntimeBackend.  Each cell
+// spawns its own process threads, so this bench defaults to one sweep
+// worker (pass --threads=N to oversubscribe on purpose, or --workers=N
+// for forked worker processes); counters vary run to run regardless
+// (real scheduling).
 #include <cstdio>
 #include <vector>
 
@@ -57,10 +58,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 0 would mean hardware concurrency; each cell already runs n threads.
-  const std::vector<ResultSet> results =
-      SweepEngine({opts.threads == 0 ? 1 : opts.threads})
-          .run(cells, runtime_backend());
+  // Default of 1 sweep worker: each cell already runs n threads.
+  SweepRunner runner(opts, /*default_threads=*/1);
+  const auto sweep = runner.run(cells, runtime_backend());
+  if (!sweep) {
+    return 0;  // --shard: partial written
+  }
+  const std::vector<ResultSet>& results = *sweep;
 
   TextTable table({"scheme", "n", "recoveries", "rollback depth (mean)",
                    "affected (mean)", "orphans", "snapshots", "bytes",

@@ -8,9 +8,9 @@
 // the curve for homogeneous systems (CL = n (H_n - 1) / mu), heterogeneous
 // rate sets, and a Monte-Carlo validation through the commit simulator.
 //
-// Rows are SweepEngine cells (analytic + Monte-Carlo backends per cell);
-// the per-row seeds match the original loop so --threads only changes the
-// wall-clock, not the printed values.
+// Rows are sweep cells (analytic + Monte-Carlo backends per cell); the
+// per-row seeds match the original loop so --threads/--workers/--shard
+// only change the wall-clock, not the printed values.
 #include <cstddef>
 #include <cstdio>
 #include <vector>
@@ -32,15 +32,38 @@ int main(int argc, char** argv) {
                         .samples(opts.samples));
   }
 
-  const SweepEngine engine({opts.threads});
-  const std::vector<ResultSet> results =
-      engine.run(cells, [](const Scenario& s, std::size_t) {
+  SweepRunner runner(opts);
+  const auto homo_sweep =
+      runner.run(cells, [](const Scenario& s, std::size_t) {
         ResultSet out = analytic_backend().evaluate(s);
         if (s.n() >= 2) {
           out.merge(monte_carlo_backend().evaluate(s), "mc_");
         }
         return out;
       });
+
+  // Heterogeneous sets: the slowest process dominates everyone's wait.
+  struct HeteroCase {
+    const char* label;
+    std::vector<double> mu;
+  };
+  const HeteroCase hetero[] = {
+      {"table-1 rates", {1.5, 1.0, 0.5}},
+      {"fig-6 rates", {0.6, 0.45, 0.45}},
+      {"one straggler", {2.0, 2.0, 2.0, 0.2}},
+      {"two classes", {1.0, 1.0, 0.25, 0.25}},
+  };
+  std::vector<Scenario> het_cells;
+  for (const HeteroCase& c : hetero) {
+    het_cells.push_back(
+        Scenario::from_mu(c.mu).scheme(SchemeKind::kSynchronized));
+  }
+  const auto het_sweep = runner.run(het_cells, analytic_backend());
+  if (!homo_sweep) {
+    return 0;  // --shard: partials for both sweeps written
+  }
+  const std::vector<ResultSet>& results = *homo_sweep;
+  const std::vector<ResultSet>& het_results = *het_sweep;
 
   TextTable homo({"n", "E[Z] = H_n/mu", "CL closed form", "CL quadrature",
                   "CL monte-carlo", "mc-dev"});
@@ -66,25 +89,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n",
               homo.render("Homogeneous processes (mu = 1.0)").c_str());
-
-  // Heterogeneous sets: the slowest process dominates everyone's wait.
-  struct HeteroCase {
-    const char* label;
-    std::vector<double> mu;
-  };
-  const HeteroCase hetero[] = {
-      {"table-1 rates", {1.5, 1.0, 0.5}},
-      {"fig-6 rates", {0.6, 0.45, 0.45}},
-      {"one straggler", {2.0, 2.0, 2.0, 0.2}},
-      {"two classes", {1.0, 1.0, 0.25, 0.25}},
-  };
-  std::vector<Scenario> het_cells;
-  for (const HeteroCase& c : hetero) {
-    het_cells.push_back(
-        Scenario::from_mu(c.mu).scheme(SchemeKind::kSynchronized));
-  }
-  const std::vector<ResultSet> het_results =
-      engine.run(het_cells, analytic_backend());
 
   TextTable het({"rates", "E[Z]", "CL", "wait of fastest",
                  "wait of slowest"});

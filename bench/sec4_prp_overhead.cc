@@ -10,8 +10,9 @@
 //    Monte-Carlo comparison of PRP vs plain asynchronous rollback on
 //    identical failure histories.
 //
-// The Monte-Carlo cases run concurrently on SweepEngine with the seeds of
-// the original sequential loop; printed values are --threads-invariant.
+// The Monte-Carlo cases run concurrently with the seeds of the original
+// sequential loop; printed values are invariant under --threads,
+// --workers and --shard splits.
 #include <algorithm>
 #include <cstdio>
 #include <iterator>
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
       ExperimentOptions::parse(argc, argv, /*samples=*/2000, /*nmax=*/8);
   print_banner("SEC4-PRP", "Section 4: pseudo recovery point overheads");
 
-  const SweepEngine engine({opts.threads});
+  SweepRunner runner(opts);
 
   // --- analytic overhead vs process count ---
   constexpr double kRecordTime = 0.01;
@@ -35,28 +36,7 @@ int main(int argc, char** argv) {
                                  .scheme(SchemeKind::kPseudoRecoveryPoints)
                                  .t_record(kRecordTime));
   }
-  const std::vector<ResultSet> overhead_results =
-      engine.run(overhead_cells, analytic_backend());
-
-  TextTable overhead({"n", "states/RP", "time/RP ((n-1)t_r)",
-                      "snapshot rate/proc", "E[sup y] bound",
-                      "recording fraction"});
-  for (std::size_t k = 0; k < overhead_cells.size(); ++k) {
-    const ResultSet& res = overhead_results[k];
-    overhead.add_row(
-        {TextTable::fmt_int(static_cast<long long>(k + 2)),
-         TextTable::fmt_int(
-             static_cast<long long>(res.value("prp_snapshots_per_rp"))),
-         TextTable::fmt(res.value("prp_time_overhead_per_rp"), 3),
-         TextTable::fmt(res.value("prp_snapshot_rate"), 2),
-         TextTable::fmt(res.value("prp_mean_rollback_bound"), 4),
-         TextTable::fmt(res.value("prp_recording_fraction_1"), 4)});
-  }
-  std::printf("%s\n",
-              overhead
-                  .render("Overheads (mu = lambda = 1, t_r = 0.01; paper "
-                          "Section 4)")
-                  .c_str());
+  const auto overhead_sweep = runner.run(overhead_cells, analytic_backend());
 
   // --- paired rollback-distance comparison on the Table 1 cases ---
   struct Case {
@@ -87,8 +67,8 @@ int main(int argc, char** argv) {
                          .error_rate(0.1)
                          .seed(opts.seed + 1)
                          .samples(std::max<std::size_t>(1, opts.samples / 2)));
-  const std::vector<ResultSet> mc_results =
-      engine.run(mc_cells, [&cases](const Scenario& s, std::size_t i) {
+  const auto mc_sweep =
+      runner.run(mc_cells, [&cases](const Scenario& s, std::size_t i) {
         ResultSet out = monte_carlo_backend().evaluate(s);
         // Only the comparison cases read exact_* metrics; the trailing
         // storage cell needs none.
@@ -97,6 +77,31 @@ int main(int argc, char** argv) {
         }
         return out;
       });
+  if (!overhead_sweep) {
+    return 0;  // --shard: partials for both sweeps written
+  }
+  const std::vector<ResultSet>& overhead_results = *overhead_sweep;
+  const std::vector<ResultSet>& mc_results = *mc_sweep;
+
+  TextTable overhead({"n", "states/RP", "time/RP ((n-1)t_r)",
+                      "snapshot rate/proc", "E[sup y] bound",
+                      "recording fraction"});
+  for (std::size_t k = 0; k < overhead_cells.size(); ++k) {
+    const ResultSet& res = overhead_results[k];
+    overhead.add_row(
+        {TextTable::fmt_int(static_cast<long long>(k + 2)),
+         TextTable::fmt_int(
+             static_cast<long long>(res.value("prp_snapshots_per_rp"))),
+         TextTable::fmt(res.value("prp_time_overhead_per_rp"), 3),
+         TextTable::fmt(res.value("prp_snapshot_rate"), 2),
+         TextTable::fmt(res.value("prp_mean_rollback_bound"), 4),
+         TextTable::fmt(res.value("prp_recording_fraction_1"), 4)});
+  }
+  std::printf("%s\n",
+              overhead
+                  .render("Overheads (mu = lambda = 1, t_r = 0.01; paper "
+                          "Section 4)")
+                  .c_str());
 
   TextTable cmp({"case", "E[sup y] bound", "PRP dist (mc)", "PRP p95",
                  "async dist (mc)", "async p95", "async domino",

@@ -14,9 +14,9 @@
 //  * case 5's printed E(L2) = 3.111 is a typo for 3.311 (the column sum
 //    9.933 only works with 3.311 = mu_2 * E[X]).
 //
-// The five cases run concurrently on SweepEngine with the per-case seeds
-// of the original sequential loop (opts.seed + k * 0x9e3779b9), keeping
-// the Monte-Carlo columns identical at any --threads.
+// The five cases run concurrently with the per-case seeds of the original
+// sequential loop (opts.seed + k * 0x9e3779b9), keeping the Monte-Carlo
+// columns identical at any --threads/--workers/--shard split.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -64,13 +64,16 @@ int main(int argc, char** argv) {
             .samples(opts.samples));
   }
 
-  const SweepEngine engine({opts.threads});
-  const std::vector<ResultSet> results =
-      engine.run(cells, [](const Scenario& s, std::size_t) {
-        ResultSet out = analytic_backend().evaluate(s);
-        out.merge(monte_carlo_backend().evaluate(s), "mc_");
-        return out;
-      });
+  SweepRunner runner(opts);
+  const auto sweep = runner.run(cells, [](const Scenario& s, std::size_t) {
+    ResultSet out = analytic_backend().evaluate(s);
+    out.merge(monte_carlo_backend().evaluate(s), "mc_");
+    return out;
+  });
+  if (!sweep) {
+    return 0;  // --shard: partial written
+  }
+  const std::vector<ResultSet>& results = *sweep;
 
   TextTable table({"case", "quantity", "paper", "analytic", "monte-carlo",
                    "mc-dev"});

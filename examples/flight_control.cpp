@@ -34,16 +34,18 @@ int main() {
   std::printf("Triple-redundant control channels: %s\n\n",
               params.describe().c_str());
 
-  Analyzer analyzer(params, /*t_record=*/1e-3);
-  const SchemeComparison cmp = analyzer.compare();
+  // One scenario, evaluated per scheme through the analytic backend.
+  const Scenario scenario = Scenario(params).t_record(1e-3);
+  const ResultSet async_exact = analytic_backend().evaluate(
+      Scenario(scenario).scheme(SchemeKind::kAsynchronous));
 
   std::printf("deadline: %.2f s of recomputation tolerated\n\n", deadline);
-  AsyncRbModel async(params);
+  const double line_age = async_exact.value("mean_line_age");
   std::printf("asynchronous RBs: E[X] = %.3f s between recovery lines; a "
               "random upset finds the last line %.3f s old on average "
               "(renewal age) -> %s\n",
-              cmp.mean_interval_x, async.mean_line_age(),
-              async.mean_line_age() > deadline
+              async_exact.value("mean_interval_x"), line_age,
+              line_age > deadline
                   ? "UNSAFE (expected rollback exceeds the deadline)"
                   : "ok on average, but unbounded in the tail");
 

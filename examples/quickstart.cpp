@@ -7,13 +7,16 @@
 // interacting at rate 1.0 - Table 1 case 2 of the paper.  One Scenario is
 // evaluated by all three registered backends (analytic, Monte-Carlo,
 // thread runtime) through the common EvalBackend interface, then a small
-// SweepEngine grid varies rho.
+// sweep grid varies rho (scaling flags work here too: --threads=N,
+// --workers=N, --shard=i/k + --merge).
 #include <cstdio>
 
 #include "core/api.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rbx;
+  const ExperimentOptions opts =
+      ExperimentOptions::parse(argc, argv, /*samples=*/4000, /*nmax=*/0);
 
   // 1. Describe the experiment once: rates (Section 2.1 assumptions),
   //    PRP recording time, Monte-Carlo budget, runtime workload, seed.
@@ -70,15 +73,20 @@ int main() {
     s.params(ProcessSetParams::symmetric(s.n(), 1.0,
                                          2.0 * rho / (nd - 1.0)));
   };
-  const auto cells = SweepGrid(Scenario::symmetric(3, 1.0, 1.0).samples(4000))
-                         .axis({0.5, 1.0, 2.0}, apply_rho)
-                         .expand(/*master_seed=*/2026);
-  const auto rows =
-      SweepEngine().run(cells, [](const Scenario& s, std::size_t) {
-        ResultSet out = analytic_backend().evaluate(s);
-        out.merge(monte_carlo_backend().evaluate(s), "mc_");
-        return out;
-      });
+  const auto cells =
+      SweepGrid(Scenario::symmetric(3, 1.0, 1.0).samples(opts.samples))
+          .axis({0.5, 1.0, 2.0}, apply_rho)
+          .expand(/*master_seed=*/2026);
+  SweepRunner runner(opts);
+  const auto sweep = runner.run(cells, [](const Scenario& s, std::size_t) {
+    ResultSet out = analytic_backend().evaluate(s);
+    out.merge(monte_carlo_backend().evaluate(s), "mc_");
+    return out;
+  });
+  if (!sweep) {
+    return 0;  // --shard: partial written
+  }
+  const std::vector<ResultSet>& rows = *sweep;
   TextTable table({"rho", "E[X] analytic", "E[X] monte-carlo"});
   for (std::size_t k = 0; k < rows.size(); ++k) {
     // Read rho back out of the cell (rho = lambda (n-1) / 2 for mu = 1)

@@ -13,7 +13,22 @@
 //                (core/backend.h, core/result.h);
 //   SweepEngine  parameter-grid expansion and parallel evaluation of
 //                scenario batches with deterministic per-cell seeding
-//                (core/sweep.h).
+//                (core/sweep.h);
+//   Executor     where sweep cells run (core/executor.h):
+//                InProcessExecutor (thread pool) or MultiProcessExecutor
+//                (forked workers fed wire-encoded cell batches over
+//                pipes), both returning per-cell outcomes bitwise
+//                identical to a serial run;
+//   ShardSpec    k-way deterministic split of an expanded grid for
+//                multi-host sweeps: shard i of k evaluates cells with
+//                index % k == i, writes a ShardPartial, and
+//                merge_shard_partials() reassembles the exact unsharded
+//                result vector (core/executor.h).
+//
+// Scenario and ResultSet have exact binary round-trips (encode/decode on
+// support/wire.h) - the executors and shard files depend on doubles being
+// bit-preserved on the wire, which is what makes every execution mode
+// print identical tables.
 //
 // A scenario flows through all three backends unchanged:
 //
@@ -30,17 +45,26 @@
 //   auto results = SweepEngine({opts.threads})
 //                      .run(cells, monte_carlo_backend());
 //
+// The same cells sharded across two hosts reproduce those results
+// bitwise:
+//
+//   host A: outcomes for shard_cell_indices(cells.size(), {0, 2})
+//   host B: outcomes for shard_cell_indices(cells.size(), {1, 2})
+//   merge_shard_partials({A, B}) == SweepEngine(...).run(cells, ...)
+//
+// (benches expose this as --shard=i/k + --merge=fileA,fileB; see
+// core/experiment.h's SweepRunner).
+//
 // Layered as follows (each layer usable on its own):
 //
-//   support/   deterministic RNG, statistics, tables
+//   support/   deterministic RNG, statistics, tables, the wire format
 //   numerics/  dense/sparse linear algebra, ODE, quadrature, Poisson
 //   markov/    CTMC/DTMC engine, phase-type distributions
 //   model/     the paper's analytic models (Sections 2-4)
 //   trace/     histories, exact recovery lines, rollback planning
 //   des/       Monte-Carlo simulators of the three schemes
 //   runtime/   thread-based processes with real checkpoint/rollback
-//   core/      Scenario + EvalBackend + SweepEngine (and the legacy
-//              Analyzer facade, kept as a thin shim)
+//   core/      Scenario + EvalBackend + SweepEngine + Executor/ShardSpec
 //
 // The per-layer entry points (AsyncRbModel, SyncRbSimulator,
 // RecoverySystem, ...) remain public for code that needs one layer only;
@@ -48,8 +72,8 @@
 // stay portable across evaluation semantics.
 #pragma once
 
-#include "core/analyzer.h"             // IWYU pragma: export (legacy shim)
 #include "core/backend.h"              // IWYU pragma: export
+#include "core/executor.h"             // IWYU pragma: export
 #include "core/experiment.h"           // IWYU pragma: export
 #include "core/result.h"               // IWYU pragma: export
 #include "core/scenario.h"             // IWYU pragma: export
@@ -64,6 +88,7 @@
 #include "model/sync_model.h"          // IWYU pragma: export
 #include "runtime/system.h"            // IWYU pragma: export
 #include "support/table.h"             // IWYU pragma: export
+#include "support/wire.h"              // IWYU pragma: export
 #include "trace/dot.h"                 // IWYU pragma: export
 #include "trace/prp_plan.h"            // IWYU pragma: export
 #include "trace/recovery_line.h"       // IWYU pragma: export

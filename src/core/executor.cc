@@ -1,0 +1,596 @@
+#include "core/executor.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+
+#include "support/check.h"
+
+namespace rbx {
+
+namespace {
+
+std::size_t default_parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+CellOutcome evaluate_cell(const CellFn& cell_fn, const Scenario& cell,
+                          std::size_t index) {
+  CellOutcome out;
+  try {
+    out.result = cell_fn(cell, index);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    if (out.error.empty()) {
+      out.error = "cell_fn threw an exception";
+    }
+  } catch (...) {
+    out.error = "cell_fn threw a non-standard exception";
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- InProcessExecutor ---------------------------------------------------
+
+InProcessExecutor::InProcessExecutor(Options options)
+    : threads_(options.threads) {
+  if (threads_ == 0) {
+    threads_ = default_parallelism();
+  }
+}
+
+std::vector<CellOutcome> InProcessExecutor::run(
+    const std::vector<Scenario>& cells, const CellFn& cell_fn) const {
+  std::vector<CellOutcome> outcomes(cells.size());
+  if (cells.empty()) {
+    return outcomes;
+  }
+  const std::size_t workers =
+      threads_ < cells.size() ? threads_ : cells.size();
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      outcomes[i] = evaluate_cell(cell_fn, cells[i], i);
+    }
+    return outcomes;
+  }
+  std::atomic<std::size_t> next{0};
+  auto drain = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < cells.size();
+         i = next.fetch_add(1)) {
+      outcomes[i] = evaluate_cell(cell_fn, cells[i], i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.emplace_back(drain);
+  }
+  drain();
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return outcomes;
+}
+
+// --- MultiProcessExecutor ------------------------------------------------
+
+namespace {
+
+// send() with MSG_NOSIGNAL so a dead peer surfaces as an error return
+// instead of SIGPIPE terminating the caller.
+bool send_all(int fd, const std::vector<std::byte>& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::vector<std::byte> encode_cell_batch(
+    const std::vector<Scenario>& cells,
+    const std::vector<std::size_t>& batch) {
+  wire::Writer w;
+  w.u32(static_cast<std::uint32_t>(batch.size()));
+  for (std::size_t index : batch) {
+    w.u64(index);
+    cells[index].encode(w);
+  }
+  return wire::seal_frame(kFrameCellBatch, w.data());
+}
+
+// The child side: decode cell batches, evaluate, answer with result
+// batches, until the parent closes the request direction.
+[[noreturn]] void worker_loop(int fd, const CellFn& cell_fn) {
+  std::vector<std::byte> inbuf;
+  std::byte chunk[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::_exit(1);
+    }
+    if (got == 0) {
+      ::_exit(0);  // clean shutdown: parent closed the pipe
+    }
+    inbuf.insert(inbuf.end(), chunk, chunk + got);
+    std::size_t pos = 0;
+    for (;;) {
+      wire::Frame frame;
+      std::size_t consumed = 0;
+      bool complete = false;
+      try {
+        complete = wire::parse_frame(inbuf.data() + pos, inbuf.size() - pos,
+                                     &frame, &consumed);
+      } catch (const wire::Error&) {
+        ::_exit(1);  // corrupt request stream; parent reports the cells
+      }
+      if (!complete) {
+        break;
+      }
+      pos += consumed;
+      if (frame.type != kFrameCellBatch) {
+        ::_exit(1);
+      }
+      wire::Writer response;
+      try {
+        wire::Reader r(frame.payload);
+        const std::uint32_t count = r.u32();
+        response.u32(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint64_t index = r.u64();
+          const Scenario cell = Scenario::decode(r);
+          const CellOutcome outcome =
+              evaluate_cell(cell_fn, cell, static_cast<std::size_t>(index));
+          response.u64(index);
+          response.u8(outcome.ok() ? 1 : 0);
+          if (outcome.ok()) {
+            outcome.result.encode(response);
+          } else {
+            response.str(outcome.error);
+          }
+        }
+        r.expect_done();
+      } catch (const wire::Error&) {
+        ::_exit(1);
+      }
+      if (!send_all(fd, wire::seal_frame(kFrameResultBatch,
+                                         response.data()))) {
+        ::_exit(1);  // parent went away
+      }
+    }
+    inbuf.erase(inbuf.begin(),
+                inbuf.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int fd = -1;
+  std::vector<std::byte> inbuf;
+  std::vector<std::size_t> outstanding;  // batch in flight, empty = idle
+
+  bool alive() const { return fd >= 0; }
+};
+
+void fail_cells(std::vector<CellOutcome>& outcomes,
+                const std::vector<std::size_t>& indices,
+                const std::string& error) {
+  for (std::size_t index : indices) {
+    outcomes[index].error = error;
+  }
+}
+
+}  // namespace
+
+MultiProcessExecutor::MultiProcessExecutor(Options options)
+    : workers_(options.workers), batch_size_(options.batch_size) {
+  if (workers_ == 0) {
+    workers_ = default_parallelism();
+  }
+}
+
+std::vector<CellOutcome> MultiProcessExecutor::run(
+    const std::vector<Scenario>& cells, const CellFn& cell_fn) const {
+  std::vector<CellOutcome> outcomes(cells.size());
+  if (cells.empty()) {
+    return outcomes;
+  }
+
+  // Deal the cells into index batches (cells carry their own seeds, so
+  // batching is pure scheduling and cannot affect the numbers).
+  const std::size_t batch_size =
+      batch_size_ != 0
+          ? batch_size_
+          : std::max<std::size_t>(1, cells.size() / (workers_ * 4));
+  std::deque<std::vector<std::size_t>> queue;
+  for (std::size_t start = 0; start < cells.size(); start += batch_size) {
+    std::vector<std::size_t> batch;
+    for (std::size_t i = start;
+         i < cells.size() && i < start + batch_size; ++i) {
+      batch.push_back(i);
+    }
+    queue.push_back(std::move(batch));
+  }
+
+  const std::size_t worker_count =
+      workers_ < queue.size() ? workers_ : queue.size();
+
+  // All socketpairs first, so each child can close every end but its own.
+  std::vector<int> parent_fds(worker_count, -1);
+  std::vector<int> child_fds(worker_count, -1);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      for (std::size_t c = 0; c < w; ++c) {
+        ::close(parent_fds[c]);
+        ::close(child_fds[c]);
+      }
+      throw std::runtime_error("MultiProcessExecutor: socketpair() failed");
+    }
+    parent_fds[w] = sv[0];
+    child_fds[w] = sv[1];
+  }
+
+  std::vector<Worker> workers(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Shut down what was forked so far; those cells fail loudly below.
+      for (std::size_t c = 0; c < worker_count; ++c) {
+        if (parent_fds[c] >= 0) {
+          ::close(parent_fds[c]);
+        }
+        if (child_fds[c] >= 0) {
+          ::close(child_fds[c]);
+        }
+      }
+      for (std::size_t c = 0; c < w; ++c) {
+        ::waitpid(workers[c].pid, nullptr, 0);
+      }
+      throw std::runtime_error("MultiProcessExecutor: fork() failed");
+    }
+    if (pid == 0) {
+      // Child: keep only this worker's fd, drop every other end.
+      for (std::size_t c = 0; c < worker_count; ++c) {
+        ::close(parent_fds[c]);
+        if (c != w) {
+          ::close(child_fds[c]);
+        }
+      }
+      worker_loop(child_fds[w], cell_fn);  // never returns
+    }
+    workers[w].pid = pid;
+    workers[w].fd = parent_fds[w];
+    ::close(child_fds[w]);
+    child_fds[w] = -1;
+  }
+
+  const char* kCrashError =
+      "worker process exited before returning results for this cell";
+
+  // Hands the next queued batch to an idle worker (or closes its pipe when
+  // the queue is dry, telling the child to exit).
+  auto dispatch = [&](Worker& worker) {
+    while (!queue.empty()) {
+      std::vector<std::size_t> batch = std::move(queue.front());
+      queue.pop_front();
+      if (send_all(worker.fd, encode_cell_batch(cells, batch))) {
+        worker.outstanding = std::move(batch);
+        return;
+      }
+      // Worker died before accepting the batch: put the work back for
+      // someone else and retire this worker.
+      queue.push_front(std::move(batch));
+      ::close(worker.fd);
+      worker.fd = -1;
+      return;
+    }
+    ::close(worker.fd);
+    worker.fd = -1;
+  };
+
+  for (Worker& worker : workers) {
+    dispatch(worker);
+  }
+
+  auto busy_workers = [&]() {
+    std::size_t n = 0;
+    for (const Worker& worker : workers) {
+      if (worker.alive() && !worker.outstanding.empty()) {
+        ++n;
+      }
+    }
+    return n;
+  };
+
+  std::byte chunk[1 << 16];
+  while (busy_workers() > 0) {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_worker;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (workers[w].alive() && !workers[w].outstanding.empty()) {
+        fds.push_back(pollfd{workers[w].fd, POLLIN, 0});
+        fd_worker.push_back(w);
+      }
+    }
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // Infrastructure failure: shut the workers down (closing the pipe
+      // makes each child exit) and reap them before throwing, so a
+      // catching caller is not left with stuck children and open fds.
+      for (Worker& worker : workers) {
+        if (worker.alive()) {
+          ::close(worker.fd);
+          worker.fd = -1;
+        }
+        ::waitpid(worker.pid, nullptr, 0);
+      }
+      throw std::runtime_error("MultiProcessExecutor: poll() failed");
+    }
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) {
+        continue;
+      }
+      Worker& worker = workers[fd_worker[k]];
+      const ssize_t got = ::read(worker.fd, chunk, sizeof(chunk));
+      if (got < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+      }
+      if (got <= 0) {
+        // EOF or read error with a batch in flight: the worker crashed.
+        // Its cells become per-cell errors and the sweep carries on.
+        fail_cells(outcomes, worker.outstanding, kCrashError);
+        worker.outstanding.clear();
+        ::close(worker.fd);
+        worker.fd = -1;
+        continue;
+      }
+      worker.inbuf.insert(worker.inbuf.end(), chunk, chunk + got);
+      std::size_t pos = 0;
+      for (;;) {
+        wire::Frame frame;
+        std::size_t consumed = 0;
+        bool complete = false;
+        try {
+          complete = wire::parse_frame(worker.inbuf.data() + pos,
+                                       worker.inbuf.size() - pos, &frame,
+                                       &consumed);
+          if (!complete) {
+            break;
+          }
+          pos += consumed;
+          if (frame.type != kFrameResultBatch) {
+            throw wire::Error("unexpected frame type from worker");
+          }
+          wire::Reader r(frame.payload);
+          const std::uint32_t count = r.u32();
+          // A response must answer the worker's outstanding batch exactly
+          // - a short or mis-indexed batch would otherwise leave cells as
+          // empty-but-ok outcomes that only blow up much later.
+          std::vector<bool> answered(worker.outstanding.size(), false);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            const std::size_t index =
+                static_cast<std::size_t>(r.u64());
+            std::size_t slot = worker.outstanding.size();
+            for (std::size_t b = 0; b < worker.outstanding.size(); ++b) {
+              if (worker.outstanding[b] == index && !answered[b]) {
+                slot = b;
+                break;
+              }
+            }
+            if (slot == worker.outstanding.size()) {
+              throw wire::Error("worker answered cell " +
+                                std::to_string(index) +
+                                " which is not in its batch");
+            }
+            answered[slot] = true;
+            if (r.u8() != 0) {
+              outcomes[index].result = ResultSet::decode(r);
+            } else {
+              outcomes[index].error = r.str();
+            }
+          }
+          r.expect_done();
+          for (std::size_t b = 0; b < answered.size(); ++b) {
+            if (!answered[b]) {
+              throw wire::Error("worker response is missing cell " +
+                                std::to_string(worker.outstanding[b]));
+            }
+          }
+        } catch (const wire::Error& e) {
+          // Treat a garbled response stream like a crash: fail the batch
+          // and drop the worker.
+          fail_cells(outcomes, worker.outstanding,
+                     std::string("worker sent malformed results: ") +
+                         e.what());
+          worker.outstanding.clear();
+          ::close(worker.fd);
+          worker.fd = -1;
+          break;
+        }
+        worker.outstanding.clear();
+        dispatch(worker);
+        if (!worker.alive()) {
+          break;
+        }
+      }
+      if (worker.alive() && pos > 0) {
+        worker.inbuf.erase(
+            worker.inbuf.begin(),
+            worker.inbuf.begin() + static_cast<std::ptrdiff_t>(pos));
+      }
+    }
+  }
+
+  // Anything still queued could not be placed (every worker died).
+  while (!queue.empty()) {
+    fail_cells(outcomes, queue.front(), kCrashError);
+    queue.pop_front();
+  }
+  for (Worker& worker : workers) {
+    if (worker.alive()) {
+      ::close(worker.fd);
+      worker.fd = -1;
+    }
+    ::waitpid(worker.pid, nullptr, 0);
+  }
+  return outcomes;
+}
+
+// --- sharding ------------------------------------------------------------
+
+std::vector<std::size_t> shard_cell_indices(std::size_t total_cells,
+                                            const ShardSpec& spec) {
+  RBX_CHECK_MSG(spec.count >= 1, "shard count must be >= 1");
+  RBX_CHECK_MSG(spec.index < spec.count, "shard index must be < count");
+  std::vector<std::size_t> owned;
+  for (std::size_t i = spec.index; i < total_cells; i += spec.count) {
+    owned.push_back(i);
+  }
+  return owned;
+}
+
+std::uint64_t grid_fingerprint(const std::vector<Scenario>& cells) {
+  wire::Writer w;
+  w.u64(cells.size());
+  for (const Scenario& cell : cells) {
+    cell.encode(w);
+  }
+  // FNV-1a over the grid's wire form (endian-stable, so the fingerprint
+  // matches across hosts).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : w.data()) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void ShardPartial::encode(wire::Writer& w) const {
+  w.u64(shard.index);
+  w.u64(shard.count);
+  w.u64(total_cells);
+  w.u64(fingerprint);
+  w.u32(static_cast<std::uint32_t>(results.size()));
+  for (const auto& [index, result] : results) {
+    w.u64(index);
+    result.encode(w);
+  }
+}
+
+ShardPartial ShardPartial::decode(wire::Reader& r) {
+  ShardPartial out;
+  out.shard.index = static_cast<std::size_t>(r.u64());
+  out.shard.count = static_cast<std::size_t>(r.u64());
+  out.total_cells = static_cast<std::size_t>(r.u64());
+  out.fingerprint = r.u64();
+  if (out.shard.count == 0 || out.shard.index >= out.shard.count) {
+    throw wire::Error("shard partial: invalid shard spec");
+  }
+  const std::uint32_t count = r.u32();
+  if (r.remaining() / 8 < count) {
+    throw wire::Error("shard partial: truncated result list");
+  }
+  // The result count determines what total_cells can honestly be: this
+  // shard owns exactly ceil((total - index) / count_shards) cells.  A
+  // corrupt total_cells field must fail here, not as a huge allocation
+  // in merge_shard_partials.
+  const std::size_t expected_owned =
+      out.total_cells > out.shard.index
+          ? (out.total_cells - out.shard.index - 1) / out.shard.count + 1
+          : 0;
+  if (count != expected_owned) {
+    throw wire::Error("shard partial: " + std::to_string(count) +
+                      " results do not match the declared grid of " +
+                      std::to_string(out.total_cells) + " cells");
+  }
+  out.results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t index = static_cast<std::size_t>(r.u64());
+    if (index >= out.total_cells || !out.shard.owns(index)) {
+      throw wire::Error("shard partial: cell " + std::to_string(index) +
+                        " does not belong to this shard");
+    }
+    out.results.emplace_back(index, ResultSet::decode(r));
+  }
+  return out;
+}
+
+std::vector<ResultSet> merge_shard_partials(
+    const std::vector<ShardPartial>& partials) {
+  if (partials.empty()) {
+    throw wire::Error("shard merge: no partials given");
+  }
+  const std::size_t count = partials.front().shard.count;
+  const std::size_t total = partials.front().total_cells;
+  if (partials.size() != count) {
+    throw wire::Error("shard merge: expected " + std::to_string(count) +
+                      " partials (one per shard), got " +
+                      std::to_string(partials.size()));
+  }
+  std::vector<bool> shard_seen(count, false);
+  std::vector<bool> cell_seen(total, false);
+  std::vector<ResultSet> results(total);
+  const std::uint64_t fingerprint = partials.front().fingerprint;
+  for (const ShardPartial& partial : partials) {
+    if (partial.shard.count != count || partial.total_cells != total) {
+      throw wire::Error(
+          "shard merge: partials disagree on the grid split (different "
+          "shard count or cell total)");
+    }
+    if (partial.fingerprint != fingerprint) {
+      throw wire::Error(
+          "shard merge: partials were produced from different grids "
+          "(fingerprint mismatch - different --samples/--seed/options?)");
+    }
+    if (shard_seen[partial.shard.index]) {
+      throw wire::Error("shard merge: shard " +
+                        std::to_string(partial.shard.index) +
+                        " appears twice");
+    }
+    shard_seen[partial.shard.index] = true;
+    for (const auto& [index, result] : partial.results) {
+      if (cell_seen[index]) {
+        throw wire::Error("shard merge: cell " + std::to_string(index) +
+                          " appears twice");
+      }
+      cell_seen[index] = true;
+      results[index] = result;
+    }
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!cell_seen[i]) {
+      throw wire::Error("shard merge: cell " + std::to_string(i) +
+                        " is missing from every partial");
+    }
+  }
+  return results;
+}
+
+}  // namespace rbx

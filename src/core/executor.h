@@ -1,0 +1,173 @@
+// Executor: how a batch of sweep cells gets evaluated.
+//
+// SweepEngine (core/sweep.h) expands grids and owns the determinism
+// contract - per-cell seeds depend only on (master_seed, cell_index), and
+// results land in input order.  Executor is the seam below it that decides
+// *where* the cells run:
+//
+//   InProcessExecutor     today's thread pool - cells drained from an
+//                         atomic counter by N worker threads;
+//   MultiProcessExecutor  forked worker processes fed cell batches over
+//                         pipes as wire frames (support/wire.h) and
+//                         returning batched ResultSet frames - process
+//                         isolation (an aborting cell cannot take the
+//                         sweep down) and the stepping stone to
+//                         multi-host sharding.
+//
+// Every executor returns one CellOutcome per cell, in cell order: either a
+// ResultSet or a per-cell error string (a thrown cell_fn, or a worker
+// process that crashed mid-batch).  Because the cells carry their seeds
+// and the wire codec round-trips doubles bit-exactly, the outcomes are
+// bitwise identical across executors - the contract
+// tests/core/executor_test.cc pins down.
+//
+// ShardSpec extends the same idea across hosts: shard i of k owns the
+// cells with index % k == i, evaluates only those, and writes a partial
+// result file; merge_shard_partials() reassembles the full result vector
+// bitwise identical to an unsharded run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+#include "core/scenario.h"
+
+namespace rbx {
+
+// Evaluates one cell; must be safe to call concurrently (pure backends
+// are).  The index is the cell's position in the expanded grid.
+using CellFn = std::function<ResultSet(const Scenario&, std::size_t)>;
+
+// Result of one cell: a ResultSet, or the error that prevented one.
+struct CellOutcome {
+  ResultSet result;
+  std::string error;  // empty = success
+
+  bool ok() const { return error.empty(); }
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual std::string name() const = 0;
+
+  // Evaluates cell i as cell_fn(cells[i], i); outcomes in input order.
+  // Never throws for cell-level failures - those come back as per-cell
+  // errors; only infrastructure failures (fork/pipe) throw.
+  virtual std::vector<CellOutcome> run(const std::vector<Scenario>& cells,
+                                       const CellFn& cell_fn) const = 0;
+};
+
+// Thread-pool execution inside the calling process.
+class InProcessExecutor final : public Executor {
+ public:
+  struct Options {
+    // Worker threads; 0 = std::thread::hardware_concurrency().
+    std::size_t threads = 0;
+  };
+
+  InProcessExecutor() : InProcessExecutor(Options()) {}
+  explicit InProcessExecutor(Options options);
+
+  std::string name() const override { return "in-process"; }
+  std::size_t threads() const { return threads_; }
+
+  std::vector<CellOutcome> run(const std::vector<Scenario>& cells,
+                               const CellFn& cell_fn) const override;
+
+ private:
+  std::size_t threads_;
+};
+
+// Forked worker processes fed cell batches over pipes.
+//
+// The parent forks `workers` children, each holding one socketpair.  Work
+// is dealt as kCellBatch frames (cell index + wire-encoded Scenario);
+// a child decodes each cell, evaluates it and answers with one
+// kResultBatch frame (index + ResultSet, or index + error string for a
+// throwing cell_fn), then blocks on the next request.  The parent polls
+// all children, hands out the next batch as each one finishes, and treats
+// a closed pipe with outstanding work as a crashed worker: those cells
+// come back as per-cell errors, never as a hung sweep.
+class MultiProcessExecutor final : public Executor {
+ public:
+  struct Options {
+    // Worker processes; 0 = std::thread::hardware_concurrency().
+    std::size_t workers = 0;
+    // Cells per batch frame; 0 = automatic (roughly 4 batches per worker).
+    std::size_t batch_size = 0;
+  };
+
+  MultiProcessExecutor() : MultiProcessExecutor(Options()) {}
+  explicit MultiProcessExecutor(Options options);
+
+  std::string name() const override { return "multi-process"; }
+  std::size_t workers() const { return workers_; }
+
+  std::vector<CellOutcome> run(const std::vector<Scenario>& cells,
+                               const CellFn& cell_fn) const override;
+
+ private:
+  std::size_t workers_;
+  std::size_t batch_size_;
+};
+
+// --- sharding ------------------------------------------------------------
+
+// Shard i of k: owns the expanded-grid cells with index % count == index.
+// Round-robin (not contiguous blocks) so heterogeneous grids - e.g. cost
+// growing with n along an axis - stay balanced across shards.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool active() const { return count > 1; }
+  bool owns(std::size_t cell_index) const {
+    return cell_index % count == index;
+  }
+};
+
+// The (sorted) cell indices shard `spec` owns out of `total_cells`.
+std::vector<std::size_t> shard_cell_indices(std::size_t total_cells,
+                                            const ShardSpec& spec);
+
+// Order-sensitive digest of a grid's wire encoding.  Cells carry their
+// rates, knobs, budgets and seeds, so any option change that alters the
+// experiment (--samples, --seed, a different bench) changes the
+// fingerprint - which is how a merge refuses partials produced by a
+// different run instead of mixing them into silently wrong tables.
+std::uint64_t grid_fingerprint(const std::vector<Scenario>& cells);
+
+// One shard's evaluated cells, the unit exchanged between hosts as a wire
+// frame (kShardPartial).
+struct ShardPartial {
+  ShardSpec shard;
+  std::size_t total_cells = 0;
+  std::uint64_t fingerprint = 0;  // grid_fingerprint of the full grid
+  // (cell index, result) pairs for every owned cell, in index order.
+  std::vector<std::pair<std::size_t, ResultSet>> results;
+
+  void encode(wire::Writer& w) const;
+  static ShardPartial decode(wire::Reader& r);
+};
+
+// Reassembles the full result vector from one partial per shard.  Throws
+// wire::Error unless the partials are exactly shards 0..k-1 of the same
+// k-way split of the same grid (size and fingerprint), together covering
+// every cell exactly once - the merged vector is then bitwise identical
+// to an unsharded run.
+std::vector<ResultSet> merge_shard_partials(
+    const std::vector<ShardPartial>& partials);
+
+// Wire frame types used by the executor layer and shard files.
+inline constexpr std::uint16_t kFrameCellBatch = 1;
+inline constexpr std::uint16_t kFrameResultBatch = 2;
+inline constexpr std::uint16_t kFrameShardPartial = 3;
+
+}  // namespace rbx

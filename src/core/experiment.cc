@@ -5,8 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-
-#include "core/analyzer.h"
+#include <sstream>
+#include <utility>
 
 namespace rbx {
 
@@ -16,7 +16,9 @@ namespace {
                               const char* why) {
   std::fprintf(stderr, "%s: bad argument '%s' (%s)\n", prog, arg, why);
   std::fprintf(stderr,
-               "usage: %s [--samples=N] [--nmax=N] [--seed=N] [--threads=N]\n",
+               "usage: %s [--samples=N] [--nmax=N] [--seed=N] [--threads=N]\n"
+               "          [--workers=N] [--shard=i/k [--shard-out=FILE]]\n"
+               "          [--merge=FILE1,FILE2,...]\n",
                prog);
   std::exit(2);
 }
@@ -39,6 +41,34 @@ bool parse_u64(const char* text, std::uint64_t* out) {
   return true;
 }
 
+// "--shard=i/k": both parts strict non-negative integers, k >= 1, i < k.
+bool parse_shard(const char* text, ShardSpec* out, const char** why) {
+  const char* slash = std::strchr(text, '/');
+  if (slash == nullptr) {
+    *why = "expected i/k (e.g. --shard=0/4)";
+    return false;
+  }
+  const std::string index_text(text, static_cast<std::size_t>(slash - text));
+  std::uint64_t index = 0;
+  std::uint64_t count = 0;
+  if (index_text.empty() || !parse_u64(index_text.c_str(), &index) ||
+      !parse_u64(slash + 1, &count)) {
+    *why = "expected i/k with non-negative integers";
+    return false;
+  }
+  if (count == 0) {
+    *why = "shard count must be >= 1";
+    return false;
+  }
+  if (index >= count) {
+    *why = "shard index must be < shard count";
+    return false;
+  }
+  out->index = static_cast<std::size_t>(index);
+  out->count = static_cast<std::size_t>(count);
+  return true;
+}
+
 }  // namespace
 
 ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
@@ -48,6 +78,8 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
   opts.samples = default_samples;
   opts.nmax = default_nmax;
   const char* prog = argc > 0 ? argv[0] : "bench";
+  bool shard_given = false;
+  bool shard_out_given = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* value = nullptr;
@@ -66,6 +98,46 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       value = arg + 10;
       size_target = &opts.threads;
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      value = arg + 10;
+      size_target = &opts.workers;
+    } else if (std::strncmp(arg, "--shard=", 8) == 0) {
+      const char* why = nullptr;
+      if (!parse_shard(arg + 8, &opts.shard, &why)) {
+        usage_error(prog, arg, why);
+      }
+      shard_given = true;
+      continue;
+    } else if (std::strncmp(arg, "--shard-out=", 12) == 0) {
+      if (arg[12] == '\0') {
+        usage_error(prog, arg, "expected a file path");
+      }
+      opts.shard_out = arg + 12;
+      shard_out_given = true;
+      continue;
+    } else if (std::strncmp(arg, "--merge=", 8) == 0) {
+      const char* list = arg + 8;
+      while (*list != '\0') {
+        const char* comma = std::strchr(list, ',');
+        const std::size_t len = comma != nullptr
+                                    ? static_cast<std::size_t>(comma - list)
+                                    : std::strlen(list);
+        if (len == 0) {
+          usage_error(prog, arg, "empty file name in list");
+        }
+        opts.merge_inputs.emplace_back(list, len);
+        list += len;
+        if (*list == ',') {
+          ++list;
+          if (*list == '\0') {
+            usage_error(prog, arg, "empty file name in list");
+          }
+        }
+      }
+      if (opts.merge_inputs.empty()) {
+        usage_error(prog, arg, "expected a comma-separated file list");
+      }
+      continue;
     } else {
       usage_error(prog, arg, "unknown flag");
     }
@@ -75,11 +147,24 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
     if (size_target == &opts.threads && parsed == 0) {
       usage_error(prog, arg, "thread count must be >= 1");
     }
+    if (size_target == &opts.workers && parsed == 0) {
+      usage_error(prog, arg, "worker count must be >= 1");
+    }
     if (target != nullptr) {
       *target = parsed;
     } else {
       *size_target = static_cast<std::size_t>(parsed);
     }
+  }
+  if (!opts.merge_inputs.empty() && shard_given) {
+    usage_error(prog, "--merge", "cannot combine --merge with --shard");
+  }
+  if (shard_out_given && !shard_given) {
+    usage_error(prog, "--shard-out", "--shard-out requires --shard");
+  }
+  if (shard_given && opts.shard_out.empty()) {
+    opts.shard_out = "shard-" + std::to_string(opts.shard.index) + "-of-" +
+                     std::to_string(opts.shard.count) + ".rbxw";
   }
   // 0 keeps the bench's default budget (documented escape hatch, and what
   // --nmax=0 has always meant).
@@ -90,6 +175,157 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
     opts.nmax = default_nmax;
   }
   return opts;
+}
+
+SweepRunner::SweepRunner(const ExperimentOptions& opts,
+                         std::size_t default_threads)
+    : opts_(opts) {
+  if (opts_.threads == 0) {
+    opts_.threads = default_threads;
+  }
+  if (!opts_.merge_inputs.empty()) {
+    try {
+      for (const std::string& path : opts_.merge_inputs) {
+        merge_frames_.push_back(wire::read_frames(path));
+      }
+    } catch (const wire::Error& e) {
+      std::fprintf(stderr, "merge: %s\n", e.what());
+      std::exit(1);
+    }
+  }
+}
+
+std::vector<CellOutcome> SweepRunner::evaluate(
+    const std::vector<Scenario>& cells, const CellFn& cell_fn) const {
+  if (opts_.workers > 0) {
+    return MultiProcessExecutor({opts_.workers, 0}).run(cells, cell_fn);
+  }
+  return InProcessExecutor({opts_.threads}).run(cells, cell_fn);
+}
+
+std::optional<std::vector<ResultSet>> SweepRunner::run(
+    const std::vector<Scenario>& cells, const CellFn& cell_fn) {
+  const std::size_t section = sweep_index_++;
+  if (!merge_frames_.empty()) {
+    // Merge mode: pop section `section` of every partial file.
+    std::vector<ShardPartial> partials;
+    try {
+      for (std::size_t f = 0; f < merge_frames_.size(); ++f) {
+        if (section >= merge_frames_[f].size()) {
+          throw wire::Error("'" + opts_.merge_inputs[f] + "' has only " +
+                            std::to_string(merge_frames_[f].size()) +
+                            " sweep sections (bench expected more - was it "
+                            "written by this bench?)");
+        }
+        const wire::Frame& frame = merge_frames_[f][section];
+        if (frame.type != kFrameShardPartial) {
+          throw wire::Error("'" + opts_.merge_inputs[f] +
+                            "' section " + std::to_string(section) +
+                            " is not a shard partial");
+        }
+        wire::Reader r(frame.payload);
+        partials.push_back(ShardPartial::decode(r));
+        r.expect_done();
+      }
+      std::vector<ResultSet> results = merge_shard_partials(partials);
+      if (results.size() != cells.size()) {
+        throw wire::Error(
+            "partials cover " + std::to_string(results.size()) +
+            " cells but this sweep has " + std::to_string(cells.size()) +
+            " (different bench options?)");
+      }
+      // The partials agree with each other (merge_shard_partials); now
+      // pin them to THIS invocation's grid, so a merge run with different
+      // --samples/--seed than the shard runs fails instead of printing
+      // tables that belong to other options.
+      if (partials.front().fingerprint != grid_fingerprint(cells)) {
+        throw wire::Error(
+            "partials were produced with different bench options than "
+            "this merge run (grid fingerprint mismatch)");
+      }
+      return results;
+    } catch (const wire::Error& e) {
+      std::fprintf(stderr, "merge: %s\n", e.what());
+      std::exit(1);
+    }
+  }
+
+  // shard_out is set exactly when --shard was given; this honors the
+  // degenerate --shard=0/1 (one shard owning every cell) by still writing
+  // the partial instead of silently running in normal mode.
+  if (!opts_.shard_out.empty()) {
+    // Shard mode: evaluate the owned cells, append one partial section.
+    const std::vector<std::size_t> owned =
+        shard_cell_indices(cells.size(), opts_.shard);
+    std::vector<Scenario> owned_cells;
+    owned_cells.reserve(owned.size());
+    for (std::size_t index : owned) {
+      owned_cells.push_back(cells[index]);
+    }
+    const std::vector<CellOutcome> outcomes = evaluate(
+        owned_cells, [&](const Scenario& cell, std::size_t local) {
+          return cell_fn(cell, owned[local]);
+        });
+    bool failed = false;
+    for (std::size_t k = 0; k < outcomes.size(); ++k) {
+      if (!outcomes[k].ok()) {
+        std::fprintf(stderr, "sweep cell %zu failed: %s\n", owned[k],
+                     outcomes[k].error.c_str());
+        failed = true;
+      }
+    }
+    if (failed) {
+      std::exit(1);
+    }
+    ShardPartial partial;
+    partial.shard = opts_.shard;
+    partial.total_cells = cells.size();
+    partial.fingerprint = grid_fingerprint(cells);
+    partial.results.reserve(owned.size());
+    for (std::size_t k = 0; k < owned.size(); ++k) {
+      partial.results.emplace_back(owned[k], outcomes[k].result);
+    }
+    wire::Writer payload;
+    partial.encode(payload);
+    const std::vector<std::byte> frame =
+        wire::seal_frame(kFrameShardPartial, payload.data());
+    partial_bytes_.insert(partial_bytes_.end(), frame.begin(), frame.end());
+    try {
+      // Rewritten after every sweep so the file is complete once the bench
+      // exits (benches run a fixed sequence of sweeps).
+      wire::write_file(opts_.shard_out, partial_bytes_);
+    } catch (const wire::Error& e) {
+      std::fprintf(stderr, "shard: %s\n", e.what());
+      std::exit(1);
+    }
+    return std::nullopt;
+  }
+
+  std::vector<CellOutcome> outcomes = evaluate(cells, cell_fn);
+  std::vector<ResultSet> results;
+  results.reserve(outcomes.size());
+  bool failed = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok()) {
+      std::fprintf(stderr, "sweep cell %zu failed: %s\n", i,
+                   outcomes[i].error.c_str());
+      failed = true;
+    }
+  }
+  if (failed) {
+    std::exit(1);
+  }
+  for (CellOutcome& outcome : outcomes) {
+    results.push_back(std::move(outcome.result));
+  }
+  return results;
+}
+
+std::optional<std::vector<ResultSet>> SweepRunner::run(
+    const std::vector<Scenario>& cells, const EvalBackend& backend) {
+  return run(cells, [&backend](const Scenario& s, std::size_t) {
+    return backend.evaluate(s);
+  });
 }
 
 std::string fmt_ci(double value, double half_width, int precision) {
@@ -112,21 +348,21 @@ std::string fmt_dev(double measured, double reference) {
 std::string scheme_summary(const ResultSet& async_exact,
                            const ResultSet& sync_exact,
                            const ResultSet& prp_exact) {
-  // Adapter onto the one three-line formatter, SchemeComparison::summary()
-  // (also reached through the legacy Analyzer route).
-  SchemeComparison cmp;
-  cmp.mean_interval_x = async_exact.value("mean_interval_x");
-  cmp.stddev_interval_x = async_exact.value("stddev_interval_x");
+  std::ostringstream os;
+  os << "asynchronous : E[X] = " << async_exact.value("mean_interval_x")
+     << " (sd " << async_exact.value("stddev_interval_x") << "), E[L] =";
   for (std::size_t i = 0; async_exact.has(indexed_metric("rp_count_", i));
        ++i) {
-    cmp.rp_counts.push_back(async_exact.value(indexed_metric("rp_count_", i)));
+    os << ' ' << async_exact.value(indexed_metric("rp_count_", i));
   }
-  cmp.sync_mean_max_wait = sync_exact.value("sync_mean_max_wait");
-  cmp.sync_mean_loss = sync_exact.value("sync_mean_loss");
-  cmp.prp_snapshots_per_rp = prp_exact.value("prp_snapshots_per_rp");
-  cmp.prp_time_overhead_per_rp = prp_exact.value("prp_time_overhead_per_rp");
-  cmp.prp_mean_rollback_bound = prp_exact.value("prp_mean_rollback_bound");
-  return cmp.summary();
+  os << '\n';
+  os << "synchronized : E[Z] = " << sync_exact.value("sync_mean_max_wait")
+     << ", loss CL = " << sync_exact.value("sync_mean_loss") << '\n';
+  os << "pseudo RPs   : " << prp_exact.value("prp_snapshots_per_rp")
+     << " states/RP, +" << prp_exact.value("prp_time_overhead_per_rp")
+     << " time/RP, rollback bound E[sup y] = "
+     << prp_exact.value("prp_mean_rollback_bound");
+  return os.str();
 }
 
 void print_banner(const std::string& experiment_id,

@@ -2,23 +2,37 @@
 // tables and figures.
 //
 // Every bench runs with no arguments and prints the paper's rows to stdout;
-// the flags below let a user trade precision for time:
-//   --samples=N   Monte-Carlo sample count (lines / failures / commits)
-//   --nmax=N      largest process count in sweeps
-//   --seed=N      master RNG seed
-//   --threads=N   SweepEngine worker threads (default: hardware concurrency)
+// the flags below let a user trade precision for time and pick where the
+// sweep cells execute:
+//   --samples=N    Monte-Carlo sample count (lines / failures / commits)
+//   --nmax=N       largest process count in sweeps
+//   --seed=N       master RNG seed
+//   --threads=N    in-process worker threads (default: hardware concurrency)
+//   --workers=N    evaluate cells on N forked worker processes instead of
+//                  threads (MultiProcessExecutor)
+//   --shard=i/k    evaluate only shard i of a k-way split of every sweep
+//                  and write the results as a wire partial file instead of
+//                  printing tables
+//   --shard-out=F  where --shard writes the partial (default
+//                  shard-<i>-of-<k>.rbxw)
+//   --merge=F1,F2,...
+//                  print the tables from k partial files instead of
+//                  evaluating; byte-identical to an unsharded run
 //
-// Parsing is strict: an unknown flag, a malformed number, a negative value
-// or --threads=0 prints a usage message to stderr and exits with status 2
-// (a typo'd flag silently falling back to defaults once cost a day of
-// benchmarking against the wrong sample count).
+// Parsing is strict: an unknown flag, a malformed number, a negative value,
+// --threads=0 or --shard=3/2 prints a usage message to stderr and exits
+// with status 2 (a typo'd flag silently falling back to defaults once cost
+// a day of benchmarking against the wrong sample count).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/backend.h"
+#include "core/executor.h"
 #include "core/result.h"
 
 namespace rbx {
@@ -28,10 +42,58 @@ struct ExperimentOptions {
   std::size_t nmax = 0;      // 0 = bench default
   std::uint64_t seed = 20260610;
   std::size_t threads = 0;   // 0 = hardware concurrency (SweepEngine default)
+  std::size_t workers = 0;   // 0 = in-process threads; N = forked processes
+  ShardSpec shard;           // {0, 1} = unsharded
+  std::string shard_out;     // partial file path; set when shard.active()
+  std::vector<std::string> merge_inputs;  // non-empty = merge mode
 
   static ExperimentOptions parse(int argc, char** argv,
                                  std::size_t default_samples,
                                  std::size_t default_nmax);
+};
+
+// Drives every sweep of one bench invocation under the execution mode the
+// flags selected:
+//
+//   normal      evaluate all cells (threads, or worker processes with
+//               --workers) and hand the results back;
+//   --shard=i/k evaluate only the owned cells of each sweep, append one
+//               ShardPartial section per run() call to the partial file,
+//               and return std::nullopt - the bench skips its printing and
+//               exits after its last sweep;
+//   --merge     evaluate nothing; pop the next ShardPartial section from
+//               every input file and return the merged full result vector.
+//
+// Benches call run() once per grid, in a fixed order, so section s of every
+// partial file corresponds to the bench's s-th sweep.  A failed cell (a
+// throwing cell_fn or a crashed worker) prints the per-cell errors and
+// exits 1 - a bench table with silently missing rows would be worse.
+//
+//   SweepRunner runner(opts);
+//   const auto results = runner.run(cells, fn);
+//   if (!results) return 0;            // --shard: partial written
+//   ... print tables from *results ...
+class SweepRunner {
+ public:
+  // default_threads replaces opts.threads when that is 0 (e.g. the runtime
+  // bench defaults to 1 in-process worker because each cell spawns its own
+  // process threads); 0 keeps the hardware-concurrency default.
+  explicit SweepRunner(const ExperimentOptions& opts,
+                       std::size_t default_threads = 0);
+
+  std::optional<std::vector<ResultSet>> run(
+      const std::vector<Scenario>& cells, const CellFn& cell_fn);
+  std::optional<std::vector<ResultSet>> run(
+      const std::vector<Scenario>& cells, const EvalBackend& backend);
+
+ private:
+  std::vector<CellOutcome> evaluate(const std::vector<Scenario>& cells,
+                                    const CellFn& cell_fn) const;
+
+  ExperimentOptions opts_;
+  std::size_t sweep_index_ = 0;
+  std::vector<std::byte> partial_bytes_;           // shard mode accumulator
+  std::vector<std::vector<wire::Frame>> merge_frames_;  // one per input file
 };
 
 // "value +- half_width" with sensible precision.

@@ -82,6 +82,43 @@ std::string ResultSet::to_string() const {
   return os.str();
 }
 
+void ResultSet::encode(wire::Writer& w) const {
+  w.str(backend_);
+  w.str(scenario_);
+  if (metrics_.size() > UINT32_MAX) {
+    throw wire::Error("result set: too many metrics to encode");
+  }
+  w.u32(static_cast<std::uint32_t>(metrics_.size()));
+  for (const Metric& m : metrics_) {
+    w.str(m.name);
+    w.f64(m.value);
+    w.f64(m.half_width);
+    w.u64(m.count);
+  }
+}
+
+ResultSet ResultSet::decode(wire::Reader& r) {
+  ResultSet out;
+  out.backend_ = r.str();
+  out.scenario_ = r.str();
+  const std::uint32_t count = r.u32();
+  // Each metric needs at least its name length prefix plus the three
+  // fixed fields; reject corrupt counts before reserving.
+  if (r.remaining() / (4 + 8 + 8 + 8) < count) {
+    throw wire::Error("result set: truncated metric list");
+  }
+  out.metrics_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Metric m;
+    m.name = r.str();
+    m.value = r.f64();
+    m.half_width = r.f64();
+    m.count = static_cast<std::size_t>(r.u64());
+    out.metrics_.push_back(std::move(m));
+  }
+  return out;
+}
+
 bool operator==(const ResultSet& a, const ResultSet& b) {
   if (a.backend_ != b.backend_ || a.scenario_ != b.scenario_ ||
       a.metrics_.size() != b.metrics_.size()) {

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "support/wire.h"
+
 namespace rbx {
 
 // 1-based per-process metric name, the cross-backend naming convention:
@@ -54,6 +56,13 @@ class ResultSet {
 
   // One metric per line: "name = value [+- hw (count samples)]".
   std::string to_string() const;
+
+  // --- wire form ---
+  // Exact binary round-trip (support/wire.h): metric order, names, values,
+  // half-widths and counts, with doubles bit-preserved (including NaN
+  // payloads and infinities).  decode throws wire::Error on malformed data.
+  void encode(wire::Writer& w) const;
+  static ResultSet decode(wire::Reader& r);
 
   // Exact (bitwise) equality of all metric names, values, half-widths and
   // counts - the determinism contract checked by the SweepEngine tests.

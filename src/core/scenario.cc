@@ -21,6 +21,43 @@ const char* scheme_tag(SchemeKind scheme) {
   return "?";
 }
 
+// Enum decode helpers: a corrupt tag byte must surface as wire::Error, not
+// as an out-of-range enum value propagating into switches.
+SchemeKind decode_scheme(std::uint8_t tag) {
+  switch (tag) {
+    case 0:
+      return SchemeKind::kAsynchronous;
+    case 1:
+      return SchemeKind::kSynchronized;
+    case 2:
+      return SchemeKind::kPseudoRecoveryPoints;
+  }
+  throw wire::Error("scenario: unknown scheme tag " + std::to_string(tag));
+}
+
+SyncStrategy decode_strategy(std::uint8_t tag) {
+  switch (tag) {
+    case 0:
+      return SyncStrategy::kConstantInterval;
+    case 1:
+      return SyncStrategy::kElapsedTime;
+    case 2:
+      return SyncStrategy::kSavedStates;
+  }
+  throw wire::Error("scenario: unknown sync strategy tag " +
+                    std::to_string(tag));
+}
+
+// Range checks mirroring the fluent setters' RBX_CHECKs; on the decode
+// path a violation means corrupt wire data and must throw, not abort.
+double require_non_negative(double v, const char* what) {
+  if (!(v >= 0.0)) {
+    throw wire::Error(std::string("scenario: ") + what +
+                      " must be non-negative");
+  }
+  return v;
+}
+
 }  // namespace
 
 Scenario::Scenario(ProcessSetParams params) : params_(std::move(params)) {}
@@ -127,6 +164,88 @@ SyncSimParams Scenario::sync_sim_params() const {
   sp.saved_threshold = sync_policy_.saved_threshold;
   sp.error_rate = error_rate_;
   return sp;
+}
+
+void Scenario::encode(wire::Writer& w) const {
+  w.f64_vec(params_.mu());
+  w.f64_vec(params_.lambda_flat());
+  w.u8(static_cast<std::uint8_t>(scheme_));
+  w.u64(seed_);
+  w.f64(error_rate_);
+  w.f64(at_failure_probability_);
+  w.f64(t_record_);
+  w.u8(static_cast<std::uint8_t>(sync_policy_.strategy));
+  w.f64(sync_policy_.interval);
+  w.f64(sync_policy_.elapsed_threshold);
+  w.u64(sync_policy_.saved_threshold);
+  w.u8(scoped_prp_ ? 1 : 0);
+  w.f64(prp_sync_period_);
+  w.u64(samples_);
+  w.u64(workload_.steps);
+  w.f64(workload_.message_probability);
+  w.f64(workload_.rp_probability);
+  w.f64(workload_.alternate_failure_probability);
+  w.u64(workload_.rb_alternates);
+  w.u64(workload_.sync_period_steps);
+}
+
+Scenario Scenario::decode(wire::Reader& r) {
+  std::vector<double> mu = r.f64_vec();
+  std::vector<double> lambda = r.f64_vec();
+  // Validate the rate set here: ProcessSetParams RBX_CHECKs the same
+  // invariants, but on the decode path a violation is corrupt wire data
+  // and must throw a catchable error instead of aborting.
+  const std::size_t n = mu.size();
+  if (n == 0) {
+    throw wire::Error("scenario: empty mu vector");
+  }
+  if (lambda.size() != n * n) {
+    throw wire::Error("scenario: lambda matrix is not n x n");
+  }
+  for (double m : mu) {
+    if (!(m > 0.0)) {
+      throw wire::Error("scenario: mu rates must be positive");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lambda[i * n + i] != 0.0) {
+      throw wire::Error("scenario: lambda diagonal must be zero");
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!(lambda[i * n + j] >= 0.0) ||
+          lambda[i * n + j] != lambda[j * n + i]) {
+        throw wire::Error("scenario: lambda must be symmetric non-negative");
+      }
+    }
+  }
+  Scenario s(ProcessSetParams(std::move(mu), std::move(lambda)));
+  s.scheme_ = decode_scheme(r.u8());
+  s.seed_ = r.u64();
+  s.error_rate_ = require_non_negative(r.f64(), "error rate");
+  const double at_p = r.f64();
+  if (!(at_p >= 0.0 && at_p <= 1.0)) {
+    throw wire::Error("scenario: AT failure probability outside [0, 1]");
+  }
+  s.at_failure_probability_ = at_p;
+  s.t_record_ = require_non_negative(r.f64(), "state-recording time");
+  s.sync_policy_.strategy = decode_strategy(r.u8());
+  s.sync_policy_.interval = r.f64();
+  s.sync_policy_.elapsed_threshold = r.f64();
+  s.sync_policy_.saved_threshold = static_cast<std::size_t>(r.u64());
+  s.scoped_prp_ = r.u8() != 0;
+  s.prp_sync_period_ = require_non_negative(r.f64(), "sync period");
+  const std::uint64_t samples = r.u64();
+  if (samples == 0) {
+    throw wire::Error("scenario: sample budget must be positive");
+  }
+  s.samples_ = static_cast<std::size_t>(samples);
+  s.workload_.steps = static_cast<std::size_t>(r.u64());
+  s.workload_.message_probability = r.f64();
+  s.workload_.rp_probability = r.f64();
+  s.workload_.alternate_failure_probability = r.f64();
+  s.workload_.rb_alternates = static_cast<std::size_t>(r.u64());
+  s.workload_.sync_period_steps = static_cast<std::size_t>(r.u64());
+  return s;
 }
 
 PrpSimParams Scenario::prp_sim_params() const {

@@ -28,6 +28,7 @@
 #include "des/prp_sim.h"      // PrpSimParams
 #include "model/params.h"
 #include "runtime/system.h"   // SchemeKind, RuntimeConfig
+#include "support/wire.h"
 
 namespace rbx {
 
@@ -106,6 +107,14 @@ class Scenario {
   // Stable human-readable identifier, e.g.
   // "async n=3 rho=1 seed=42"; used as the ResultSet scenario label.
   std::string label() const;
+
+  // --- wire form ---
+  // Exact binary round-trip (support/wire.h): every knob, rates and seed,
+  // with all doubles bit-preserved - the form the sweep executors ship to
+  // worker processes and shard runs exchange between hosts.  decode throws
+  // wire::Error on truncated data or out-of-range enum/rate values.
+  void encode(wire::Writer& w) const;
+  static Scenario decode(wire::Reader& r);
 
   // --- projections onto the pre-existing entry points ---
   RuntimeConfig runtime_config() const;

@@ -1,6 +1,6 @@
 #include "core/sweep.h"
 
-#include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -26,37 +26,18 @@ SweepEngine::SweepEngine(Options options) : threads_(options.threads) {
   }
 }
 
-std::vector<ResultSet> SweepEngine::run(
-    const std::vector<Scenario>& cells,
-    const std::function<ResultSet(const Scenario&, std::size_t)>& cell_fn)
-    const {
-  std::vector<ResultSet> results(cells.size());
-  if (cells.empty()) {
-    return results;
-  }
-  const std::size_t workers =
-      threads_ < cells.size() ? threads_ : cells.size();
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      results[i] = cell_fn(cells[i], i);
+std::vector<ResultSet> SweepEngine::run(const std::vector<Scenario>& cells,
+                                        const CellFn& cell_fn) const {
+  std::vector<CellOutcome> outcomes =
+      InProcessExecutor({threads_}).run(cells, cell_fn);
+  std::vector<ResultSet> results;
+  results.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok()) {
+      throw std::runtime_error("sweep cell " + std::to_string(i) +
+                               " failed: " + outcomes[i].error);
     }
-    return results;
-  }
-  std::atomic<std::size_t> next{0};
-  auto drain = [&]() {
-    for (std::size_t i = next.fetch_add(1); i < cells.size();
-         i = next.fetch_add(1)) {
-      results[i] = cell_fn(cells[i], i);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) {
-    pool.emplace_back(drain);
-  }
-  drain();
-  for (std::thread& t : pool) {
-    t.join();
+    results.push_back(std::move(outcomes[i].result));
   }
   return results;
 }

@@ -17,6 +17,13 @@
 // reproducible whether it runs on 1 thread or 64 - the contract
 // tests/core/sweep_test.cc pins down, and what lets benches parallelize
 // without changing their printed reference values.
+//
+// SweepEngine delegates the actual evaluation to an Executor
+// (core/executor.h): by default the in-process thread pool, and the same
+// cells can go through MultiProcessExecutor or a ShardSpec split without
+// changing a single printed digit.  A cell_fn that throws is rethrown on
+// the calling thread (as std::runtime_error naming the cell) once the
+// remaining cells finish - it no longer std::terminates a worker thread.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +33,7 @@
 #include <vector>
 
 #include "core/backend.h"
+#include "core/executor.h"
 #include "core/result.h"
 #include "core/scenario.h"
 
@@ -49,11 +57,11 @@ class SweepEngine {
   std::size_t threads() const { return threads_; }
 
   // Evaluates cell i as cell_fn(cells[i], i); results in input order.
-  // cell_fn must be safe to call concurrently (pure backends are).
-  std::vector<ResultSet> run(
-      const std::vector<Scenario>& cells,
-      const std::function<ResultSet(const Scenario&, std::size_t)>& cell_fn)
-      const;
+  // cell_fn must be safe to call concurrently (pure backends are).  If any
+  // cell_fn invocation throws, the first failure (in cell order) is
+  // rethrown as std::runtime_error after all cells have been attempted.
+  std::vector<ResultSet> run(const std::vector<Scenario>& cells,
+                             const CellFn& cell_fn) const;
 
   // Shorthand: evaluate every cell on one backend.
   std::vector<ResultSet> run(const std::vector<Scenario>& cells,

@@ -39,6 +39,9 @@ class ProcessSetParams {
   double lambda(std::size_t i, std::size_t j) const;
 
   const std::vector<double>& mu() const { return mu_; }
+  // Full n x n rate matrix, row-major - the exact form the wire codec
+  // round-trips (support/wire.h).
+  const std::vector<double>& lambda_flat() const { return lambda_; }
 
   double total_mu() const;              // sum_k mu_k
   double total_lambda() const;          // sum_{i<j} lambda_ij

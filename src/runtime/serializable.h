@@ -6,12 +6,18 @@
 // the synthetic workload used by the runtime experiments - a deterministic
 // accumulator whose value depends on every work step and every message
 // applied, so an incorrect rollback is observable as a checksum mismatch.
+//
+// States encode through the shared wire layer (support/wire.h), the same
+// endian-stable encoding the sweep executors use to ship Scenarios and
+// ResultSets between processes - a checkpoint taken on one host is
+// restorable on another.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <cstring>
 #include <vector>
+
+#include "support/wire.h"
 
 namespace rbx {
 
@@ -45,20 +51,23 @@ struct WorkState final : Serializable {
   }
 
   std::vector<std::byte> serialize() const override {
-    std::vector<std::byte> out(sizeof(WorkStatePod));
-    const WorkStatePod pod{steps, accumulator, messages_applied};
-    std::memcpy(out.data(), &pod, sizeof(pod));
-    return out;
+    wire::Writer w;
+    w.u64(steps);
+    w.u64(accumulator);
+    w.u64(messages_applied);
+    return w.data();
   }
 
   void deserialize(const std::vector<std::byte>& bytes) override {
-    WorkStatePod pod{};
-    if (bytes.size() == sizeof(pod)) {
-      std::memcpy(&pod, bytes.data(), sizeof(pod));
-      steps = pod.steps;
-      accumulator = pod.accumulator;
-      messages_applied = pod.messages_applied;
+    // Tolerant like the original POD decode: a wrong-sized blob leaves the
+    // state untouched (restore verification then reports the mismatch).
+    if (bytes.size() != 3 * sizeof(std::uint64_t)) {
+      return;
     }
+    wire::Reader r(bytes);
+    steps = r.u64();
+    accumulator = r.u64();
+    messages_applied = r.u64();
   }
 
   bool operator==(const WorkState& other) const {
@@ -67,12 +76,6 @@ struct WorkState final : Serializable {
   }
 
  private:
-  struct WorkStatePod {
-    std::uint64_t steps;
-    std::uint64_t accumulator;
-    std::uint64_t messages_applied;
-  };
-
   static std::uint64_t mix(std::uint64_t z) {
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;

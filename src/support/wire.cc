@@ -1,0 +1,205 @@
+#include "support/wire.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace rbx {
+namespace wire {
+
+void Writer::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Writer::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(const std::string& s) {
+  if (s.size() > UINT32_MAX) {
+    throw Error("wire: string too long to encode");
+  }
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+void Writer::bytes(const void* data, std::size_t size) {
+  const std::byte* p = static_cast<const std::byte*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+void Writer::f64_vec(const std::vector<double>& v) {
+  if (v.size() > UINT32_MAX) {
+    throw Error("wire: vector too long to encode");
+  }
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) {
+    f64(x);
+  }
+}
+
+const std::byte* Reader::need(std::size_t n) {
+  if (size_ - pos_ < n) {
+    throw Error("wire: truncated data (wanted " + std::to_string(n) +
+                " bytes, " + std::to_string(size_ - pos_) + " left)");
+  }
+  const std::byte* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Reader::u8() {
+  return static_cast<std::uint8_t>(*need(1));
+}
+
+std::uint16_t Reader::u16() {
+  const std::byte* p = need(2);
+  return static_cast<std::uint16_t>(static_cast<std::uint8_t>(p[0]) |
+                                    (static_cast<std::uint8_t>(p[1]) << 8));
+}
+
+std::uint32_t Reader::u32() {
+  const std::byte* p = need(4);
+  std::uint32_t v = 0;
+  for (std::size_t i = 4; i-- > 0;) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  const std::byte* p = need(8);
+  std::uint64_t v = 0;
+  for (std::size_t i = 8; i-- > 0;) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  const std::byte* p = need(n);
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+std::vector<double> Reader::f64_vec() {
+  const std::uint32_t n = u32();
+  // Each element needs 8 bytes; check up front so a corrupt count fails
+  // with a truncation error instead of a huge allocation.
+  if (remaining() / 8 < n) {
+    throw Error("wire: truncated vector (claims " + std::to_string(n) +
+                " doubles, " + std::to_string(remaining()) + " bytes left)");
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(f64());
+  }
+  return out;
+}
+
+void Reader::expect_done() const {
+  if (pos_ != size_) {
+    throw Error("wire: " + std::to_string(size_ - pos_) +
+                " trailing bytes after payload");
+  }
+}
+
+std::vector<std::byte> seal_frame(std::uint16_t type,
+                                  const std::vector<std::byte>& payload) {
+  Writer header;
+  header.u32(kMagic);
+  header.u16(kVersion);
+  header.u16(type);
+  header.u64(payload.size());
+  std::vector<std::byte> out = header.data();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool parse_frame(const std::byte* data, std::size_t size, Frame* out,
+                 std::size_t* consumed) {
+  if (size < kFrameHeaderSize) {
+    return false;
+  }
+  Reader header(data, kFrameHeaderSize);
+  if (header.u32() != kMagic) {
+    throw Error("wire: bad frame magic (not RBXW data?)");
+  }
+  const std::uint16_t version = header.u16();
+  if (version != kVersion) {
+    throw Error("wire: frame version " + std::to_string(version) +
+                " (this build reads version " + std::to_string(kVersion) +
+                ")");
+  }
+  const std::uint16_t type = header.u16();
+  const std::uint64_t payload_size = header.u64();
+  if (payload_size > kMaxFramePayload) {
+    throw Error("wire: frame payload length " + std::to_string(payload_size) +
+                " exceeds the 1 GiB cap (corrupt length field?)");
+  }
+  if (size - kFrameHeaderSize < payload_size) {
+    return false;
+  }
+  out->type = type;
+  out->payload.assign(data + kFrameHeaderSize,
+                      data + kFrameHeaderSize + payload_size);
+  *consumed = kFrameHeaderSize + static_cast<std::size_t>(payload_size);
+  return true;
+}
+
+void write_file(const std::string& path, const std::vector<std::byte>& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw Error("wire: cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != data.size() || !closed) {
+    throw Error("wire: short write to '" + path + "'");
+  }
+}
+
+std::vector<Frame> read_frames(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw Error("wire: cannot open '" + path + "' for reading");
+  }
+  std::vector<std::byte> data;
+  std::byte chunk[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    data.insert(data.end(), chunk, chunk + got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    throw Error("wire: read error on '" + path + "'");
+  }
+  std::vector<Frame> frames;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    Frame frame;
+    std::size_t consumed = 0;
+    if (!parse_frame(data.data() + pos, data.size() - pos, &frame,
+                     &consumed)) {
+      throw Error("wire: truncated frame at end of '" + path + "'");
+    }
+    frames.push_back(std::move(frame));
+    pos += consumed;
+  }
+  return frames;
+}
+
+}  // namespace wire
+}  // namespace rbx

@@ -4,7 +4,6 @@
 
 #include <gtest/gtest.h>
 
-#include "core/analyzer.h"
 #include "model/async_model.h"
 #include "model/prp_model.h"
 #include "model/sync_model.h"
@@ -41,27 +40,27 @@ TEST(AnalyticBackendTest, AsyncMatchesUnderlyingModel) {
   EXPECT_TRUE(r.metric("mean_interval_x").exact());
 }
 
-TEST(AnalyticBackendTest, MatchesLegacyAnalyzerShim) {
+// Ported from the retired Analyzer shim's test: the sync and PRP schemes
+// report exactly the underlying Section 3 / Section 4 model quantities
+// (the async scheme is pinned against AsyncRbModel above).
+TEST(AnalyticBackendTest, SyncAndPrpMatchUnderlyingModels) {
   const auto params = ProcessSetParams::three(1.5, 1.0, 0.5, 1, 1, 1);
-  const SchemeComparison cmp = Analyzer(params, 0.01).compare();
-
   const Scenario base = Scenario(params).t_record(0.01);
-  const ResultSet a = analytic_backend().evaluate(
-      Scenario(base).scheme(SchemeKind::kAsynchronous));
   const ResultSet s = analytic_backend().evaluate(
       Scenario(base).scheme(SchemeKind::kSynchronized));
   const ResultSet p = analytic_backend().evaluate(
       Scenario(base).scheme(SchemeKind::kPseudoRecoveryPoints));
 
-  EXPECT_DOUBLE_EQ(a.value("mean_interval_x"), cmp.mean_interval_x);
-  EXPECT_DOUBLE_EQ(a.value("stddev_interval_x"), cmp.stddev_interval_x);
-  EXPECT_DOUBLE_EQ(s.value("sync_mean_max_wait"), cmp.sync_mean_max_wait);
-  EXPECT_DOUBLE_EQ(s.value("sync_mean_loss"), cmp.sync_mean_loss);
-  EXPECT_DOUBLE_EQ(p.value("prp_snapshots_per_rp"), cmp.prp_snapshots_per_rp);
+  SyncRbModel sync(params.mu());
+  EXPECT_DOUBLE_EQ(s.value("sync_mean_max_wait"), sync.mean_max_wait());
+  EXPECT_DOUBLE_EQ(s.value("sync_mean_loss"), sync.mean_loss());
+
+  PrpModel prp(params, 0.01);
+  EXPECT_DOUBLE_EQ(p.value("prp_snapshots_per_rp"), 3.0);
   EXPECT_DOUBLE_EQ(p.value("prp_time_overhead_per_rp"),
-                   cmp.prp_time_overhead_per_rp);
+                   prp.time_overhead_per_rp());
   EXPECT_DOUBLE_EQ(p.value("prp_mean_rollback_bound"),
-                   cmp.prp_mean_rollback_bound);
+                   prp.mean_rollback_bound());
 }
 
 TEST(AnalyticBackendTest, LumpedChainCoversLargeHomogeneousSystems) {

@@ -86,6 +86,124 @@ TEST(ExperimentOptionsDeathTest, RejectsZeroThreads) {
               ::testing::ExitedWithCode(2), "thread count");
 }
 
+TEST(ExperimentOptions, ParsesWorkersShardAndMerge) {
+  char prog[] = "bench";
+  char a1[] = "--workers=4";
+  char a2[] = "--shard=1/3";
+  char a3[] = "--shard-out=partial.rbxw";
+  char* argv[] = {prog, a1, a2, a3};
+  const auto opts = ExperimentOptions::parse(4, argv, 5000, 7);
+  EXPECT_EQ(opts.workers, 4u);
+  EXPECT_EQ(opts.shard.index, 1u);
+  EXPECT_EQ(opts.shard.count, 3u);
+  EXPECT_TRUE(opts.shard.active());
+  EXPECT_EQ(opts.shard_out, "partial.rbxw");
+  EXPECT_TRUE(opts.merge_inputs.empty());
+}
+
+TEST(ExperimentOptions, ShardOutDefaultsFromShardSpec) {
+  char prog[] = "bench";
+  char a1[] = "--shard=0/2";
+  char* argv[] = {prog, a1};
+  const auto opts = ExperimentOptions::parse(2, argv, 5000, 7);
+  EXPECT_EQ(opts.shard_out, "shard-0-of-2.rbxw");
+}
+
+TEST(ExperimentOptions, AcceptsDegenerateOneWayShard) {
+  // --shard=0/1 is a valid (if trivial) split: one shard owning every
+  // cell.  It must still get a partial file path so the bench writes a
+  // partial instead of silently running in normal mode.
+  char prog[] = "bench";
+  char a1[] = "--shard=0/1";
+  char* argv[] = {prog, a1};
+  const auto opts = ExperimentOptions::parse(2, argv, 5000, 7);
+  EXPECT_EQ(opts.shard.index, 0u);
+  EXPECT_EQ(opts.shard.count, 1u);
+  EXPECT_EQ(opts.shard_out, "shard-0-of-1.rbxw");
+}
+
+TEST(ExperimentOptions, ParsesMergeFileList) {
+  char prog[] = "bench";
+  char a1[] = "--merge=a.rbxw,b.rbxw,c.rbxw";
+  char* argv[] = {prog, a1};
+  const auto opts = ExperimentOptions::parse(2, argv, 5000, 7);
+  ASSERT_EQ(opts.merge_inputs.size(), 3u);
+  EXPECT_EQ(opts.merge_inputs[0], "a.rbxw");
+  EXPECT_EQ(opts.merge_inputs[1], "b.rbxw");
+  EXPECT_EQ(opts.merge_inputs[2], "c.rbxw");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsZeroWorkers) {
+  char prog[] = "bench";
+  char a1[] = "--workers=0";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "worker count");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsNegativeWorkers) {
+  char prog[] = "bench";
+  char a1[] = "--workers=-1";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsShardIndexNotBelowCount) {
+  char prog[] = "bench";
+  char a1[] = "--shard=3/2";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "shard index must be < shard");
+  char a2[] = "--shard=2/2";
+  char* argv2[] = {prog, a2};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv2, 100, 2),
+              ::testing::ExitedWithCode(2), "shard index must be < shard");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsMalformedShard) {
+  char prog[] = "bench";
+  const char* cases[] = {"--shard=0", "--shard=/2", "--shard=1/",
+                         "--shard=a/2", "--shard=1/b", "--shard=-1/2",
+                         "--shard=0/0", "--shard="};
+  for (const char* bad : cases) {
+    std::string owned(bad);
+    char* argv[] = {prog, owned.data()};
+    EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+                ::testing::ExitedWithCode(2), "bad argument")
+        << bad;
+  }
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsMergeCombinedWithShard) {
+  char prog[] = "bench";
+  char a1[] = "--merge=a.rbxw,b.rbxw";
+  char a2[] = "--shard=0/2";
+  char* argv[] = {prog, a1, a2};
+  EXPECT_EXIT(ExperimentOptions::parse(3, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "cannot combine");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsShardOutWithoutShard) {
+  char prog[] = "bench";
+  char a1[] = "--shard-out=f.rbxw";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "requires --shard");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsEmptyMergeEntries) {
+  char prog[] = "bench";
+  const char* cases[] = {"--merge=", "--merge=a,,b", "--merge=a,"};
+  for (const char* bad : cases) {
+    std::string owned(bad);
+    char* argv[] = {prog, owned.data()};
+    EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+                ::testing::ExitedWithCode(2), "bad argument")
+        << bad;
+  }
+}
+
 TEST(Formatting, CiString) {
   EXPECT_EQ(fmt_ci(1.2345, 0.01, 2), "1.23 +- 0.01");
 }

@@ -225,6 +225,19 @@ TEST_P(AsyncModelPropertyTest, StructuralInvariants) {
   EXPECT_GT(model.interval_cdf(5.0 * model.mean_interval()), 0.9);
 }
 
+// Ported from the retired Analyzer shim's density test: the uniform grid
+// of the phase-type density equals pointwise interval_pdf evaluation
+// (fig6's analytic column).
+TEST(AsyncModel, DensityGridMatchesPointwisePdf) {
+  const auto params = ProcessSetParams::symmetric(3, 1.0, 1.0);
+  AsyncRbModel model(params);
+  const std::vector<double> grid = model.interval().pdf_grid(2.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_NEAR(grid[0], model.interval_pdf(0.0), 1e-9);
+  EXPECT_NEAR(grid[2], model.interval_pdf(1.0), 1e-9);
+  EXPECT_NEAR(grid[4], model.interval_pdf(2.0), 1e-9);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     RateSweep, AsyncModelPropertyTest,
     ::testing::Values(RateCase{1.0, 1.0, 1.0, 1.0, 1.0, 1.0},

@@ -1,5 +1,7 @@
 #include "runtime/recovery_block.h"
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 namespace rbx {
