@@ -9,9 +9,10 @@
 // Monte-Carlo run.
 //
 // Grid cells are evaluated concurrently (--threads=N in-process,
-// --workers=N forked processes, --shard=i/k across hosts + --merge); the
-// per-cell seeds reproduce the original sequential loop, so the printed
-// values are identical under every execution mode.
+// --workers=N forked processes, --connect=host:port,... on remote worker
+// daemons, --shard=i/k across hosts + --merge); the per-cell seeds
+// reproduce the original sequential loop, so the printed values are
+// identical under every execution mode.
 #include <algorithm>
 #include <cstdio>
 #include <iterator>
@@ -39,12 +40,14 @@ int main(int argc, char** argv) {
   }
 
   SweepRunner runner(opts);
+  // An evaluation plan instead of a closure, so the cells can also run on
+  // remote sweep_workerd daemons (--connect).
   const auto sweep = runner.run(cells, [](const Scenario& s, std::size_t) {
-    ResultSet out = analytic_backend().evaluate(s);
+    EvalPlan plan{{EvalStep{"analytic", ""}}};
     if (s.n() <= 6) {
-      out.merge(monte_carlo_backend().evaluate(s), "mc_");
+      plan.steps.push_back(EvalStep{"monte-carlo", "mc_"});
     }
-    return out;
+    return plan;
   });
   if (!sweep) {
     return 0;  // --shard: partial written

@@ -35,11 +35,12 @@ int main(int argc, char** argv) {
   SweepRunner runner(opts);
   const auto homo_sweep =
       runner.run(cells, [](const Scenario& s, std::size_t) {
-        ResultSet out = analytic_backend().evaluate(s);
+        // n = 1 never synchronizes, so there is nothing to simulate.
+        EvalPlan plan{{EvalStep{"analytic", ""}}};
         if (s.n() >= 2) {
-          out.merge(monte_carlo_backend().evaluate(s), "mc_");
+          plan.steps.push_back(EvalStep{"monte-carlo", "mc_"});
         }
-        return out;
+        return plan;
       });
 
   // Heterogeneous sets: the slowest process dominates everyone's wait.

@@ -68,14 +68,15 @@ int main(int argc, char** argv) {
                          .seed(opts.seed + 1)
                          .samples(std::max<std::size_t>(1, opts.samples / 2)));
   const auto mc_sweep =
-      runner.run(mc_cells, [&cases](const Scenario& s, std::size_t i) {
-        ResultSet out = monte_carlo_backend().evaluate(s);
+      runner.run(mc_cells, [&cases](const Scenario&, std::size_t i) {
         // Only the comparison cases read exact_* metrics; the trailing
-        // storage cell needs none.
+        // storage cell needs none.  The plan varies along the grid, which
+        // is why plans are per-cell.
+        EvalPlan plan{{EvalStep{"monte-carlo", ""}}};
         if (i < std::size(cases)) {
-          out.merge(analytic_backend().evaluate(s), "exact_");
+          plan.steps.push_back(EvalStep{"analytic", "exact_"});
         }
-        return out;
+        return plan;
       });
   if (!overhead_sweep) {
     return 0;  // --shard: partials for both sweeps written

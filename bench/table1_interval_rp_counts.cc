@@ -65,10 +65,11 @@ int main(int argc, char** argv) {
   }
 
   SweepRunner runner(opts);
-  const auto sweep = runner.run(cells, [](const Scenario& s, std::size_t) {
-    ResultSet out = analytic_backend().evaluate(s);
-    out.merge(monte_carlo_backend().evaluate(s), "mc_");
-    return out;
+  // Plan instead of closure: every case evaluates the exact chain, then
+  // merges the Monte-Carlo run - locally or on --connect workers.
+  const auto sweep = runner.run(cells, [](const Scenario&, std::size_t) {
+    return EvalPlan{
+        {EvalStep{"analytic", ""}, EvalStep{"monte-carlo", "mc_"}}};
   });
   if (!sweep) {
     return 0;  // --shard: partial written

@@ -15,15 +15,20 @@
 //                scenario batches with deterministic per-cell seeding
 //                (core/sweep.h);
 //   Executor     where sweep cells run (core/executor.h):
-//                InProcessExecutor (thread pool) or MultiProcessExecutor
+//                InProcessExecutor (thread pool), MultiProcessExecutor
 //                (forked workers fed wire-encoded cell batches over
-//                pipes), both returning per-cell outcomes bitwise
-//                identical to a serial run;
+//                pipes) or net::ClusterExecutor (remote sweep_workerd
+//                daemons over TCP, net/cluster.h), all returning
+//                per-cell outcomes bitwise identical to a serial run;
+//   EvalPlan     a sweep cell's evaluation recipe as data - which
+//                backends to run and how to merge their metrics - so a
+//                cell can ship to a worker daemon that has no access to
+//                bench closures (core/backend.h);
 //   ShardSpec    k-way deterministic split of an expanded grid for
-//                multi-host sweeps: shard i of k evaluates cells with
-//                index % k == i, writes a ShardPartial, and
-//                merge_shard_partials() reassembles the exact unsharded
-//                result vector (core/executor.h).
+//                multi-host batch sweeps: shard i of k evaluates cells
+//                with index % k == i, writes a ShardPartial, and
+//                PartialMerger / merge_shard_partials() reassembles the
+//                exact unsharded result vector (core/executor.h).
 //
 // Scenario and ResultSet have exact binary round-trips (encode/decode on
 // support/wire.h) - the executors and shard files depend on doubles being
@@ -53,11 +58,16 @@
 //   merge_shard_partials({A, B}) == SweepEngine(...).run(cells, ...)
 //
 // (benches expose this as --shard=i/k + --merge=fileA,fileB; see
-// core/experiment.h's SweepRunner).
+// core/experiment.h's SweepRunner).  For one live sweep spanning many
+// hosts, net::ClusterExecutor streams plan-carrying cell batches to
+// sweep_workerd daemons (--connect=hostA:4701,hostB:4701), merges
+// results as they arrive, and re-queues a lost worker's in-flight cells
+// to the survivors - still byte-identical.
 //
 // Layered as follows (each layer usable on its own):
 //
-//   support/   deterministic RNG, statistics, tables, the wire format
+//   support/   deterministic RNG, statistics, tables, the wire format,
+//              EINTR-safe fd I/O
 //   numerics/  dense/sparse linear algebra, ODE, quadrature, Poisson
 //   markov/    CTMC/DTMC engine, phase-type distributions
 //   model/     the paper's analytic models (Sections 2-4)
@@ -65,6 +75,7 @@
 //   des/       Monte-Carlo simulators of the three schemes
 //   runtime/   thread-based processes with real checkpoint/rollback
 //   core/      Scenario + EvalBackend + SweepEngine + Executor/ShardSpec
+//   net/       the TCP cluster transport (ClusterExecutor, WorkerServer)
 //
 // The per-layer entry points (AsyncRbModel, SyncRbSimulator,
 // RecoverySystem, ...) remain public for code that needs one layer only;
@@ -86,6 +97,8 @@
 #include "model/params.h"              // IWYU pragma: export
 #include "model/prp_model.h"           // IWYU pragma: export
 #include "model/sync_model.h"          // IWYU pragma: export
+#include "net/cluster.h"               // IWYU pragma: export
+#include "net/worker.h"                // IWYU pragma: export
 #include "runtime/system.h"            // IWYU pragma: export
 #include "support/table.h"             // IWYU pragma: export
 #include "support/wire.h"              // IWYU pragma: export

@@ -21,11 +21,14 @@
 // from SweepEngine worker threads.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/result.h"
 #include "core/scenario.h"
+#include "support/wire.h"
 
 namespace rbx {
 
@@ -54,5 +57,43 @@ std::vector<const EvalBackend*> all_backends();
 
 // Lookup by name ("analytic", "monte-carlo", "runtime"); nullptr if unknown.
 const EvalBackend* find_backend(const std::string& name);
+
+// --- evaluation plans ----------------------------------------------------
+//
+// A serializable recipe for evaluating one sweep cell.  The bench lambdas
+// all have the same shape - evaluate one backend, then merge() further
+// backends under a metric prefix - and an EvalPlan is that shape as data,
+// so a cell can be shipped to a worker daemon on another host
+// (net/cluster.h) that has no access to the bench's closures.  Executing a
+// plan locally and remotely calls the same backend singletons in the same
+// order, which is what keeps cluster runs byte-identical to in-process
+// runs.
+
+struct EvalStep {
+  std::string backend;  // registered backend name (find_backend)
+  std::string prefix;   // merge() prefix; ignored for the first step
+};
+
+struct EvalPlan {
+  std::vector<EvalStep> steps;  // at least one to be executable
+
+  void encode(wire::Writer& w) const;
+  // Throws wire::Error on malformed data (including an empty or
+  // absurdly long step list).
+  static EvalPlan decode(wire::Reader& r);
+};
+
+// Convenience: the one-step plan "evaluate on this backend".
+EvalPlan plan_for(const EvalBackend& backend);
+
+// Executes the plan: steps[0].backend evaluates the scenario, every later
+// step merges its backend's evaluation under step.prefix.  Throws
+// std::runtime_error for an empty plan or an unknown backend name.
+ResultSet evaluate_plan(const EvalPlan& plan, const Scenario& scenario);
+
+// How a sweep describes per-cell evaluation so it can run on any executor,
+// including remote cluster workers; the index is the cell's position in
+// the expanded grid (some benches vary the plan along the grid).
+using PlanFn = std::function<EvalPlan(const Scenario&, std::size_t)>;
 
 }  // namespace rbx

@@ -1,18 +1,18 @@
 #include "core/executor.h"
 
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <deque>
 #include <stdexcept>
 #include <thread>
 
 #include "support/check.h"
+#include "support/io.h"
 
 namespace rbx {
 
@@ -87,34 +87,17 @@ std::vector<CellOutcome> InProcessExecutor::run(
 
 namespace {
 
-// send() with MSG_NOSIGNAL so a dead peer surfaces as an error return
-// instead of SIGPIPE terminating the caller.
-bool send_all(int fd, const std::vector<std::byte>& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 std::vector<std::byte> encode_cell_batch(
     const std::vector<Scenario>& cells,
     const std::vector<std::size_t>& batch) {
-  wire::Writer w;
-  w.u32(static_cast<std::uint32_t>(batch.size()));
+  CellBatch out;
+  out.cells.reserve(batch.size());
   for (std::size_t index : batch) {
-    w.u64(index);
-    cells[index].encode(w);
+    // Forked children inherit the sweep's cell_fn closure, so no plan
+    // rides along (unlike the TCP transport in net/cluster.cc).
+    out.cells.push_back(BatchCell{index, cells[index], false, EvalPlan{}});
   }
-  return wire::seal_frame(kFrameCellBatch, w.data());
+  return out.seal();
 }
 
 // The child side: decode cell batches, evaluate, answer with result
@@ -123,11 +106,8 @@ std::vector<std::byte> encode_cell_batch(
   std::vector<std::byte> inbuf;
   std::byte chunk[1 << 16];
   for (;;) {
-    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    const ssize_t got = io::read_some(fd, chunk, sizeof(chunk));
     if (got < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
       ::_exit(1);
     }
     if (got == 0) {
@@ -152,30 +132,22 @@ std::vector<std::byte> encode_cell_batch(
       if (frame.type != kFrameCellBatch) {
         ::_exit(1);
       }
-      wire::Writer response;
+      ResultBatch response;
       try {
         wire::Reader r(frame.payload);
-        const std::uint32_t count = r.u32();
-        response.u32(count);
-        for (std::uint32_t i = 0; i < count; ++i) {
-          const std::uint64_t index = r.u64();
-          const Scenario cell = Scenario::decode(r);
-          const CellOutcome outcome =
-              evaluate_cell(cell_fn, cell, static_cast<std::size_t>(index));
-          response.u64(index);
-          response.u8(outcome.ok() ? 1 : 0);
-          if (outcome.ok()) {
-            outcome.result.encode(response);
-          } else {
-            response.str(outcome.error);
-          }
-        }
+        const CellBatch batch = CellBatch::decode(r);
         r.expect_done();
+        response.entries.reserve(batch.cells.size());
+        for (const BatchCell& cell : batch.cells) {
+          response.entries.push_back(
+              {cell.index,
+               evaluate_cell(cell_fn, cell.scenario,
+                             static_cast<std::size_t>(cell.index))});
+        }
       } catch (const wire::Error&) {
         ::_exit(1);
       }
-      if (!send_all(fd, wire::seal_frame(kFrameResultBatch,
-                                         response.data()))) {
+      if (!io::send_all(fd, response.seal())) {
         ::_exit(1);  // parent went away
       }
     }
@@ -295,7 +267,7 @@ std::vector<CellOutcome> MultiProcessExecutor::run(
     while (!queue.empty()) {
       std::vector<std::size_t> batch = std::move(queue.front());
       queue.pop_front();
-      if (send_all(worker.fd, encode_cell_batch(cells, batch))) {
+      if (io::send_all(worker.fd, encode_cell_batch(cells, batch))) {
         worker.outstanding = std::move(batch);
         return;
       }
@@ -334,11 +306,8 @@ std::vector<CellOutcome> MultiProcessExecutor::run(
         fd_worker.push_back(w);
       }
     }
-    const int ready = ::poll(fds.data(), fds.size(), -1);
+    const int ready = io::poll_retry(fds.data(), fds.size(), -1);
     if (ready < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
       // Infrastructure failure: shut the workers down (closing the pipe
       // makes each child exit) and reap them before throwing, so a
       // catching caller is not left with stuck children and open fds.
@@ -356,12 +325,7 @@ std::vector<CellOutcome> MultiProcessExecutor::run(
         continue;
       }
       Worker& worker = workers[fd_worker[k]];
-      const ssize_t got = ::read(worker.fd, chunk, sizeof(chunk));
-      if (got < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-      }
+      const ssize_t got = io::read_some(worker.fd, chunk, sizeof(chunk));
       if (got <= 0) {
         // EOF or read error with a batch in flight: the worker crashed.
         // Its cells become per-cell errors and the sweep carries on.
@@ -389,40 +353,9 @@ std::vector<CellOutcome> MultiProcessExecutor::run(
             throw wire::Error("unexpected frame type from worker");
           }
           wire::Reader r(frame.payload);
-          const std::uint32_t count = r.u32();
-          // A response must answer the worker's outstanding batch exactly
-          // - a short or mis-indexed batch would otherwise leave cells as
-          // empty-but-ok outcomes that only blow up much later.
-          std::vector<bool> answered(worker.outstanding.size(), false);
-          for (std::uint32_t i = 0; i < count; ++i) {
-            const std::size_t index =
-                static_cast<std::size_t>(r.u64());
-            std::size_t slot = worker.outstanding.size();
-            for (std::size_t b = 0; b < worker.outstanding.size(); ++b) {
-              if (worker.outstanding[b] == index && !answered[b]) {
-                slot = b;
-                break;
-              }
-            }
-            if (slot == worker.outstanding.size()) {
-              throw wire::Error("worker answered cell " +
-                                std::to_string(index) +
-                                " which is not in its batch");
-            }
-            answered[slot] = true;
-            if (r.u8() != 0) {
-              outcomes[index].result = ResultSet::decode(r);
-            } else {
-              outcomes[index].error = r.str();
-            }
-          }
+          const ResultBatch batch = ResultBatch::decode(r);
           r.expect_done();
-          for (std::size_t b = 0; b < answered.size(); ++b) {
-            if (!answered[b]) {
-              throw wire::Error("worker response is missing cell " +
-                                std::to_string(worker.outstanding[b]));
-            }
-          }
+          apply_result_batch(batch, worker.outstanding, outcomes);
         } catch (const wire::Error& e) {
           // Treat a garbled response stream like a crash: fail the batch
           // and drop the worker.
@@ -461,6 +394,131 @@ std::vector<CellOutcome> MultiProcessExecutor::run(
     ::waitpid(worker.pid, nullptr, 0);
   }
   return outcomes;
+}
+
+// --- batch payloads ------------------------------------------------------
+
+void CellBatch::encode(wire::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(cells.size()));
+  for (const BatchCell& cell : cells) {
+    w.u64(cell.index);
+    w.u8(cell.has_plan ? 1 : 0);
+    if (cell.has_plan) {
+      cell.plan.encode(w);
+    }
+    cell.scenario.encode(w);
+  }
+}
+
+CellBatch CellBatch::decode(wire::Reader& r) {
+  const std::uint32_t count = r.u32();
+  // Each cell needs at least index + flag; a corrupt count fails here
+  // instead of as a huge allocation.
+  if (r.remaining() / 9 < count) {
+    throw wire::Error("cell batch: truncated cell list (claims " +
+                      std::to_string(count) + " cells, " +
+                      std::to_string(r.remaining()) + " bytes left)");
+  }
+  CellBatch out;
+  out.cells.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t index = r.u64();
+    const std::uint8_t has_plan = r.u8();
+    if (has_plan > 1) {
+      throw wire::Error("cell batch: invalid plan flag");
+    }
+    EvalPlan plan;
+    if (has_plan != 0) {
+      plan = EvalPlan::decode(r);
+    }
+    Scenario scenario = Scenario::decode(r);
+    out.cells.push_back(BatchCell{index, std::move(scenario), has_plan != 0,
+                                  std::move(plan)});
+  }
+  return out;
+}
+
+std::vector<std::byte> CellBatch::seal() const {
+  wire::Writer w;
+  encode(w);
+  return wire::seal_frame(kFrameCellBatch, w.data());
+}
+
+void ResultBatch::encode(wire::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const Entry& entry : entries) {
+    w.u64(entry.index);
+    w.u8(entry.outcome.ok() ? 1 : 0);
+    if (entry.outcome.ok()) {
+      entry.outcome.result.encode(w);
+    } else {
+      w.str(entry.outcome.error);
+    }
+  }
+}
+
+ResultBatch ResultBatch::decode(wire::Reader& r) {
+  const std::uint32_t count = r.u32();
+  if (r.remaining() / 9 < count) {
+    throw wire::Error("result batch: truncated entry list (claims " +
+                      std::to_string(count) + " entries, " +
+                      std::to_string(r.remaining()) + " bytes left)");
+  }
+  ResultBatch out;
+  out.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry entry;
+    entry.index = r.u64();
+    const std::uint8_t ok = r.u8();
+    if (ok > 1) {
+      throw wire::Error("result batch: invalid outcome flag");
+    }
+    if (ok != 0) {
+      entry.outcome.result = ResultSet::decode(r);
+    } else {
+      entry.outcome.error = r.str();
+      if (entry.outcome.error.empty()) {
+        // An empty error string would read as success (CellOutcome::ok).
+        entry.outcome.error = "worker reported an unnamed failure";
+      }
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<std::byte> ResultBatch::seal() const {
+  wire::Writer w;
+  encode(w);
+  return wire::seal_frame(kFrameResultBatch, w.data());
+}
+
+void apply_result_batch(const ResultBatch& batch,
+                        const std::vector<std::size_t>& outstanding,
+                        std::vector<CellOutcome>& outcomes) {
+  std::vector<bool> answered(outstanding.size(), false);
+  for (const ResultBatch::Entry& entry : batch.entries) {
+    const std::size_t index = static_cast<std::size_t>(entry.index);
+    std::size_t slot = outstanding.size();
+    for (std::size_t b = 0; b < outstanding.size(); ++b) {
+      if (outstanding[b] == index && !answered[b]) {
+        slot = b;
+        break;
+      }
+    }
+    if (slot == outstanding.size()) {
+      throw wire::Error("worker answered cell " + std::to_string(index) +
+                        " which is not in its batch");
+    }
+    answered[slot] = true;
+    outcomes[index] = entry.outcome;
+  }
+  for (std::size_t b = 0; b < answered.size(); ++b) {
+    if (!answered[b]) {
+      throw wire::Error("worker response is missing cell " +
+                        std::to_string(outstanding[b]));
+    }
+  }
 }
 
 // --- sharding ------------------------------------------------------------
@@ -542,55 +600,104 @@ ShardPartial ShardPartial::decode(wire::Reader& r) {
   return out;
 }
 
+PartialMerger::PartialMerger(std::size_t total_cells,
+                             std::size_t shard_count,
+                             std::uint64_t fingerprint)
+    : shard_count_(shard_count),
+      fingerprint_(fingerprint),
+      shard_seen_(shard_count, false),
+      cell_seen_(total_cells, false),
+      results_(total_cells) {
+  if (shard_count == 0) {
+    throw wire::Error("shard merge: shard count must be >= 1");
+  }
+}
+
+void PartialMerger::apply(const ShardPartial& partial) {
+  if (partial.shard.count != shard_count_ ||
+      partial.total_cells != cell_seen_.size()) {
+    throw wire::Error(
+        "shard merge: partials disagree on the grid split (different "
+        "shard count or cell total)");
+  }
+  if (partial.fingerprint != fingerprint_) {
+    throw wire::Error(
+        "shard merge: partials were produced from different grids "
+        "(fingerprint mismatch - different --samples/--seed/options?)");
+  }
+  if (partial.shard.index >= shard_count_) {
+    throw wire::Error("shard merge: invalid shard index " +
+                      std::to_string(partial.shard.index));
+  }
+  if (shard_seen_[partial.shard.index]) {
+    throw wire::Error("shard merge: shard " +
+                      std::to_string(partial.shard.index) +
+                      " appears twice");
+  }
+  // Validate before mutating, so a rejected partial leaves the merger
+  // usable (a streaming caller may want to keep going without it).
+  std::vector<std::size_t> indices;
+  indices.reserve(partial.results.size());
+  for (const auto& [index, result] : partial.results) {
+    if (index >= cell_seen_.size() || !partial.shard.owns(index)) {
+      throw wire::Error("shard merge: cell " + std::to_string(index) +
+                        " does not belong to shard " +
+                        std::to_string(partial.shard.index));
+    }
+    if (cell_seen_[index]) {
+      throw wire::Error("shard merge: cell " + std::to_string(index) +
+                        " appears twice");
+    }
+    indices.push_back(index);
+  }
+  std::vector<std::size_t> sorted = indices;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t k = 1; k < sorted.size(); ++k) {
+    if (sorted[k] == sorted[k - 1]) {
+      throw wire::Error("shard merge: cell " + std::to_string(sorted[k]) +
+                        " appears twice");
+    }
+  }
+  shard_seen_[partial.shard.index] = true;
+  ++shards_applied_;
+  for (const auto& [index, result] : partial.results) {
+    cell_seen_[index] = true;
+    results_[index] = result;
+    ++cells_applied_;
+  }
+}
+
+std::vector<ResultSet> PartialMerger::take() {
+  for (std::size_t i = 0; i < cell_seen_.size(); ++i) {
+    if (!cell_seen_[i]) {
+      throw wire::Error("shard merge: cell " + std::to_string(i) +
+                        " is missing from every partial");
+    }
+  }
+  cell_seen_.clear();
+  shard_seen_.clear();
+  shards_applied_ = 0;
+  cells_applied_ = 0;
+  return std::move(results_);
+}
+
 std::vector<ResultSet> merge_shard_partials(
     const std::vector<ShardPartial>& partials) {
   if (partials.empty()) {
     throw wire::Error("shard merge: no partials given");
   }
   const std::size_t count = partials.front().shard.count;
-  const std::size_t total = partials.front().total_cells;
   if (partials.size() != count) {
     throw wire::Error("shard merge: expected " + std::to_string(count) +
                       " partials (one per shard), got " +
                       std::to_string(partials.size()));
   }
-  std::vector<bool> shard_seen(count, false);
-  std::vector<bool> cell_seen(total, false);
-  std::vector<ResultSet> results(total);
-  const std::uint64_t fingerprint = partials.front().fingerprint;
+  PartialMerger merger(partials.front().total_cells, count,
+                       partials.front().fingerprint);
   for (const ShardPartial& partial : partials) {
-    if (partial.shard.count != count || partial.total_cells != total) {
-      throw wire::Error(
-          "shard merge: partials disagree on the grid split (different "
-          "shard count or cell total)");
-    }
-    if (partial.fingerprint != fingerprint) {
-      throw wire::Error(
-          "shard merge: partials were produced from different grids "
-          "(fingerprint mismatch - different --samples/--seed/options?)");
-    }
-    if (shard_seen[partial.shard.index]) {
-      throw wire::Error("shard merge: shard " +
-                        std::to_string(partial.shard.index) +
-                        " appears twice");
-    }
-    shard_seen[partial.shard.index] = true;
-    for (const auto& [index, result] : partial.results) {
-      if (cell_seen[index]) {
-        throw wire::Error("shard merge: cell " + std::to_string(index) +
-                          " appears twice");
-      }
-      cell_seen[index] = true;
-      results[index] = result;
-    }
+    merger.apply(partial);
   }
-  for (std::size_t i = 0; i < total; ++i) {
-    if (!cell_seen[i]) {
-      throw wire::Error("shard merge: cell " + std::to_string(i) +
-                        " is missing from every partial");
-    }
-  }
-  return results;
+  return merger.take();
 }
 
 }  // namespace rbx

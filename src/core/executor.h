@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/backend.h"
 #include "core/result.h"
 #include "core/scenario.h"
 
@@ -118,6 +119,55 @@ class MultiProcessExecutor final : public Executor {
   std::size_t batch_size_;
 };
 
+// --- batch payloads ------------------------------------------------------
+//
+// The request/response currency between a coordinator and its workers -
+// forked children on socketpairs (MultiProcessExecutor) and remote daemons
+// on TCP (net/cluster.h) exchange the same kCellBatch / kResultBatch
+// frames, encoded by the codecs below.  A cell optionally carries an
+// EvalPlan: forked children inherit the sweep's cell_fn closure and need
+// none, while a remote daemon has no access to bench code and evaluates
+// the plan instead.
+
+struct BatchCell {
+  std::uint64_t index;  // position in the expanded grid
+  Scenario scenario;
+  bool has_plan;
+  EvalPlan plan;  // meaningful only when has_plan
+};
+
+struct CellBatch {
+  std::vector<BatchCell> cells;
+
+  void encode(wire::Writer& w) const;
+  static CellBatch decode(wire::Reader& r);
+  // The payload wrapped as a complete kFrameCellBatch frame.
+  std::vector<std::byte> seal() const;
+};
+
+struct ResultBatch {
+  struct Entry {
+    std::uint64_t index;
+    CellOutcome outcome;
+  };
+  std::vector<Entry> entries;
+
+  void encode(wire::Writer& w) const;
+  static ResultBatch decode(wire::Reader& r);
+  // The payload wrapped as a complete kFrameResultBatch frame.
+  std::vector<std::byte> seal() const;
+};
+
+// Checks that `batch` answers exactly the cells in `outstanding` - no
+// missing, duplicated or foreign indices (a short response would otherwise
+// leave empty-but-ok outcomes that only blow up much later) - and writes
+// each outcome into outcomes[index].  Throws wire::Error on any mismatch;
+// outcomes may be partially written in that case (callers treat the whole
+// batch as failed anyway).
+void apply_result_batch(const ResultBatch& batch,
+                        const std::vector<std::size_t>& outstanding,
+                        std::vector<CellOutcome>& outcomes);
+
 // --- sharding ------------------------------------------------------------
 
 // Shard i of k: owns the expanded-grid cells with index % count == index.
@@ -157,11 +207,45 @@ struct ShardPartial {
   static ShardPartial decode(wire::Reader& r);
 };
 
-// Reassembles the full result vector from one partial per shard.  Throws
-// wire::Error unless the partials are exactly shards 0..k-1 of the same
-// k-way split of the same grid (size and fingerprint), together covering
-// every cell exactly once - the merged vector is then bitwise identical
-// to an unsharded run.
+// Incremental (streaming) merge of shard partials: fix the split up
+// front, then apply() each partial as it arrives - from a file, or from a
+// worker that just finished - instead of buffering all of them for one
+// final merge.  take() hands out the full result vector once every cell
+// is covered; the result is bitwise identical to an unsharded run.
+class PartialMerger {
+ public:
+  // The split every partial must match: `shard_count` shards of a grid of
+  // `total_cells` cells with this fingerprint.
+  PartialMerger(std::size_t total_cells, std::size_t shard_count,
+                std::uint64_t fingerprint);
+
+  // Applies one shard's results.  Throws wire::Error if the partial
+  // belongs to a different split or grid, repeats a shard, or re-covers a
+  // cell; the merger is unchanged in that case.
+  void apply(const ShardPartial& partial);
+
+  std::size_t applied_shards() const { return shards_applied_; }
+  bool complete() const { return cells_applied_ == results_.size(); }
+
+  // The full result vector; throws wire::Error naming a missing cell if
+  // any shard has not arrived.  Leaves the merger empty.
+  std::vector<ResultSet> take();
+
+ private:
+  std::size_t shard_count_;
+  std::uint64_t fingerprint_;
+  std::vector<bool> shard_seen_;
+  std::vector<bool> cell_seen_;
+  std::vector<ResultSet> results_;
+  std::size_t shards_applied_ = 0;
+  std::size_t cells_applied_ = 0;
+};
+
+// Reassembles the full result vector from one partial per shard (a
+// PartialMerger fed everything at once).  Throws wire::Error unless the
+// partials are exactly shards 0..k-1 of the same k-way split of the same
+// grid (size and fingerprint), together covering every cell exactly once
+// - the merged vector is then bitwise identical to an unsharded run.
 std::vector<ResultSet> merge_shard_partials(
     const std::vector<ShardPartial>& partials);
 

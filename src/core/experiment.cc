@@ -8,6 +8,8 @@
 #include <sstream>
 #include <utility>
 
+#include "net/cluster.h"
+
 namespace rbx {
 
 namespace {
@@ -17,28 +19,12 @@ namespace {
   std::fprintf(stderr, "%s: bad argument '%s' (%s)\n", prog, arg, why);
   std::fprintf(stderr,
                "usage: %s [--samples=N] [--nmax=N] [--seed=N] [--threads=N]\n"
-               "          [--workers=N] [--shard=i/k [--shard-out=FILE]]\n"
+               "          [--workers=N] [--batch=N]\n"
+               "          [--connect=HOST:PORT,...]\n"
+               "          [--shard=i/k [--shard-out=FILE]]\n"
                "          [--merge=FILE1,FILE2,...]\n",
                prog);
   std::exit(2);
-}
-
-// Strict non-negative integer parse: rejects empty strings, signs,
-// non-digit suffixes and out-of-range values.  strtoull itself skips
-// leading whitespace and negates '-' values into huge uint64s, so insist
-// the text starts with a digit.
-bool parse_u64(const char* text, std::uint64_t* out) {
-  if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
-    return false;
-  }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0') {
-    return false;
-  }
-  *out = v;
-  return true;
 }
 
 // "--shard=i/k": both parts strict non-negative integers, k >= 1, i < k.
@@ -51,8 +37,8 @@ bool parse_shard(const char* text, ShardSpec* out, const char** why) {
   const std::string index_text(text, static_cast<std::size_t>(slash - text));
   std::uint64_t index = 0;
   std::uint64_t count = 0;
-  if (index_text.empty() || !parse_u64(index_text.c_str(), &index) ||
-      !parse_u64(slash + 1, &count)) {
+  if (index_text.empty() || !parse_strict_u64(index_text.c_str(), &index) ||
+      !parse_strict_u64(slash + 1, &count)) {
     *why = "expected i/k with non-negative integers";
     return false;
   }
@@ -71,6 +57,22 @@ bool parse_shard(const char* text, ShardSpec* out, const char** why) {
 
 }  // namespace
 
+// strtoull itself skips leading whitespace and negates '-' values into
+// huge uint64s, so insist the text starts with a digit.
+bool parse_strict_u64(const char* text, std::uint64_t* out) {
+  if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
                                            std::size_t default_samples,
                                            std::size_t default_nmax) {
@@ -80,6 +82,7 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
   const char* prog = argc > 0 ? argv[0] : "bench";
   bool shard_given = false;
   bool shard_out_given = false;
+  bool batch_given = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* value = nullptr;
@@ -101,6 +104,38 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
     } else if (std::strncmp(arg, "--workers=", 10) == 0) {
       value = arg + 10;
       size_target = &opts.workers;
+    } else if (std::strncmp(arg, "--batch=", 8) == 0) {
+      value = arg + 8;
+      size_target = &opts.batch;
+      batch_given = true;
+    } else if (std::strncmp(arg, "--connect=", 10) == 0) {
+      const char* list = arg + 10;
+      while (*list != '\0') {
+        const char* comma = std::strchr(list, ',');
+        const std::size_t len = comma != nullptr
+                                    ? static_cast<std::size_t>(comma - list)
+                                    : std::strlen(list);
+        if (len == 0) {
+          usage_error(prog, arg, "empty endpoint in list");
+        }
+        net::Endpoint endpoint;
+        std::string why;
+        if (!net::parse_endpoint(std::string(list, len), &endpoint, &why)) {
+          usage_error(prog, arg, why.c_str());
+        }
+        opts.connect.push_back(std::move(endpoint));
+        list += len;
+        if (*list == ',') {
+          ++list;
+          if (*list == '\0') {
+            usage_error(prog, arg, "empty endpoint in list");
+          }
+        }
+      }
+      if (opts.connect.empty()) {
+        usage_error(prog, arg, "expected a comma-separated host:port list");
+      }
+      continue;
     } else if (std::strncmp(arg, "--shard=", 8) == 0) {
       const char* why = nullptr;
       if (!parse_shard(arg + 8, &opts.shard, &why)) {
@@ -141,7 +176,7 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
     } else {
       usage_error(prog, arg, "unknown flag");
     }
-    if (!parse_u64(value, &parsed)) {
+    if (!parse_strict_u64(value, &parsed)) {
       usage_error(prog, arg, "expected a non-negative integer");
     }
     if (size_target == &opts.threads && parsed == 0) {
@@ -158,6 +193,19 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
   }
   if (!opts.merge_inputs.empty() && shard_given) {
     usage_error(prog, "--merge", "cannot combine --merge with --shard");
+  }
+  if (!opts.connect.empty() && opts.workers > 0) {
+    usage_error(prog, "--connect",
+                "cannot combine --connect with --workers (pick one "
+                "distribution mode)");
+  }
+  if (!opts.connect.empty() && !opts.merge_inputs.empty()) {
+    usage_error(prog, "--connect",
+                "--merge evaluates nothing, so --connect is meaningless");
+  }
+  if (batch_given && opts.workers == 0 && opts.connect.empty()) {
+    usage_error(prog, "--batch",
+                "--batch only applies to --workers or --connect runs");
   }
   if (shard_out_given && !shard_given) {
     usage_error(prog, "--shard-out", "--shard-out requires --shard");
@@ -183,6 +231,14 @@ SweepRunner::SweepRunner(const ExperimentOptions& opts,
   if (opts_.threads == 0) {
     opts_.threads = default_threads;
   }
+  if (!opts_.connect.empty()) {
+    // One executor for the whole bench run: its worker connections (and
+    // its knowledge of which workers died) persist across sweeps.
+    net::ClusterOptions cluster;
+    cluster.endpoints = opts_.connect;
+    cluster.batch_size = opts_.batch;
+    cluster_ = std::make_unique<net::ClusterExecutor>(std::move(cluster));
+  }
   if (!opts_.merge_inputs.empty()) {
     try {
       for (const std::string& path : opts_.merge_inputs) {
@@ -195,21 +251,83 @@ SweepRunner::SweepRunner(const ExperimentOptions& opts,
   }
 }
 
+SweepRunner::~SweepRunner() = default;
+
 std::vector<CellOutcome> SweepRunner::evaluate(
-    const std::vector<Scenario>& cells, const CellFn& cell_fn) const {
-  if (opts_.workers > 0) {
-    return MultiProcessExecutor({opts_.workers, 0}).run(cells, cell_fn);
+    const std::vector<Scenario>& cells, const CellFn& cell_fn,
+    const PlanFn* plan_fn) const {
+  try {
+    if (cluster_ != nullptr) {
+      if (plan_fn == nullptr) {
+        std::fprintf(stderr,
+                     "--connect: this sweep evaluates through a local-only "
+                     "cell function and cannot run on remote workers\n");
+        std::exit(2);
+      }
+      cluster_->set_plan_fn(*plan_fn);
+      return cluster_->run(cells, cell_fn);
+    }
+    if (opts_.workers > 0) {
+      return MultiProcessExecutor({opts_.workers, opts_.batch})
+          .run(cells, cell_fn);
+    }
+    return InProcessExecutor({opts_.threads}).run(cells, cell_fn);
+  } catch (const std::exception& e) {
+    // Infrastructure failures (no reachable workers, fork/poll failure)
+    // are not per-cell errors; die loudly instead of unwinding through
+    // bench code.
+    std::fprintf(stderr, "sweep: %s\n", e.what());
+    std::exit(1);
   }
-  return InProcessExecutor({opts_.threads}).run(cells, cell_fn);
 }
 
 std::optional<std::vector<ResultSet>> SweepRunner::run(
     const std::vector<Scenario>& cells, const CellFn& cell_fn) {
+  return run_impl(cells, cell_fn, nullptr);
+}
+
+std::optional<std::vector<ResultSet>> SweepRunner::run(
+    const std::vector<Scenario>& cells, const PlanFn& plan_fn) {
+  // Local executors run the exact same plans through evaluate_plan, which
+  // is what makes --threads/--workers/--connect byte-identical.
+  const CellFn cell_fn = [&plan_fn](const Scenario& s, std::size_t i) {
+    return evaluate_plan(plan_fn(s, i), s);
+  };
+  return run_impl(cells, cell_fn, &plan_fn);
+}
+
+std::optional<std::vector<ResultSet>> SweepRunner::run(
+    const std::vector<Scenario>& cells, const EvalBackend& backend) {
+  // Registered backends go through a plan, so the sweep is
+  // cluster-capable.  A custom EvalBackend implementation outside the
+  // registry keeps the direct local call (remote daemons could not look
+  // it up by name) - such a sweep is local-only, like any CellFn.
+  if (find_backend(backend.name()) == &backend) {
+    const std::string name = backend.name();
+    return run(cells, PlanFn([name](const Scenario&, std::size_t) {
+                 return EvalPlan{{EvalStep{name, ""}}};
+               }));
+  }
+  return run(cells, CellFn([&backend](const Scenario& s, std::size_t) {
+               return backend.evaluate(s);
+             }));
+}
+
+std::optional<std::vector<ResultSet>> SweepRunner::run_impl(
+    const std::vector<Scenario>& cells, const CellFn& cell_fn,
+    const PlanFn* plan_fn) {
   const std::size_t section = sweep_index_++;
   if (!merge_frames_.empty()) {
-    // Merge mode: pop section `section` of every partial file.
-    std::vector<ShardPartial> partials;
+    // Merge mode: pop section `section` of every partial file, applying
+    // each partial to the merger as it is decoded - the same streaming
+    // path the cluster transport uses, so a future "merge from sockets
+    // while shards still run" needs no new merge code.
     try {
+      // The merger is pinned to THIS invocation's grid fingerprint, so a
+      // merge run with different --samples/--seed than the shard runs
+      // fails instead of printing tables that belong to other options.
+      PartialMerger merger(cells.size(), merge_frames_.size(),
+                           grid_fingerprint(cells));
       for (std::size_t f = 0; f < merge_frames_.size(); ++f) {
         if (section >= merge_frames_[f].size()) {
           throw wire::Error("'" + opts_.merge_inputs[f] + "' has only " +
@@ -224,26 +342,15 @@ std::optional<std::vector<ResultSet>> SweepRunner::run(
                             " is not a shard partial");
         }
         wire::Reader r(frame.payload);
-        partials.push_back(ShardPartial::decode(r));
+        const ShardPartial partial = ShardPartial::decode(r);
         r.expect_done();
+        try {
+          merger.apply(partial);
+        } catch (const wire::Error& e) {
+          throw wire::Error("'" + opts_.merge_inputs[f] + "': " + e.what());
+        }
       }
-      std::vector<ResultSet> results = merge_shard_partials(partials);
-      if (results.size() != cells.size()) {
-        throw wire::Error(
-            "partials cover " + std::to_string(results.size()) +
-            " cells but this sweep has " + std::to_string(cells.size()) +
-            " (different bench options?)");
-      }
-      // The partials agree with each other (merge_shard_partials); now
-      // pin them to THIS invocation's grid, so a merge run with different
-      // --samples/--seed than the shard runs fails instead of printing
-      // tables that belong to other options.
-      if (partials.front().fingerprint != grid_fingerprint(cells)) {
-        throw wire::Error(
-            "partials were produced with different bench options than "
-            "this merge run (grid fingerprint mismatch)");
-      }
-      return results;
+      return merger.take();
     } catch (const wire::Error& e) {
       std::fprintf(stderr, "merge: %s\n", e.what());
       std::exit(1);
@@ -262,10 +369,21 @@ std::optional<std::vector<ResultSet>> SweepRunner::run(
     for (std::size_t index : owned) {
       owned_cells.push_back(cells[index]);
     }
+    // Cells keep their original grid index through the remap - plans and
+    // cell_fns that vary along the grid (e.g. "merge the exact backend
+    // for the first four cells") must see it, not the local position.
+    const PlanFn owned_plan_fn =
+        plan_fn == nullptr
+            ? PlanFn()
+            : PlanFn([&](const Scenario& cell, std::size_t local) {
+                return (*plan_fn)(cell, owned[local]);
+              });
     const std::vector<CellOutcome> outcomes = evaluate(
-        owned_cells, [&](const Scenario& cell, std::size_t local) {
+        owned_cells,
+        [&](const Scenario& cell, std::size_t local) {
           return cell_fn(cell, owned[local]);
-        });
+        },
+        plan_fn == nullptr ? nullptr : &owned_plan_fn);
     bool failed = false;
     for (std::size_t k = 0; k < outcomes.size(); ++k) {
       if (!outcomes[k].ok()) {
@@ -301,7 +419,7 @@ std::optional<std::vector<ResultSet>> SweepRunner::run(
     return std::nullopt;
   }
 
-  std::vector<CellOutcome> outcomes = evaluate(cells, cell_fn);
+  std::vector<CellOutcome> outcomes = evaluate(cells, cell_fn, plan_fn);
   std::vector<ResultSet> results;
   results.reserve(outcomes.size());
   bool failed = false;
@@ -319,13 +437,6 @@ std::optional<std::vector<ResultSet>> SweepRunner::run(
     results.push_back(std::move(outcome.result));
   }
   return results;
-}
-
-std::optional<std::vector<ResultSet>> SweepRunner::run(
-    const std::vector<Scenario>& cells, const EvalBackend& backend) {
-  return run(cells, [&backend](const Scenario& s, std::size_t) {
-    return backend.evaluate(s);
-  });
 }
 
 std::string fmt_ci(double value, double half_width, int precision) {

@@ -10,6 +10,11 @@
 //   --threads=N    in-process worker threads (default: hardware concurrency)
 //   --workers=N    evaluate cells on N forked worker processes instead of
 //                  threads (MultiProcessExecutor)
+//   --batch=N      cells per worker batch frame for --workers/--connect
+//                  (0 = adaptive, the default)
+//   --connect=HOST:PORT,...
+//                  evaluate cells on remote sweep_workerd daemons over TCP
+//                  (net/cluster.h ClusterExecutor)
 //   --shard=i/k    evaluate only shard i of a k-way split of every sweep
 //                  and write the results as a wire partial file instead of
 //                  printing tables
@@ -20,13 +25,15 @@
 //                  evaluating; byte-identical to an unsharded run
 //
 // Parsing is strict: an unknown flag, a malformed number, a negative value,
-// --threads=0 or --shard=3/2 prints a usage message to stderr and exits
-// with status 2 (a typo'd flag silently falling back to defaults once cost
-// a day of benchmarking against the wrong sample count).
+// --threads=0, --shard=3/2 or --connect=host (no port) prints a usage
+// message to stderr and exits with status 2 (a typo'd flag silently
+// falling back to defaults once cost a day of benchmarking against the
+// wrong sample count).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,8 +41,18 @@
 #include "core/backend.h"
 #include "core/executor.h"
 #include "core/result.h"
+#include "net/socket.h"
 
 namespace rbx {
+
+namespace net {
+class ClusterExecutor;  // net/cluster.h; kept out of every bench TU
+}
+
+// Strict non-negative integer parse shared by the bench flags and
+// tools/sweep_workerd: rejects empty strings, signs, whitespace, non-digit
+// suffixes and out-of-range values.
+bool parse_strict_u64(const char* text, std::uint64_t* out);
 
 struct ExperimentOptions {
   std::size_t samples = 20000;
@@ -43,6 +60,8 @@ struct ExperimentOptions {
   std::uint64_t seed = 20260610;
   std::size_t threads = 0;   // 0 = hardware concurrency (SweepEngine default)
   std::size_t workers = 0;   // 0 = in-process threads; N = forked processes
+  std::size_t batch = 0;     // cells per worker batch; 0 = adaptive
+  std::vector<net::Endpoint> connect;  // non-empty = cluster execution
   ShardSpec shard;           // {0, 1} = unsharded
   std::string shard_out;     // partial file path; set when shard.active()
   std::vector<std::string> merge_inputs;  // non-empty = merge mode
@@ -55,8 +74,9 @@ struct ExperimentOptions {
 // Drives every sweep of one bench invocation under the execution mode the
 // flags selected:
 //
-//   normal      evaluate all cells (threads, or worker processes with
-//               --workers) and hand the results back;
+//   normal      evaluate all cells (threads; worker processes with
+//               --workers; remote daemons with --connect) and hand the
+//               results back;
 //   --shard=i/k evaluate only the owned cells of each sweep, append one
 //               ShardPartial section per run() call to the partial file,
 //               and return std::nullopt - the bench skips its printing and
@@ -69,8 +89,14 @@ struct ExperimentOptions {
 // throwing cell_fn or a crashed worker) prints the per-cell errors and
 // exits 1 - a bench table with silently missing rows would be worse.
 //
+// The PlanFn overload is the preferred one: a plan (core/backend.h) is the
+// sweep's evaluation recipe as data, which is what lets --connect ship
+// cells to sweep_workerd daemons that have no access to the bench binary.
+// The CellFn overload stays for local-only sweeps (arbitrary closures) and
+// exits 2 under --connect.
+//
 //   SweepRunner runner(opts);
-//   const auto results = runner.run(cells, fn);
+//   const auto results = runner.run(cells, plan_fn);
 //   if (!results) return 0;            // --shard: partial written
 //   ... print tables from *results ...
 class SweepRunner {
@@ -80,20 +106,33 @@ class SweepRunner {
   // process threads); 0 keeps the hardware-concurrency default.
   explicit SweepRunner(const ExperimentOptions& opts,
                        std::size_t default_threads = 0);
+  ~SweepRunner();  // out of line: ClusterExecutor is forward-declared here
 
+  // Local-only: cells evaluate through an arbitrary closure.
   std::optional<std::vector<ResultSet>> run(
       const std::vector<Scenario>& cells, const CellFn& cell_fn);
+  // Cluster-capable: cells evaluate through serializable plans - locally
+  // via evaluate_plan, remotely on sweep_workerd workers - with bitwise
+  // identical results.
+  std::optional<std::vector<ResultSet>> run(
+      const std::vector<Scenario>& cells, const PlanFn& plan_fn);
+  // Shorthand for the one-step plan "evaluate on this backend".
   std::optional<std::vector<ResultSet>> run(
       const std::vector<Scenario>& cells, const EvalBackend& backend);
 
  private:
+  std::optional<std::vector<ResultSet>> run_impl(
+      const std::vector<Scenario>& cells, const CellFn& cell_fn,
+      const PlanFn* plan_fn);
   std::vector<CellOutcome> evaluate(const std::vector<Scenario>& cells,
-                                    const CellFn& cell_fn) const;
+                                    const CellFn& cell_fn,
+                                    const PlanFn* plan_fn) const;
 
   ExperimentOptions opts_;
   std::size_t sweep_index_ = 0;
   std::vector<std::byte> partial_bytes_;           // shard mode accumulator
   std::vector<std::vector<wire::Frame>> merge_frames_;  // one per input file
+  std::unique_ptr<net::ClusterExecutor> cluster_;  // --connect, else null
 };
 
 // "value +- half_width" with sensible precision.

@@ -1,0 +1,298 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "support/io.h"
+
+namespace rbx {
+namespace net {
+
+struct ClusterExecutor::Remote {
+  Endpoint endpoint;
+  std::unique_ptr<FrameConn> conn;  // null = lost
+  std::vector<std::size_t> outstanding;  // batch in flight, empty = idle
+
+  bool alive() const { return conn != nullptr && conn->open(); }
+};
+
+ClusterExecutor::ClusterExecutor(ClusterOptions options)
+    : options_(std::move(options)) {}
+
+ClusterExecutor::~ClusterExecutor() = default;
+
+std::size_t ClusterExecutor::live_workers() const {
+  if (!connected_) {
+    return options_.endpoints.size();
+  }
+  std::size_t n = 0;
+  for (const auto& remote : remotes_) {
+    if (remote->alive()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void ClusterExecutor::ensure_connected() const {
+  if (connected_) {
+    return;
+  }
+  connected_ = true;
+  for (const Endpoint& endpoint : options_.endpoints) {
+    auto remote = std::make_unique<Remote>();
+    remote->endpoint = endpoint;
+    try {
+      remote->conn = std::make_unique<FrameConn>(
+          connect_to(endpoint, options_.connect_retries));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "cluster: %s (continuing without this worker)\n",
+                   e.what());
+    }
+    remotes_.push_back(std::move(remote));
+  }
+  if (live_workers() == 0) {
+    throw Error("cluster: none of the " +
+                std::to_string(options_.endpoints.size()) +
+                " configured workers are reachable");
+  }
+}
+
+std::vector<CellOutcome> ClusterExecutor::run(
+    const std::vector<Scenario>& cells, const CellFn& cell_fn) const {
+  (void)cell_fn;  // remote workers evaluate plans, not local closures
+  if (!plan_fn_) {
+    throw std::runtime_error(
+        "ClusterExecutor: no plan function set (this sweep is local-only)");
+  }
+  std::vector<CellOutcome> outcomes(cells.size());
+  if (cells.empty()) {
+    return outcomes;
+  }
+  ensure_connected();
+
+  // --- handshake: one Hello per sweep on every surviving connection ---
+  const std::uint64_t fingerprint = grid_fingerprint(cells);
+  Hello hello;
+  hello.fingerprint = fingerprint;
+  hello.total_cells = cells.size();
+  for (auto& remote : remotes_) {
+    if (!remote->alive()) {
+      continue;
+    }
+    const auto refuse = [&](const std::string& why) {
+      if (!options_.quiet) {
+        std::fprintf(stderr, "cluster: worker %s refused the handshake: %s\n",
+                     remote->endpoint.to_string().c_str(), why.c_str());
+      }
+      remote->conn.reset();
+    };
+    wire::Writer w;
+    hello.encode(w);
+    if (!remote->conn->send(kFrameHello, w.data())) {
+      refuse("connection lost");
+      continue;
+    }
+    try {
+      wire::Frame ack;
+      if (!remote->conn->recv(&ack)) {
+        refuse("connection closed before the ack");
+      } else if (ack.type == kFrameError) {
+        wire::Reader r(ack.payload);
+        refuse(r.str());
+      } else if (ack.type != kFrameHelloAck) {
+        refuse("unexpected frame type " + std::to_string(ack.type));
+      } else {
+        wire::Reader r(ack.payload);
+        const Hello echo = Hello::decode(r);
+        r.expect_done();
+        if (echo.protocol != hello.protocol ||
+            echo.wire_version != hello.wire_version ||
+            echo.fingerprint != fingerprint) {
+          refuse("ack does not echo this sweep's handshake");
+        }
+      }
+    } catch (const wire::Error& e) {
+      refuse(std::string("malformed ack: ") + e.what());
+    }
+  }
+  if (live_workers() == 0) {
+    throw Error("cluster: no worker accepted the handshake");
+  }
+
+  // --- deal, stream, recover ---
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    queue.push_back(i);
+  }
+  // Cells already re-run once because a worker died holding them; a
+  // second loss marks the cell itself as the problem.
+  std::vector<std::uint8_t> requeued(cells.size(), 0);
+
+  const auto live_count = [&]() { return live_workers(); };
+
+  // Rolls a lost worker's in-flight cells back into the queue (backward
+  // error recovery: per-cell seeds make the rerun bitwise identical).
+  const auto lose = [&](Remote& remote, const std::string& why) {
+    if (!options_.quiet) {
+      std::fprintf(
+          stderr,
+          "cluster: lost worker %s (%s); re-queueing %zu in-flight cells\n",
+          remote.endpoint.to_string().c_str(), why.c_str(),
+          remote.outstanding.size());
+    }
+    for (std::size_t k = remote.outstanding.size(); k-- > 0;) {
+      const std::size_t index = remote.outstanding[k];
+      if (requeued[index] != 0) {
+        outcomes[index].error =
+            "cell was in flight on two lost cluster workers";
+      } else {
+        requeued[index] = 1;
+        queue.push_front(index);
+      }
+    }
+    remote.outstanding.clear();
+    remote.conn.reset();
+  };
+
+  const auto dispatch = [&](Remote& remote) {
+    if (queue.empty() || !remote.alive()) {
+      return;
+    }
+    std::size_t want = options_.batch_size;
+    if (want == 0) {
+      // Adaptive: about four batches per live worker of what remains,
+      // shrinking to single cells at the tail.
+      want = std::max<std::size_t>(1, queue.size() / (live_count() * 4));
+      want = std::min<std::size_t>(want, 64);
+    }
+    want = std::min(want, queue.size());
+    CellBatch batch;
+    batch.cells.reserve(want);
+    std::vector<std::size_t> indices;
+    indices.reserve(want);
+    for (std::size_t k = 0; k < want; ++k) {
+      const std::size_t index = queue.front();
+      queue.pop_front();
+      batch.cells.push_back(BatchCell{index, cells[index], true,
+                                      plan_fn_(cells[index], index)});
+      indices.push_back(index);
+    }
+    wire::Writer w;
+    batch.encode(w);
+    if (!remote.conn->send(kFrameCellBatch, w.data())) {
+      // Died before accepting: the batch was never in flight, put it
+      // back in order for someone else.
+      for (std::size_t k = indices.size(); k-- > 0;) {
+        queue.push_front(indices[k]);
+      }
+      lose(remote, "send failed");
+      return;
+    }
+    remote.outstanding = std::move(indices);
+  };
+
+  // Drains complete frames from a worker; false = the worker was lost.
+  const auto process_frames = [&](Remote& remote) {
+    for (;;) {
+      if (!remote.alive()) {
+        return false;
+      }
+      wire::Frame frame;
+      try {
+        if (!remote.conn->pop(&frame)) {
+          return true;
+        }
+        if (frame.type == kFrameError) {
+          wire::Reader r(frame.payload);
+          lose(remote, "worker error: " + r.str());
+          return false;
+        }
+        if (frame.type != kFrameResultBatch) {
+          lose(remote, "unexpected frame type " + std::to_string(frame.type));
+          return false;
+        }
+        wire::Reader r(frame.payload);
+        const ResultBatch batch = ResultBatch::decode(r);
+        r.expect_done();
+        // Streaming merge: outcomes land the moment this batch arrives,
+        // while other workers are still computing theirs.
+        apply_result_batch(batch, remote.outstanding, outcomes);
+      } catch (const wire::Error& e) {
+        lose(remote, std::string("malformed results: ") + e.what());
+        return false;
+      }
+      remote.outstanding.clear();
+      dispatch(remote);
+    }
+  };
+
+  for (auto& remote : remotes_) {
+    dispatch(*remote);
+  }
+
+  for (;;) {
+    std::vector<pollfd> fds;
+    std::vector<Remote*> fd_remote;
+    for (auto& remote : remotes_) {
+      if (remote->alive() && !remote->outstanding.empty()) {
+        fds.push_back(pollfd{remote->conn->fd(), POLLIN, 0});
+        fd_remote.push_back(remote.get());
+      }
+    }
+    if (fds.empty()) {
+      break;  // nothing in flight anywhere
+    }
+    if (io::poll_retry(fds.data(), fds.size(), -1) < 0) {
+      // Infrastructure failure: drop every connection before throwing so
+      // a catching caller is not left with half a sweep wedged remotely.
+      for (auto& remote : remotes_) {
+        remote->conn.reset();
+      }
+      throw Error("cluster: poll() failed");
+    }
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) {
+        continue;
+      }
+      Remote& remote = *fd_remote[k];
+      if (!remote.alive()) {
+        continue;  // lost while handling an earlier fd this round
+      }
+      if (!remote.conn->fill()) {
+        // EOF or read error.  Frames may still be whole in the buffer
+        // (answered, then died): apply them before declaring the loss.
+        if (process_frames(remote) && remote.alive()) {
+          if (remote.outstanding.empty()) {
+            remote.conn.reset();  // clean EOF between batches
+          } else {
+            lose(remote, "connection closed");
+          }
+        }
+        continue;
+      }
+      process_frames(remote);
+    }
+    // A loss above may have re-queued cells while other workers sit
+    // idle; hand the rolled-back work out again.
+    for (auto& remote : remotes_) {
+      if (remote->alive() && remote->outstanding.empty()) {
+        dispatch(*remote);
+      }
+    }
+  }
+
+  // Anything still queued could not be placed (every worker is gone).
+  while (!queue.empty()) {
+    outcomes[queue.front()].error =
+        "no cluster worker remaining to evaluate this cell";
+    queue.pop_front();
+  }
+  return outcomes;
+}
+
+}  // namespace net
+}  // namespace rbx

@@ -1,0 +1,91 @@
+// ClusterExecutor: one sweep spanning many hosts over TCP.
+//
+// The coordinator side of the cluster transport, and the third Executor
+// (after the thread pool and the forked workers): cells are dealt to
+// remote sweep_workerd daemons as kFrameCellBatch frames, each cell
+// carrying its Scenario and an EvalPlan, and the kResultBatch answers are
+// merged into the outcome vector as they stream in - the merge never
+// waits for the slowest worker.
+//
+// Scheduling is adaptive: each idle worker gets a batch sized to roughly
+// a quarter of the remaining work per live worker (capped, floor 1), so
+// batches start large to amortize round-trips and shrink toward single
+// cells as the tail nears - a straggling worker near the end holds at
+// most a sliver of the grid.
+//
+// Worker loss is the distributed analogue of the paper's backward error
+// recovery: when a connection drops with a batch in flight, the
+// coordinator rolls those cells back to "unevaluated" and re-queues them
+// for the surviving workers.  Per-cell seeds make the rerun bitwise
+// identical, so a sweep that lost a worker prints the same bytes as one
+// that did not.  A cell that was in flight on two lost workers is treated
+// as poisonous (it may be what kills them) and fails as a per-cell error
+// instead of cascading; if every worker is gone, the remaining cells fail
+// the same way - a crashed, disconnected or vanished worker never hangs
+// the sweep (hosts that disappear without a FIN/RST are detected by TCP
+// keepalive within about a minute).  A worker that is alive but stalled
+// is waited on indefinitely, like a slow cell on a local executor.
+//
+// One ClusterExecutor holds its connections across run() calls: a bench
+// with several sweeps handshakes each sweep (fresh grid fingerprint) over
+// the same connections.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace rbx {
+namespace net {
+
+struct ClusterOptions {
+  std::vector<Endpoint> endpoints;  // one per worker daemon
+  std::size_t batch_size = 0;       // cells per batch; 0 = adaptive
+  // Extra connect attempts (200 ms apart) per endpoint, riding out
+  // workers that are still starting up.
+  int connect_retries = 10;
+  bool quiet = false;  // no stderr notes on worker loss
+};
+
+class ClusterExecutor final : public Executor {
+ public:
+  explicit ClusterExecutor(ClusterOptions options);
+  ~ClusterExecutor() override;
+
+  std::string name() const override { return "cluster"; }
+
+  // How remote workers evaluate cells.  Must be set before run() - the
+  // cell_fn passed to run() is a local closure the remote side cannot
+  // execute, so evaluation goes through serializable plans instead
+  // (core/backend.h); SweepRunner sets this per sweep.
+  void set_plan_fn(PlanFn plan_fn) { plan_fn_ = std::move(plan_fn); }
+
+  // Workers still connected (before the first run: endpoints configured).
+  std::size_t live_workers() const;
+
+  // Evaluates every cell on the remote workers; outcomes in cell order,
+  // bitwise identical to InProcessExecutor running the same plans.  The
+  // cell_fn argument is unused (see set_plan_fn).  Throws net::Error if
+  // no worker is reachable and std::runtime_error if no plan function is
+  // set; worker loss mid-sweep is recovered, not thrown.
+  std::vector<CellOutcome> run(const std::vector<Scenario>& cells,
+                               const CellFn& cell_fn) const override;
+
+ private:
+  struct Remote;
+
+  void ensure_connected() const;
+
+  ClusterOptions options_;
+  PlanFn plan_fn_;
+  mutable bool connected_ = false;
+  mutable std::vector<std::unique_ptr<Remote>> remotes_;
+};
+
+}  // namespace net
+}  // namespace rbx

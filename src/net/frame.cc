@@ -1,0 +1,68 @@
+#include "net/frame.h"
+
+#include <utility>
+
+#include "support/io.h"
+
+namespace rbx {
+namespace net {
+
+void Hello::encode(wire::Writer& w) const {
+  w.u32(protocol);
+  w.u16(wire_version);
+  w.u64(fingerprint);
+  w.u64(total_cells);
+}
+
+Hello Hello::decode(wire::Reader& r) {
+  Hello out;
+  out.protocol = r.u32();
+  out.wire_version = r.u16();
+  out.fingerprint = r.u64();
+  out.total_cells = r.u64();
+  return out;
+}
+
+bool FrameConn::send(std::uint16_t type,
+                     const std::vector<std::byte>& payload) {
+  if (!sock_.valid()) {
+    return false;
+  }
+  return io::send_all(sock_.fd(), wire::seal_frame(type, payload));
+}
+
+bool FrameConn::fill() {
+  if (!sock_.valid()) {
+    return false;
+  }
+  std::byte chunk[1 << 16];
+  const ssize_t got = io::read_some(sock_.fd(), chunk, sizeof(chunk));
+  if (got <= 0) {
+    return false;
+  }
+  buf_.insert(buf_.end(), chunk, chunk + got);
+  return true;
+}
+
+bool FrameConn::pop(wire::Frame* out) {
+  std::size_t consumed = 0;
+  if (!wire::parse_frame(buf_.data(), buf_.size(), out, &consumed)) {
+    return false;
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+  return true;
+}
+
+bool FrameConn::recv(wire::Frame* out) {
+  for (;;) {
+    if (pop(out)) {
+      return true;
+    }
+    if (!fill()) {
+      return false;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace rbx

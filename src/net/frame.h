@@ -1,0 +1,87 @@
+// Framed traffic over a TCP socket, and the cluster control frames.
+//
+// The transport carries exactly the wire frames of support/wire.h - magic,
+// version, type, length-prefixed payload - so the bytes a coordinator
+// sends over TCP are the same bytes MultiProcessExecutor sends over a
+// socketpair.  FrameConn adds the two things a stream socket needs:
+// buffered reassembly of frames that arrive split across reads, and
+// poll-friendly non-greedy fills for the coordinator's multiplexed event
+// loop.
+//
+// On top of the executor-layer frames (kFrameCellBatch / kFrameResultBatch
+// / kFrameShardPartial) the cluster protocol adds a handshake:
+//
+//   coordinator -> worker   kFrameHello    protocol version, wire version,
+//                                          grid fingerprint, cell total
+//   worker -> coordinator   kFrameHelloAck the same fields echoed back
+//   worker -> coordinator   kFrameError    refusal with a message
+//
+// A Hello opens every sweep (one connection serves many sweeps, each with
+// its own grid).  The worker refuses a protocol or wire version it does
+// not speak - two builds that would decode each other's doubles
+// differently must fail the handshake, not produce wrong tables - and
+// echoes the grid fingerprint so the coordinator can detect a worker that
+// somehow acked a different sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.h"
+#include "support/wire.h"
+
+namespace rbx {
+namespace net {
+
+// Cluster control frame types (the executor data frames are 1..3).
+inline constexpr std::uint16_t kFrameHello = 16;
+inline constexpr std::uint16_t kFrameHelloAck = 17;
+inline constexpr std::uint16_t kFrameError = 18;
+
+// Version of the cluster conversation itself (handshake, batching rules).
+// Bump on incompatible protocol changes; both sides refuse a mismatch.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+struct Hello {
+  std::uint32_t protocol = kProtocolVersion;
+  std::uint16_t wire_version = wire::kVersion;
+  std::uint64_t fingerprint = 0;  // grid_fingerprint of the sweep
+  std::uint64_t total_cells = 0;
+
+  void encode(wire::Writer& w) const;
+  static Hello decode(wire::Reader& r);
+};
+
+// Framed connection over one TCP socket.
+class FrameConn {
+ public:
+  explicit FrameConn(Socket sock) : sock_(std::move(sock)) {}
+
+  int fd() const { return sock_.fd(); }
+  bool open() const { return sock_.valid(); }
+  void close() { sock_.close(); }
+
+  // Seals and writes one frame; false if the peer is gone.
+  bool send(std::uint16_t type, const std::vector<std::byte>& payload);
+
+  // Reads once from the socket into the reassembly buffer (use after
+  // poll() said the fd is readable).  False on EOF or error - the
+  // connection is finished; frames already buffered can still be popped.
+  bool fill();
+
+  // Pops the next complete frame out of the buffer.  Throws wire::Error
+  // on corrupt framing (bad magic / version / length).
+  bool pop(wire::Frame* out);
+
+  // Blocking receive: fill until one frame is complete.  False on EOF
+  // before a full frame; throws wire::Error on corrupt framing.
+  bool recv(wire::Frame* out);
+
+ private:
+  Socket sock_;
+  std::vector<std::byte> buf_;
+};
+
+}  // namespace net
+}  // namespace rbx

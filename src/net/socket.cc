@@ -1,0 +1,207 @@
+#include "net/socket.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace rbx {
+namespace net {
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Endpoint::to_string() const {
+  return host + ":" + std::to_string(port);
+}
+
+bool parse_endpoint(const std::string& text, Endpoint* out,
+                    std::string* why) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    *why = "expected host:port";
+    return false;
+  }
+  const std::string host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  if (host.empty()) {
+    *why = "empty host";
+    return false;
+  }
+  if (port_text.empty()) {
+    *why = "empty port";
+    return false;
+  }
+  unsigned long port = 0;
+  for (char c : port_text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      *why = "port must be a plain integer";
+      return false;
+    }
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) {
+      *why = "port must be in 1..65535";
+      return false;
+    }
+  }
+  if (port == 0) {
+    *why = "port must be in 1..65535";
+    return false;
+  }
+  out->host = host;
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+Listener::Listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error("net: socket() failed: " + std::string(std::strerror(errno)));
+  }
+  sock_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw Error("net: cannot bind port " + std::to_string(port) + ": " +
+                std::strerror(errno));
+  }
+  if (::listen(fd, 16) != 0) {
+    throw Error("net: listen() failed: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw Error("net: getsockname() failed: " +
+                std::string(std::strerror(errno)));
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+namespace {
+
+// Low-latency frames, and keepalive probes so a host that vanishes
+// without a FIN/RST (power loss, network partition) surfaces as a dead
+// connection within about a minute instead of never.  A peer that is
+// alive but stalled still answers probes and is waited on - same
+// semantics as a slow local worker.
+void tune_conn(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+#ifdef TCP_KEEPIDLE
+  const int idle = 30;
+  const int interval = 10;
+  const int count = 3;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &idle, sizeof(idle));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &interval, sizeof(interval));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &count, sizeof(count));
+#endif
+}
+
+}  // namespace
+
+Socket Listener::accept_client() {
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      tune_conn(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throw Error("net: accept() failed: " +
+                std::string(std::strerror(errno)));
+  }
+}
+
+namespace {
+
+// One resolve + connect attempt; returns an invalid Socket and sets *err
+// on failure.
+Socket try_connect(const Endpoint& endpoint, std::string* err) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  const std::string port_text = std::to_string(endpoint.port);
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(endpoint.host.c_str(), port_text.c_str(), &hints, &res);
+  if (rc != 0) {
+    *err = "cannot resolve '" + endpoint.host + "': " + gai_strerror(rc);
+    return Socket();
+  }
+  std::string last = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = std::strerror(errno);
+      continue;
+    }
+    int connected;
+    do {
+      connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (connected != 0 && errno == EINTR);
+    if (connected == 0) {
+      tune_conn(fd);
+      ::freeaddrinfo(res);
+      return Socket(fd);
+    }
+    last = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  *err = last;
+  return Socket();
+}
+
+}  // namespace
+
+Socket connect_to(const Endpoint& endpoint, int retries,
+                  int retry_delay_ms) {
+  std::string err;
+  for (int attempt = 0;; ++attempt) {
+    Socket sock = try_connect(endpoint, &err);
+    if (sock.valid()) {
+      return sock;
+    }
+    if (attempt >= retries) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(retry_delay_ms));
+  }
+  throw Error("net: cannot connect to " + endpoint.to_string() + ": " + err);
+}
+
+}  // namespace net
+}  // namespace rbx

@@ -1,0 +1,85 @@
+// TCP plumbing for the cluster transport: RAII sockets, endpoint parsing,
+// listeners and connectors.
+//
+// Everything here is deliberately boring POSIX: blocking sockets, IPv4/
+// IPv6 via getaddrinfo, EINTR handled by support/io.h.  The interesting
+// protocol lives one layer up in net/frame.h (framed wire traffic) and
+// net/cluster.h / net/worker.h (coordinator and worker roles).
+//
+// Errors are net::Error (a std::runtime_error): a refused connection, an
+// unresolvable host or a failed bind are infrastructure failures the
+// caller decides how to survive - the ClusterExecutor skips dead
+// endpoints, the worker daemon exits.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rbx {
+namespace net {
+
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Owns one socket fd; move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// "host:port" as named on a --connect list.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+};
+
+// Strict "host:port" parse: non-empty host, port a plain integer in
+// 1..65535.  Returns false and sets *why on malformed input (the bench
+// flag parser turns that into an exit-2 usage error).
+bool parse_endpoint(const std::string& text, Endpoint* out,
+                    std::string* why);
+
+// Listening TCP socket.  Port 0 binds an ephemeral port; port() reports
+// the actual one (tests use this to avoid collisions).  Binds all
+// interfaces - workers are meant to be reachable from other hosts.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+  // Blocks until a client connects; throws net::Error on failure.
+  Socket accept_client();
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+// Blocking connect; throws net::Error if the endpoint cannot be resolved
+// or reached.  `retries` extra attempts are spaced `retry_delay_ms` apart
+// for connection-refused/unreachable errors - enough to ride out a worker
+// daemon that is still starting up.
+Socket connect_to(const Endpoint& endpoint, int retries = 0,
+                  int retry_delay_ms = 200);
+
+}  // namespace net
+}  // namespace rbx

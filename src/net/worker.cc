@@ -1,0 +1,146 @@
+#include "net/worker.h"
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "core/backend.h"
+#include "core/executor.h"
+
+namespace rbx {
+namespace net {
+
+namespace {
+
+bool send_error(FrameConn& conn, const std::string& message) {
+  wire::Writer w;
+  w.str(message);
+  return conn.send(kFrameError, w.data());
+}
+
+CellOutcome evaluate_batch_cell(const BatchCell& cell) {
+  CellOutcome out;
+  if (!cell.has_plan) {
+    out.error = "cell carries no evaluation plan (local-only cell_fn?)";
+    return out;
+  }
+  try {
+    out.result = evaluate_plan(cell.plan, cell.scenario);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    if (out.error.empty()) {
+      out.error = "cell evaluation threw an exception";
+    }
+  } catch (...) {
+    out.error = "cell evaluation threw a non-standard exception";
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkerServer::WorkerServer(const WorkerOptions& options)
+    : options_(options), listener_(options.port) {}
+
+bool WorkerServer::serve() {
+  for (;;) {
+    FrameConn conn(listener_.accept_client());
+    if (!options_.quiet) {
+      std::fprintf(stderr, "sweep_workerd: coordinator connected\n");
+    }
+    const bool keep_going = serve_connection(conn);
+    if (!options_.quiet) {
+      std::fprintf(stderr, "sweep_workerd: coordinator disconnected\n");
+    }
+    if (!keep_going) {
+      return false;  // fail_after tripped: this worker is "killed"
+    }
+    if (options_.once) {
+      return true;
+    }
+  }
+}
+
+bool WorkerServer::serve_connection(FrameConn& conn) {
+  for (;;) {
+    wire::Frame frame;
+    bool got = false;
+    try {
+      got = conn.recv(&frame);
+    } catch (const wire::Error& e) {
+      // Corrupt framing: tell the coordinator why, then hang up.  It will
+      // re-queue whatever it had in flight with us.
+      send_error(conn, std::string("worker: corrupt request stream: ") +
+                           e.what());
+      return true;
+    }
+    if (!got) {
+      return true;  // coordinator closed the connection
+    }
+    try {
+      if (frame.type == kFrameHello) {
+        wire::Reader r(frame.payload);
+        const Hello hello = Hello::decode(r);
+        r.expect_done();
+        if (hello.protocol != kProtocolVersion) {
+          send_error(conn, "worker speaks cluster protocol " +
+                               std::to_string(kProtocolVersion) +
+                               ", coordinator sent " +
+                               std::to_string(hello.protocol));
+          return true;
+        }
+        if (hello.wire_version != wire::kVersion) {
+          send_error(conn, "worker encodes wire version " +
+                               std::to_string(wire::kVersion) +
+                               ", coordinator sent " +
+                               std::to_string(hello.wire_version));
+          return true;
+        }
+        wire::Writer w;
+        hello.encode(w);  // echo, fingerprint included
+        if (!conn.send(kFrameHelloAck, w.data())) {
+          return true;
+        }
+      } else if (frame.type == kFrameCellBatch) {
+        if (options_.fail_after != 0 &&
+            batches_served_ >= options_.fail_after) {
+          // Simulated kill: a batch is in flight and never answered.
+          if (!options_.quiet) {
+            std::fprintf(stderr,
+                         "sweep_workerd: dropping connection after %zu "
+                         "batches (--fail-after)\n",
+                         batches_served_);
+          }
+          conn.close();
+          return false;
+        }
+        wire::Reader r(frame.payload);
+        const CellBatch batch = CellBatch::decode(r);
+        r.expect_done();
+        ResultBatch response;
+        response.entries.reserve(batch.cells.size());
+        for (const BatchCell& cell : batch.cells) {
+          response.entries.push_back(
+              {cell.index, evaluate_batch_cell(cell)});
+        }
+        wire::Writer w;
+        response.encode(w);
+        if (!conn.send(kFrameResultBatch, w.data())) {
+          return true;  // coordinator went away mid-answer
+        }
+        ++batches_served_;
+      } else {
+        send_error(conn, "worker: unexpected frame type " +
+                             std::to_string(frame.type));
+        return true;
+      }
+    } catch (const wire::Error& e) {
+      send_error(conn,
+                 std::string("worker: malformed payload: ") + e.what());
+      return true;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace rbx

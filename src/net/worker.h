@@ -1,0 +1,60 @@
+// The worker side of the cluster transport: a server that evaluates cell
+// batches for a remote coordinator.
+//
+// One WorkerServer owns one listening TCP port and serves coordinators
+// one connection at a time (a sweep coordinator holds its connection for
+// the whole bench run, sending one Hello per sweep).  Cells arrive as
+// kFrameCellBatch frames carrying EvalPlans - the worker has no access to
+// bench code, so a cell without a plan is answered with a per-cell error
+// - and every batch is answered with one kFrameResultBatch frame.
+//
+// The logic lives in the library (not in tools/sweep_workerd.cc) so tests
+// can run a real worker on a loopback socket inside a thread, including
+// the loss path: `fail_after` makes the worker drop its connection with a
+// batch in flight after serving N batches, which is how both
+// tests/net/cluster_test.cc and the CI smoke job exercise the
+// coordinator's re-queue recovery deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace rbx {
+namespace net {
+
+struct WorkerOptions {
+  std::uint16_t port = 0;      // 0 = ephemeral (tests); port() has the truth
+  bool once = false;           // serve one connection, then return
+  std::size_t fail_after = 0;  // drop the connection instead of serving
+                               // batch N+1 (simulated worker loss); 0 = off
+  bool quiet = false;          // no stderr notes
+};
+
+class WorkerServer {
+ public:
+  // Binds and listens immediately (throws net::Error on failure), so the
+  // port is known - and connectable - before serve() is entered.
+  explicit WorkerServer(const WorkerOptions& options);
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  // Accept-and-serve loop.  Returns false as soon as the fail_after hook
+  // trips (the daemon exits non-zero: this worker counts as killed);
+  // returns true after one connection with options.once; otherwise loops
+  // forever.
+  bool serve();
+
+ private:
+  // One coordinator connection until EOF; false = fail_after tripped.
+  bool serve_connection(FrameConn& conn);
+
+  WorkerOptions options_;
+  Listener listener_;
+  std::size_t batches_served_ = 0;
+};
+
+}  // namespace net
+}  // namespace rbx

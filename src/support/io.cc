@@ -1,0 +1,52 @@
+#include "support/io.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace rbx {
+namespace io {
+
+bool send_all(int fd, const void* data, std::size_t size) {
+  const std::byte* p = static_cast<const std::byte*>(data);
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, p + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_all(int fd, const std::vector<std::byte>& data) {
+  return send_all(fd, data.data(), data.size());
+}
+
+ssize_t read_some(int fd, void* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, cap);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return n;
+  }
+}
+
+int poll_retry(pollfd* fds, std::size_t count, int timeout_ms) {
+  for (;;) {
+    const int ready = ::poll(fds, static_cast<nfds_t>(count), timeout_ms);
+    if (ready < 0 && errno == EINTR) {
+      continue;
+    }
+    return ready;
+  }
+}
+
+}  // namespace io
+}  // namespace rbx

@@ -320,6 +320,45 @@ TEST(ShardMergeTest, RejectsInconsistentPartials) {
   EXPECT_EQ(merged.size(), 4u);
 }
 
+TEST(PartialMergerTest, StreamsPartialsInAnyOrderAndRejectsStragglers) {
+  ResultSet r("test", "cell");
+  r.set("x", 2.0);
+  const auto make_partial = [&](std::size_t index, std::size_t count,
+                                std::size_t total) {
+    ShardPartial p;
+    p.shard = ShardSpec{index, count};
+    p.total_cells = total;
+    p.fingerprint = 99;
+    for (std::size_t cell : shard_cell_indices(total, p.shard)) {
+      p.results.emplace_back(cell, r);
+    }
+    return p;
+  };
+
+  PartialMerger merger(7, 3, 99);
+  EXPECT_FALSE(merger.complete());
+  // Arrival order is whatever the network gives us, not shard order.
+  merger.apply(make_partial(2, 3, 7));
+  EXPECT_EQ(merger.applied_shards(), 1u);
+  EXPECT_THROW(merger.take(), wire::Error);  // cells still missing
+  merger.apply(make_partial(0, 3, 7));
+  // A duplicate or foreign partial is rejected without corrupting the
+  // merge already accumulated.
+  EXPECT_THROW(merger.apply(make_partial(0, 3, 7)), wire::Error);
+  EXPECT_THROW(merger.apply(make_partial(1, 2, 7)), wire::Error);
+  ShardPartial wrong_fingerprint = make_partial(1, 3, 7);
+  wrong_fingerprint.fingerprint = 100;
+  EXPECT_THROW(merger.apply(wrong_fingerprint), wire::Error);
+  EXPECT_FALSE(merger.complete());
+  merger.apply(make_partial(1, 3, 7));
+  EXPECT_TRUE(merger.complete());
+  const std::vector<ResultSet> merged = merger.take();
+  ASSERT_EQ(merged.size(), 7u);
+  for (const ResultSet& cell : merged) {
+    EXPECT_EQ(cell, r);
+  }
+}
+
 TEST(ShardPartialTest, CorruptTotalCellsRejectedAtDecode) {
   // A flipped byte in the total_cells field must fail in decode with a
   // wire::Error, not as a gigantic allocation inside the merge.

@@ -204,6 +204,88 @@ TEST(ExperimentOptionsDeathTest, RejectsEmptyMergeEntries) {
   }
 }
 
+TEST(ExperimentOptions, ParsesBatchAndConnect) {
+  char prog[] = "bench";
+  char a1[] = "--batch=16";
+  char a2[] = "--connect=hostA:4701,127.0.0.1:4702";
+  char* argv[] = {prog, a1, a2};
+  const auto opts = ExperimentOptions::parse(3, argv, 100, 2);
+  EXPECT_EQ(opts.batch, 16u);
+  ASSERT_EQ(opts.connect.size(), 2u);
+  EXPECT_EQ(opts.connect[0].host, "hostA");
+  EXPECT_EQ(opts.connect[0].port, 4701);
+  EXPECT_EQ(opts.connect[1].host, "127.0.0.1");
+  EXPECT_EQ(opts.connect[1].port, 4702);
+}
+
+TEST(ExperimentOptions, BatchZeroMeansAdaptive) {
+  char prog[] = "bench";
+  char a1[] = "--batch=0";
+  char a2[] = "--workers=2";
+  char* argv[] = {prog, a1, a2};
+  const auto opts = ExperimentOptions::parse(3, argv, 100, 2);
+  EXPECT_EQ(opts.batch, 0u);
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsBatchWithoutWorkersOrConnect) {
+  // --batch silently doing nothing on a threads-only run is exactly the
+  // "typo'd flag" trap the strict parser exists to prevent.
+  char prog[] = "bench";
+  char a1[] = "--batch=16";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "only applies");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsNegativeBatch) {
+  char prog[] = "bench";
+  char a1[] = "--batch=-2";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsMalformedBatch) {
+  char prog[] = "bench";
+  char a1[] = "--batch=8x";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsConnectWithoutPort) {
+  char prog[] = "bench";
+  char a1[] = "--connect=hostA";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "host:port");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsConnectWithBadPort) {
+  char prog[] = "bench";
+  char a1[] = "--connect=hostA:0";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "1..65535");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsEmptyConnectEntry) {
+  char prog[] = "bench";
+  char a1[] = "--connect=hostA:1,";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "empty endpoint");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsConnectCombinedWithWorkers) {
+  char prog[] = "bench";
+  char a1[] = "--connect=hostA:4701";
+  char a2[] = "--workers=4";
+  char* argv[] = {prog, a1, a2};
+  EXPECT_EXIT(ExperimentOptions::parse(3, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "distribution mode");
+}
+
 TEST(Formatting, CiString) {
   EXPECT_EQ(fmt_ci(1.2345, 0.01, 2), "1.23 +- 0.01");
 }

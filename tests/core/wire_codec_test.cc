@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/executor.h"
 #include "core/result.h"
 #include "core/scenario.h"
 #include "support/wire.h"
@@ -205,6 +206,79 @@ TEST(ResultSetCodec, TruncatedAndCorruptFramesRejected) {
   wc.u32(1000000);
   wire::Reader rc(wc.data());
   EXPECT_THROW(ResultSet::decode(rc), wire::Error);
+}
+
+TEST(ShardPartialCodec, TruncationThrowsAtEveryPrefixLength) {
+  // The payload actually exchanged between hosts: a partial with two
+  // cells, truncated at every byte boundary, must always throw - never
+  // crash, never hand back a partial object.
+  ResultSet r0("analytic", "cell");
+  r0.set("x", 1.25);
+  r0.set("y", -3.5, 0.25, 100);
+  ShardPartial partial;
+  partial.shard = ShardSpec{0, 2};
+  partial.total_cells = 4;
+  partial.fingerprint = 0x1234abcdu;
+  partial.results.emplace_back(0, r0);
+  partial.results.emplace_back(2, r0);
+  wire::Writer w;
+  partial.encode(w);
+  const std::vector<std::byte>& bytes = w.data();
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    wire::Reader r(bytes.data(), keep);
+    EXPECT_THROW(ShardPartial::decode(r), wire::Error) << "prefix " << keep;
+  }
+}
+
+TEST(BatchCodec, CellAndResultBatchTruncationThrowsAtEveryPrefixLength) {
+  CellBatch cell_batch;
+  cell_batch.cells.push_back(BatchCell{
+      7, Scenario::symmetric(3, 1.0, 0.5).samples(100).seed(42), true,
+      EvalPlan{{EvalStep{"analytic", ""}, EvalStep{"monte-carlo", "mc_"}}}});
+  wire::Writer cw;
+  cell_batch.encode(cw);
+  for (std::size_t keep = 0; keep < cw.data().size(); ++keep) {
+    wire::Reader r(cw.data().data(), keep);
+    EXPECT_THROW(CellBatch::decode(r), wire::Error) << "prefix " << keep;
+  }
+
+  ResultBatch result_batch;
+  ResultSet res("monte-carlo", "cell");
+  res.set("m", 9.75, 0.5, 200);
+  CellOutcome ok_outcome;
+  ok_outcome.result = res;
+  CellOutcome err_outcome;
+  err_outcome.error = "synthetic failure";
+  result_batch.entries.push_back({7, ok_outcome});
+  result_batch.entries.push_back({9, err_outcome});
+  wire::Writer rw;
+  result_batch.encode(rw);
+  for (std::size_t keep = 0; keep < rw.data().size(); ++keep) {
+    wire::Reader r(rw.data().data(), keep);
+    EXPECT_THROW(ResultBatch::decode(r), wire::Error) << "prefix " << keep;
+  }
+}
+
+TEST(FrameTruncation, IncompleteFramesAskForMoreBytesInsteadOfThrowing) {
+  // A stream reader facing a frame cut at any byte boundary must report
+  // "incomplete" (false) so the transport keeps reading - truncation is a
+  // normal socket condition, unlike corrupt payloads.
+  ResultSet res("analytic", "cell");
+  res.set("x", 2.5);
+  wire::Writer w;
+  res.encode(w);
+  const std::vector<std::byte> frame = wire::seal_frame(42, w.data());
+  for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+    wire::Frame out;
+    std::size_t consumed = 0;
+    EXPECT_FALSE(wire::parse_frame(frame.data(), keep, &out, &consumed))
+        << "prefix " << keep;
+  }
+  wire::Frame out;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(wire::parse_frame(frame.data(), frame.size(), &out, &consumed));
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(out.type, 42);
 }
 
 }  // namespace

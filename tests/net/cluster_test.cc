@@ -1,0 +1,299 @@
+// The cluster transport contract: a sweep spanning TCP workers is
+// bitwise identical to an in-process run of the same plans - including a
+// run where a worker dies mid-sweep and its in-flight cells roll back to
+// the survivors (the distributed analogue of backward error recovery).
+// Workers here are real WorkerServer instances on loopback sockets inside
+// threads - the same code tools/sweep_workerd.cc runs.
+#include "net/cluster.h"
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/backend.h"
+#include "core/executor.h"
+#include "core/sweep.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/worker.h"
+
+namespace rbx {
+namespace {
+
+std::vector<Scenario> mc_grid(std::uint64_t master_seed) {
+  const auto apply_n = [](Scenario& s, double n) {
+    s.params(ProcessSetParams::symmetric(static_cast<std::size_t>(n), 1.0,
+                                         1.0));
+  };
+  return SweepGrid(Scenario::symmetric(2, 1.0, 1.0).samples(200))
+      .axis({2, 3, 4}, apply_n)
+      .schemes({SchemeKind::kAsynchronous, SchemeKind::kSynchronized})
+      .expand(master_seed);
+}
+
+PlanFn mc_plan() {
+  return [](const Scenario&, std::size_t) {
+    return EvalPlan{{EvalStep{"monte-carlo", ""}}};
+  };
+}
+
+CellFn local_fn_for(const PlanFn& plan) {
+  return [&plan](const Scenario& s, std::size_t i) {
+    return evaluate_plan(plan(s, i), s);
+  };
+}
+
+// A worker on an ephemeral loopback port, serving one connection on its
+// own thread (joined on destruction - destroy the executor, which closes
+// its connections, before the worker leaves scope).
+struct TestWorker {
+  explicit TestWorker(std::size_t fail_after = 0)
+      : server(net::WorkerOptions{/*port=*/0, /*once=*/true, fail_after,
+                                  /*quiet=*/true}),
+        thread([this]() { server.serve(); }) {}
+  ~TestWorker() { thread.join(); }
+
+  net::Endpoint endpoint() const { return {"127.0.0.1", server.port()}; }
+
+  net::WorkerServer server;
+  std::thread thread;
+};
+
+net::ClusterOptions cluster_options(std::vector<net::Endpoint> endpoints,
+                                    std::size_t batch = 0) {
+  net::ClusterOptions options;
+  options.endpoints = std::move(endpoints);
+  options.batch_size = batch;
+  options.quiet = true;
+  return options;
+}
+
+TEST(ClusterExecutorTest, MatchesInProcessBitwise) {
+  const std::vector<Scenario> cells = mc_grid(17);
+  const PlanFn plan = mc_plan();
+  const auto reference =
+      InProcessExecutor({1}).run(cells, local_fn_for(plan));
+
+  TestWorker w1;
+  TestWorker w2;
+  {
+    net::ClusterExecutor cluster(
+        cluster_options({w1.endpoint(), w2.endpoint()}));
+    cluster.set_plan_fn(plan);
+    const auto remote = cluster.run(cells, CellFn());
+    ASSERT_EQ(remote.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      ASSERT_TRUE(remote[i].ok()) << "cell " << i << ": " << remote[i].error;
+      EXPECT_EQ(remote[i].result, reference[i].result) << "cell " << i;
+    }
+  }
+}
+
+TEST(ClusterExecutorTest, WorkerLossMidSweepRequeuesAndStaysBitwise) {
+  const std::vector<Scenario> cells = mc_grid(23);
+  const PlanFn plan = mc_plan();
+  const auto reference =
+      InProcessExecutor({1}).run(cells, local_fn_for(plan));
+
+  TestWorker healthy;
+  // Answers one single-cell batch, then drops the connection with its
+  // next batch in flight: a deterministic mid-sweep kill.
+  TestWorker dying(/*fail_after=*/1);
+  {
+    net::ClusterExecutor cluster(
+        cluster_options({healthy.endpoint(), dying.endpoint()},
+                        /*batch=*/1));
+    cluster.set_plan_fn(plan);
+    const auto remote = cluster.run(cells, CellFn());
+    ASSERT_EQ(remote.size(), cells.size());
+    // Every cell completed (the lost worker's cells re-ran on the
+    // survivor) and the rerun is bitwise identical: per-cell seeds make
+    // rollback recovery invisible in the output.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      ASSERT_TRUE(remote[i].ok()) << "cell " << i << ": " << remote[i].error;
+      EXPECT_EQ(remote[i].result, reference[i].result) << "cell " << i;
+    }
+    EXPECT_EQ(cluster.live_workers(), 1u);
+  }
+}
+
+TEST(ClusterExecutorTest, AllWorkersLostFailsRemainingCellsWithoutHanging) {
+  const std::vector<Scenario> cells = mc_grid(31);
+  const PlanFn plan = mc_plan();
+
+  TestWorker dying(/*fail_after=*/1);
+  {
+    net::ClusterExecutor cluster(cluster_options({dying.endpoint()},
+                                                 /*batch=*/1));
+    cluster.set_plan_fn(plan);
+    const auto remote = cluster.run(cells, CellFn());
+    ASSERT_EQ(remote.size(), cells.size());
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    for (const CellOutcome& outcome : remote) {
+      if (outcome.ok()) {
+        ++completed;
+      } else {
+        EXPECT_FALSE(outcome.error.empty());
+        ++failed;
+      }
+    }
+    // One batch was answered before the worker died; everything else
+    // must come back as per-cell errors, never a hang.
+    EXPECT_EQ(completed, 1u);
+    EXPECT_EQ(failed, cells.size() - 1);
+    EXPECT_EQ(cluster.live_workers(), 0u);
+  }
+}
+
+TEST(ClusterExecutorTest, SkipsUnreachableEndpointAndStillCompletes) {
+  const std::vector<Scenario> cells = mc_grid(41);
+  const PlanFn plan = mc_plan();
+  const auto reference =
+      InProcessExecutor({1}).run(cells, local_fn_for(plan));
+
+  // Find a dead port by binding an ephemeral listener and closing it.
+  std::uint16_t dead_port = 0;
+  {
+    net::Listener probe(0);
+    dead_port = probe.port();
+  }
+
+  TestWorker alive;
+  {
+    auto options = cluster_options(
+        {net::Endpoint{"127.0.0.1", dead_port}, alive.endpoint()});
+    options.connect_retries = 0;  // fail the dead endpoint fast
+    net::ClusterExecutor cluster(std::move(options));
+    cluster.set_plan_fn(plan);
+    const auto remote = cluster.run(cells, CellFn());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      ASSERT_TRUE(remote[i].ok()) << remote[i].error;
+      EXPECT_EQ(remote[i].result, reference[i].result);
+    }
+    EXPECT_EQ(cluster.live_workers(), 1u);
+  }
+}
+
+TEST(WorkerHandshakeTest, RefusesWireVersionMismatch) {
+  TestWorker worker;
+  {
+    net::FrameConn conn(
+        net::connect_to(worker.endpoint(), /*retries=*/5));
+    net::Hello hello;
+    hello.wire_version = wire::kVersion + 1;
+    wire::Writer w;
+    hello.encode(w);
+    ASSERT_TRUE(conn.send(net::kFrameHello, w.data()));
+    wire::Frame reply;
+    ASSERT_TRUE(conn.recv(&reply));
+    EXPECT_EQ(reply.type, net::kFrameError);
+    wire::Reader r(reply.payload);
+    EXPECT_NE(r.str().find("wire version"), std::string::npos);
+  }
+}
+
+TEST(WorkerHandshakeTest, RefusesProtocolMismatch) {
+  TestWorker worker;
+  {
+    net::FrameConn conn(
+        net::connect_to(worker.endpoint(), /*retries=*/5));
+    net::Hello hello;
+    hello.protocol = net::kProtocolVersion + 7;
+    wire::Writer w;
+    hello.encode(w);
+    ASSERT_TRUE(conn.send(net::kFrameHello, w.data()));
+    wire::Frame reply;
+    ASSERT_TRUE(conn.recv(&reply));
+    EXPECT_EQ(reply.type, net::kFrameError);
+    wire::Reader r(reply.payload);
+    EXPECT_NE(r.str().find("protocol"), std::string::npos);
+  }
+}
+
+TEST(WorkerTest, CellWithoutPlanBecomesPerCellError) {
+  // A coordinator bug (local-only cell_fn leaking into a cluster run)
+  // must surface as a clear per-cell error, not garbage results.
+  TestWorker worker;
+  {
+    net::FrameConn conn(
+        net::connect_to(worker.endpoint(), /*retries=*/5));
+    net::Hello hello;
+    wire::Writer hw;
+    hello.encode(hw);
+    ASSERT_TRUE(conn.send(net::kFrameHello, hw.data()));
+    wire::Frame ack;
+    ASSERT_TRUE(conn.recv(&ack));
+    ASSERT_EQ(ack.type, net::kFrameHelloAck);
+
+    CellBatch batch;
+    batch.cells.push_back(
+        BatchCell{0, Scenario::symmetric(2, 1.0, 1.0), false, EvalPlan{}});
+    wire::Writer bw;
+    batch.encode(bw);
+    ASSERT_TRUE(conn.send(kFrameCellBatch, bw.data()));
+    wire::Frame reply;
+    ASSERT_TRUE(conn.recv(&reply));
+    ASSERT_EQ(reply.type, kFrameResultBatch);
+    wire::Reader r(reply.payload);
+    const ResultBatch results = ResultBatch::decode(r);
+    ASSERT_EQ(results.entries.size(), 1u);
+    EXPECT_FALSE(results.entries[0].outcome.ok());
+    EXPECT_NE(results.entries[0].outcome.error.find("no evaluation plan"),
+              std::string::npos);
+  }
+}
+
+TEST(EndpointParseTest, StrictHostPortParsing) {
+  net::Endpoint endpoint;
+  std::string why;
+  EXPECT_TRUE(net::parse_endpoint("host-a:4701", &endpoint, &why));
+  EXPECT_EQ(endpoint.host, "host-a");
+  EXPECT_EQ(endpoint.port, 4701);
+  EXPECT_TRUE(net::parse_endpoint("127.0.0.1:1", &endpoint, &why));
+
+  EXPECT_FALSE(net::parse_endpoint("hostonly", &endpoint, &why));
+  EXPECT_FALSE(net::parse_endpoint(":4701", &endpoint, &why));
+  EXPECT_FALSE(net::parse_endpoint("host:", &endpoint, &why));
+  EXPECT_FALSE(net::parse_endpoint("host:0", &endpoint, &why));
+  EXPECT_FALSE(net::parse_endpoint("host:65536", &endpoint, &why));
+  EXPECT_FALSE(net::parse_endpoint("host:47x1", &endpoint, &why));
+  EXPECT_FALSE(net::parse_endpoint("host:-1", &endpoint, &why));
+}
+
+TEST(EvalPlanTest, RoundTripsAndMatchesHandComposedEvaluation) {
+  EvalPlan plan{{EvalStep{"analytic", ""},
+                 EvalStep{"monte-carlo", "mc_"}}};
+  wire::Writer w;
+  plan.encode(w);
+  wire::Reader r(w.data());
+  const EvalPlan decoded = EvalPlan::decode(r);
+  r.expect_done();
+  ASSERT_EQ(decoded.steps.size(), 2u);
+  EXPECT_EQ(decoded.steps[0].backend, "analytic");
+  EXPECT_EQ(decoded.steps[1].prefix, "mc_");
+
+  const Scenario s = Scenario::symmetric(3, 1.0, 1.0).samples(100).seed(7);
+  ResultSet by_hand = analytic_backend().evaluate(s);
+  by_hand.merge(monte_carlo_backend().evaluate(s), "mc_");
+  EXPECT_EQ(evaluate_plan(decoded, s), by_hand);
+}
+
+TEST(EvalPlanTest, RejectsEmptyAndUnknown) {
+  wire::Writer empty;
+  empty.u32(0);
+  wire::Reader r(empty.data());
+  EXPECT_THROW(EvalPlan::decode(r), wire::Error);
+
+  const Scenario s = Scenario::symmetric(2, 1.0, 1.0);
+  EXPECT_THROW(evaluate_plan(EvalPlan{}, s), std::runtime_error);
+  EXPECT_THROW(
+      evaluate_plan(EvalPlan{{EvalStep{"no-such-backend", ""}}}, s),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rbx

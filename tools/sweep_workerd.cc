@@ -1,0 +1,84 @@
+// sweep_workerd - the worker daemon of the cluster transport.
+//
+// Run one per host, point any bench at them, and one sweep spans the
+// fleet:
+//
+//   host A$ sweep_workerd --serve=4701
+//   host B$ sweep_workerd --serve=4701
+//   head $ fig5_mean_interval --connect=hostA:4701,hostB:4701
+//
+// The daemon is bench-agnostic: cells arrive as wire frames carrying a
+// Scenario plus an EvalPlan (which registered backends to evaluate and
+// how to merge their metrics), so the same daemon serves every bench and
+// needs no redeploy when a bench changes its tables.  Per-cell seeds ride
+// in the scenarios, making the daemon's answers bitwise identical to a
+// local run.
+//
+// Flags (strict; anything malformed exits 2, like the bench flags):
+//   --serve=PORT     listen on PORT (required; 0 = ephemeral, printed)
+//   --once           exit after the first coordinator disconnects
+//   --fail-after=N   drop the connection instead of serving batch N+1 and
+//                    exit 1 - a deterministic "worker killed mid-sweep"
+//                    for recovery tests and CI chaos runs
+//   --quiet          no connection notes on stderr
+#include <cstdio>
+#include <cstring>
+
+#include "core/experiment.h"
+#include "net/worker.h"
+
+namespace {
+
+[[noreturn]] void usage_error(const char* prog, const char* arg,
+                              const char* why) {
+  std::fprintf(stderr, "%s: bad argument '%s' (%s)\n", prog, arg, why);
+  std::fprintf(stderr,
+               "usage: %s --serve=PORT [--once] [--fail-after=N] [--quiet]\n",
+               prog);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rbx;
+  net::WorkerOptions opts;
+  const char* prog = argc > 0 ? argv[0] : "sweep_workerd";
+  bool serve_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--serve=", 8) == 0) {
+      std::uint64_t port = 0;
+      if (!parse_strict_u64(arg + 8, &port) || port > 65535) {
+        usage_error(prog, arg, "expected a port in 0..65535");
+      }
+      opts.port = static_cast<std::uint16_t>(port);
+      serve_given = true;
+    } else if (std::strncmp(arg, "--fail-after=", 13) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_strict_u64(arg + 13, &n)) {
+        usage_error(prog, arg, "expected a non-negative integer");
+      }
+      opts.fail_after = static_cast<std::size_t>(n);
+    } else if (std::strcmp(arg, "--once") == 0) {
+      opts.once = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      opts.quiet = true;
+    } else {
+      usage_error(prog, arg, "unknown flag");
+    }
+  }
+  if (!serve_given) {
+    usage_error(prog, "--serve", "required flag missing");
+  }
+  try {
+    net::WorkerServer server(opts);
+    std::printf("sweep_workerd: listening on port %u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    return server.serve() ? 0 : 1;
+  } catch (const net::Error& e) {
+    std::fprintf(stderr, "sweep_workerd: %s\n", e.what());
+    return 1;
+  }
+}
