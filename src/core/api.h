@@ -62,7 +62,15 @@
 // hosts, net::ClusterExecutor streams plan-carrying cell batches to
 // sweep_workerd daemons (--connect=hostA:4701,hostB:4701), merges
 // results as they arrive, and re-queues a lost worker's in-flight cells
-// to the survivors - still byte-identical.
+// to the survivors - still byte-identical.  The daemons are long-running
+// and serve several coordinators concurrently (one session per
+// connection, capped by --max-coordinators), so many sweeps share one
+// worker fleet; --steal additionally re-dispatches a *slow* worker's
+// unanswered tail to idle workers once the queue is empty, committing
+// whichever answer arrives first and ignoring the late duplicate - a
+// stalled-but-connected host bounds nothing but its own contribution,
+// and because per-cell seeds make both evaluations bitwise identical,
+// neither stealing nor recovery can change a printed table.
 //
 // Layered as follows (each layer usable on its own):
 //

@@ -493,9 +493,16 @@ std::vector<std::byte> ResultBatch::seal() const {
   return wire::seal_frame(kFrameResultBatch, w.data());
 }
 
-void apply_result_batch(const ResultBatch& batch,
-                        const std::vector<std::size_t>& outstanding,
-                        std::vector<CellOutcome>& outcomes) {
+std::size_t apply_result_batch(const ResultBatch& batch,
+                               const std::vector<std::size_t>& outstanding,
+                               std::vector<CellOutcome>& outcomes,
+                               std::vector<std::uint8_t>* committed) {
+  // Validate the entire batch before writing anything.  Under a
+  // committed mask a write is *final* - the cluster's lose() path will
+  // never re-queue a committed cell - so a batch that turns out to
+  // violate the protocol must fail atomically: none of a provably
+  // misbehaving worker's answers can be trusted, and failing the whole
+  // batch re-runs all of its cells on a healthy worker.
   std::vector<bool> answered(outstanding.size(), false);
   for (const ResultBatch::Entry& entry : batch.entries) {
     const std::size_t index = static_cast<std::size_t>(entry.index);
@@ -511,7 +518,6 @@ void apply_result_batch(const ResultBatch& batch,
                         " which is not in its batch");
     }
     answered[slot] = true;
-    outcomes[index] = entry.outcome;
   }
   for (std::size_t b = 0; b < answered.size(); ++b) {
     if (!answered[b]) {
@@ -519,6 +525,19 @@ void apply_result_batch(const ResultBatch& batch,
                         std::to_string(outstanding[b]));
     }
   }
+  std::size_t newly = 0;
+  for (const ResultBatch::Entry& entry : batch.entries) {
+    const std::size_t index = static_cast<std::size_t>(entry.index);
+    if (committed != nullptr) {
+      if ((*committed)[index] != 0) {
+        continue;  // late duplicate: another worker's answer already won
+      }
+      (*committed)[index] = 1;
+    }
+    outcomes[index] = entry.outcome;
+    ++newly;
+  }
+  return newly;
 }
 
 // --- sharding ------------------------------------------------------------

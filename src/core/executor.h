@@ -161,12 +161,24 @@ struct ResultBatch {
 // Checks that `batch` answers exactly the cells in `outstanding` - no
 // missing, duplicated or foreign indices (a short response would otherwise
 // leave empty-but-ok outcomes that only blow up much later) - and writes
-// each outcome into outcomes[index].  Throws wire::Error on any mismatch;
-// outcomes may be partially written in that case (callers treat the whole
-// batch as failed anyway).
-void apply_result_batch(const ResultBatch& batch,
-                        const std::vector<std::size_t>& outstanding,
-                        std::vector<CellOutcome>& outcomes);
+// each outcome into outcomes[index].  Throws wire::Error on any mismatch,
+// in which case nothing was written: the batch applies atomically, so a
+// protocol-violating worker contributes no results and callers can re-run
+// its whole batch elsewhere.
+//
+// `committed` is the per-cell in-flight bookkeeping a coordinator that
+// replicates cells needs (work stealing in net/cluster.cc dispatches a
+// straggler's unanswered tail to a second worker, so the same cell can be
+// answered twice): when non-null, an entry whose cell already has
+// committed[index] set is a late duplicate and is ignored - the first
+// answer won, and per-cell seeds make both answers bitwise identical
+// anyway - while a first answer is written and marks committed[index].
+// Returns how many outcomes were newly committed (== batch size when
+// committed is null, where every answer is a first answer).
+std::size_t apply_result_batch(const ResultBatch& batch,
+                               const std::vector<std::size_t>& outstanding,
+                               std::vector<CellOutcome>& outcomes,
+                               std::vector<std::uint8_t>* committed = nullptr);
 
 // --- sharding ------------------------------------------------------------
 

@@ -20,7 +20,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--samples=N] [--nmax=N] [--seed=N] [--threads=N]\n"
                "          [--workers=N] [--batch=N]\n"
-               "          [--connect=HOST:PORT,...]\n"
+               "          [--connect=HOST:PORT,... [--steal]\n"
+               "           [--handshake-timeout-ms=N]]\n"
                "          [--shard=i/k [--shard-out=FILE]]\n"
                "          [--merge=FILE1,FILE2,...]\n",
                prog);
@@ -83,6 +84,7 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
   bool shard_given = false;
   bool shard_out_given = false;
   bool batch_given = false;
+  bool handshake_timeout_given = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* value = nullptr;
@@ -135,6 +137,22 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
       if (opts.connect.empty()) {
         usage_error(prog, arg, "expected a comma-separated host:port list");
       }
+      continue;
+    } else if (std::strcmp(arg, "--steal") == 0) {
+      opts.steal = true;
+      continue;
+    } else if (std::strncmp(arg, "--handshake-timeout-ms=", 23) == 0) {
+      // Capped at INT_MAX: the value feeds poll()'s int timeout, and a
+      // silently overflowed negative deadline would demote every worker.
+      std::uint64_t ms = 0;
+      if (!parse_strict_u64(arg + 23, &ms) || ms == 0 ||
+          ms > 2147483647ull) {
+        usage_error(prog, arg,
+                    "expected a positive millisecond count (at most "
+                    "2147483647)");
+      }
+      opts.handshake_timeout_ms = static_cast<std::size_t>(ms);
+      handshake_timeout_given = true;
       continue;
     } else if (std::strncmp(arg, "--shard=", 8) == 0) {
       const char* why = nullptr;
@@ -207,6 +225,15 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
     usage_error(prog, "--batch",
                 "--batch only applies to --workers or --connect runs");
   }
+  if (opts.steal && opts.connect.empty()) {
+    usage_error(prog, "--steal",
+                "--steal only applies to --connect runs (local executors "
+                "have no stragglers to steal from)");
+  }
+  if (handshake_timeout_given && opts.connect.empty()) {
+    usage_error(prog, "--handshake-timeout-ms",
+                "--handshake-timeout-ms only applies to --connect runs");
+  }
   if (shard_out_given && !shard_given) {
     usage_error(prog, "--shard-out", "--shard-out requires --shard");
   }
@@ -237,6 +264,9 @@ SweepRunner::SweepRunner(const ExperimentOptions& opts,
     net::ClusterOptions cluster;
     cluster.endpoints = opts_.connect;
     cluster.batch_size = opts_.batch;
+    cluster.steal = opts_.steal;
+    cluster.handshake_timeout_ms =
+        static_cast<int>(opts_.handshake_timeout_ms);
     cluster_ = std::make_unique<net::ClusterExecutor>(std::move(cluster));
   }
   if (!opts_.merge_inputs.empty()) {

@@ -15,6 +15,14 @@
 //   --connect=HOST:PORT,...
 //                  evaluate cells on remote sweep_workerd daemons over TCP
 //                  (net/cluster.h ClusterExecutor)
+//   --steal        with --connect: once the queue is empty, re-dispatch a
+//                  straggler's unanswered cells to idle workers (first
+//                  answer wins, duplicates are deduped; output unchanged)
+//   --handshake-timeout-ms=N
+//                  with --connect: how long a worker's per-sweep Hello may
+//                  go unanswered before it is demoted to "lost" (default
+//                  10000; raise it when stolen-from stragglers need longer
+//                  than that to flush a batch between sweeps)
 //   --shard=i/k    evaluate only shard i of a k-way split of every sweep
 //                  and write the results as a wire partial file instead of
 //                  printing tables
@@ -62,6 +70,8 @@ struct ExperimentOptions {
   std::size_t workers = 0;   // 0 = in-process threads; N = forked processes
   std::size_t batch = 0;     // cells per worker batch; 0 = adaptive
   std::vector<net::Endpoint> connect;  // non-empty = cluster execution
+  bool steal = false;        // --connect: steal stragglers' tails
+  std::size_t handshake_timeout_ms = 10000;  // --connect: Hello deadline
   ShardSpec shard;           // {0, 1} = unsharded
   std::string shard_out;     // partial file path; set when shard.active()
   std::vector<std::string> merge_inputs;  // non-empty = merge mode

@@ -1,6 +1,7 @@
 #include "net/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <stdexcept>
@@ -74,56 +75,144 @@ std::vector<CellOutcome> ClusterExecutor::run(
   }
   ensure_connected();
 
-  // --- handshake: one Hello per sweep on every surviving connection ---
+  const auto refuse = [&](Remote& remote, const std::string& why) {
+    if (!options_.quiet) {
+      std::fprintf(stderr, "cluster: worker %s refused the handshake: %s\n",
+                   remote.endpoint.to_string().c_str(), why.c_str());
+    }
+    remote.conn.reset();
+  };
+
+  // --- handshake: one Hello per sweep, sent to every surviving worker at
+  // once, acks collected in parallel under a deadline.  A worker that
+  // accepted TCP but never answers is demoted to "lost" instead of
+  // blocking the sweep, and the sequential Hello round-trip per worker is
+  // gone - every worker handshakes in the slowest one's single RTT.
   const std::uint64_t fingerprint = grid_fingerprint(cells);
   Hello hello;
   hello.fingerprint = fingerprint;
   hello.total_cells = cells.size();
+
+  std::vector<Remote*> awaiting;
   for (auto& remote : remotes_) {
     if (!remote->alive()) {
       continue;
     }
-    const auto refuse = [&](const std::string& why) {
-      if (!options_.quiet) {
-        std::fprintf(stderr, "cluster: worker %s refused the handshake: %s\n",
-                     remote->endpoint.to_string().c_str(), why.c_str());
-      }
-      remote->conn.reset();
-    };
+    // Stale bookkeeping from a previous sweep that ended with this worker
+    // still owing a stolen-from batch; the answers themselves are flushed
+    // below, ahead of the ack (one TCP stream keeps frames ordered).
+    remote->outstanding.clear();
     wire::Writer w;
     hello.encode(w);
     if (!remote->conn->send(kFrameHello, w.data())) {
-      refuse("connection lost");
+      refuse(*remote, "connection lost");
       continue;
     }
-    try {
+    awaiting.push_back(remote.get());
+  }
+
+  // Drains buffered frames on an awaiting worker.  True = this worker is
+  // settled (acked, or refused and reset); false = still awaiting bytes.
+  const auto check_ack = [&](Remote& remote) -> bool {
+    for (;;) {
       wire::Frame ack;
-      if (!remote->conn->recv(&ack)) {
-        refuse("connection closed before the ack");
-      } else if (ack.type == kFrameError) {
-        wire::Reader r(ack.payload);
-        refuse(r.str());
-      } else if (ack.type != kFrameHelloAck) {
-        refuse("unexpected frame type " + std::to_string(ack.type));
-      } else {
+      try {
+        if (!remote.conn->pop(&ack)) {
+          return false;
+        }
+        if (ack.type == kFrameResultBatch) {
+          // A stale answer from the previous sweep (this straggler's tail
+          // was stolen and committed elsewhere); discard and keep going.
+          continue;
+        }
+        if (ack.type == kFrameError) {
+          wire::Reader r(ack.payload);
+          refuse(remote, r.str());
+          return true;
+        }
+        if (ack.type != kFrameHelloAck) {
+          refuse(remote,
+                 "unexpected frame type " + std::to_string(ack.type));
+          return true;
+        }
         wire::Reader r(ack.payload);
         const Hello echo = Hello::decode(r);
         r.expect_done();
         if (echo.protocol != hello.protocol ||
             echo.wire_version != hello.wire_version ||
             echo.fingerprint != fingerprint) {
-          refuse("ack does not echo this sweep's handshake");
+          refuse(remote, "ack does not echo this sweep's handshake");
         }
+        return true;
+      } catch (const wire::Error& e) {
+        refuse(remote, std::string("malformed ack: ") + e.what());
+        return true;
       }
-    } catch (const wire::Error& e) {
-      refuse(std::string("malformed ack: ") + e.what());
     }
+  };
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.handshake_timeout_ms);
+  // Acks may already sit in the buffers (arrived with earlier traffic).
+  awaiting.erase(std::remove_if(awaiting.begin(), awaiting.end(),
+                                [&](Remote* r) { return check_ack(*r); }),
+                 awaiting.end());
+  while (!awaiting.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      for (Remote* remote : awaiting) {
+        refuse(*remote,
+               "no handshake answer within " +
+                   std::to_string(options_.handshake_timeout_ms) +
+                   " ms (worker hung, or not speaking the protocol)");
+      }
+      break;
+    }
+    const int timeout_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count() +
+        1);
+    std::vector<pollfd> fds;
+    fds.reserve(awaiting.size());
+    for (Remote* remote : awaiting) {
+      fds.push_back(pollfd{remote->conn->fd(), POLLIN, 0});
+    }
+    const int ready = io::poll_retry(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      for (auto& remote : remotes_) {
+        remote->conn.reset();
+      }
+      throw Error("cluster: poll() failed");
+    }
+    if (ready == 0) {
+      continue;  // deadline check at the top of the loop demotes them
+    }
+    std::vector<Remote*> still;
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      Remote& remote = *awaiting[k];
+      if (fds[k].revents == 0) {
+        still.push_back(&remote);
+        continue;
+      }
+      if (!remote.conn->fill()) {
+        // EOF; the ack may still be whole in the buffer.
+        if (!check_ack(remote) && remote.alive()) {
+          refuse(remote, "connection closed before the ack");
+        }
+        continue;
+      }
+      if (!check_ack(remote)) {
+        still.push_back(&remote);
+      }
+    }
+    awaiting = std::move(still);
   }
   if (live_workers() == 0) {
     throw Error("cluster: no worker accepted the handshake");
   }
 
-  // --- deal, stream, recover ---
+  // --- deal, stream, steal, recover ---
   std::deque<std::size_t> queue;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     queue.push_back(i);
@@ -131,11 +220,19 @@ std::vector<CellOutcome> ClusterExecutor::run(
   // Cells already re-run once because a worker died holding them; a
   // second loss marks the cell itself as the problem.
   std::vector<std::uint8_t> requeued(cells.size(), 0);
+  // Per-cell in-flight accounting: how many workers currently hold a
+  // copy of the cell (stealing replicates it), and whether its outcome
+  // is final (first answer wins; late duplicates are ignored).
+  std::vector<std::uint8_t> inflight(cells.size(), 0);
+  std::vector<std::uint8_t> committed(cells.size(), 0);
+  std::size_t resolved = 0;  // committed outcomes, answers and errors alike
 
   const auto live_count = [&]() { return live_workers(); };
 
   // Rolls a lost worker's in-flight cells back into the queue (backward
-  // error recovery: per-cell seeds make the rerun bitwise identical).
+  // error recovery: per-cell seeds make the rerun bitwise identical).  A
+  // cell another worker still holds - its thief, or the straggler it was
+  // stolen from - needs nothing: the surviving copy answers for it.
   const auto lose = [&](Remote& remote, const std::string& why) {
     if (!options_.quiet) {
       std::fprintf(
@@ -146,9 +243,17 @@ std::vector<CellOutcome> ClusterExecutor::run(
     }
     for (std::size_t k = remote.outstanding.size(); k-- > 0;) {
       const std::size_t index = remote.outstanding[k];
+      if (inflight[index] > 0) {
+        --inflight[index];
+      }
+      if (committed[index] != 0 || inflight[index] > 0) {
+        continue;
+      }
       if (requeued[index] != 0) {
         outcomes[index].error =
             "cell was in flight on two lost cluster workers";
+        committed[index] = 1;
+        ++resolved;
       } else {
         requeued[index] = 1;
         queue.push_front(index);
@@ -158,8 +263,31 @@ std::vector<CellOutcome> ClusterExecutor::run(
     remote.conn.reset();
   };
 
+  // Ships `indices` to a worker as one batch; on success the worker owns
+  // them (outstanding + in-flight counts).  False = the send failed and
+  // nothing was recorded.
+  const auto send_batch = [&](Remote& remote,
+                              const std::vector<std::size_t>& indices) {
+    CellBatch batch;
+    batch.cells.reserve(indices.size());
+    for (const std::size_t index : indices) {
+      batch.cells.push_back(BatchCell{index, cells[index], true,
+                                      plan_fn_(cells[index], index)});
+    }
+    wire::Writer w;
+    batch.encode(w);
+    if (!remote.conn->send(kFrameCellBatch, w.data())) {
+      return false;
+    }
+    for (const std::size_t index : indices) {
+      ++inflight[index];
+    }
+    remote.outstanding = indices;
+    return true;
+  };
+
   const auto dispatch = [&](Remote& remote) {
-    if (queue.empty() || !remote.alive()) {
+    if (queue.empty() || !remote.alive() || !remote.outstanding.empty()) {
       return;
     }
     std::size_t want = options_.batch_size;
@@ -170,29 +298,73 @@ std::vector<CellOutcome> ClusterExecutor::run(
       want = std::min<std::size_t>(want, 64);
     }
     want = std::min(want, queue.size());
-    CellBatch batch;
-    batch.cells.reserve(want);
     std::vector<std::size_t> indices;
     indices.reserve(want);
     for (std::size_t k = 0; k < want; ++k) {
-      const std::size_t index = queue.front();
+      indices.push_back(queue.front());
       queue.pop_front();
-      batch.cells.push_back(BatchCell{index, cells[index], true,
-                                      plan_fn_(cells[index], index)});
-      indices.push_back(index);
     }
-    wire::Writer w;
-    batch.encode(w);
-    if (!remote.conn->send(kFrameCellBatch, w.data())) {
+    if (!send_batch(remote, indices)) {
       // Died before accepting: the batch was never in flight, put it
       // back in order for someone else.
       for (std::size_t k = indices.size(); k-- > 0;) {
         queue.push_front(indices[k]);
       }
       lose(remote, "send failed");
+    }
+  };
+
+  // The stall fix: an idle worker with an empty queue takes the back half
+  // of the biggest straggler's unanswered tail instead of watching it.
+  // Only sole-copy, uncommitted cells qualify (at most two workers ever
+  // hold a cell at once); repeated halving covers the whole tail if the
+  // straggler never wakes, so one wedged-but-connected host can no longer
+  // set the sweep's wall-clock.  The straggler is not written off: it
+  // answers its whole batch whenever it recovers, and whichever answer
+  // lands first is committed - the duplicate is ignored, so the printed
+  // bytes cannot change, only the finish time.
+  const auto steal_for = [&](Remote& thief) {
+    if (!options_.steal || !queue.empty() || !thief.alive() ||
+        !thief.outstanding.empty()) {
       return;
     }
-    remote.outstanding = std::move(indices);
+    Remote* victim = nullptr;
+    std::vector<std::size_t> best;
+    for (auto& remote : remotes_) {
+      if (remote.get() == &thief || !remote->alive() ||
+          remote->outstanding.empty()) {
+        continue;
+      }
+      std::vector<std::size_t> stealable;
+      for (const std::size_t index : remote->outstanding) {
+        if (committed[index] == 0 && inflight[index] == 1) {
+          stealable.push_back(index);
+        }
+      }
+      if (stealable.size() > best.size()) {
+        victim = remote.get();
+        best = std::move(stealable);
+      }
+    }
+    if (victim == nullptr || best.empty()) {
+      return;
+    }
+    const std::size_t take = (best.size() + 1) / 2;
+    const std::vector<std::size_t> stolen(best.end() -
+                                              static_cast<std::ptrdiff_t>(take),
+                                          best.end());
+    if (!send_batch(thief, stolen)) {
+      lose(thief, "send failed");
+      return;
+    }
+    stolen_cells_ += take;
+    if (!options_.quiet) {
+      std::fprintf(stderr,
+                   "cluster: stole %zu tail cell(s) from straggler %s for "
+                   "idle worker %s\n",
+                   take, victim->endpoint.to_string().c_str(),
+                   thief.endpoint.to_string().c_str());
+    }
   };
 
   // Drains complete frames from a worker; false = the worker was lost.
@@ -218,10 +390,19 @@ std::vector<CellOutcome> ClusterExecutor::run(
         wire::Reader r(frame.payload);
         const ResultBatch batch = ResultBatch::decode(r);
         r.expect_done();
-        // Streaming merge: outcomes land the moment this batch arrives,
-        // while other workers are still computing theirs.
-        apply_result_batch(batch, remote.outstanding, outcomes);
+        // Streaming merge with dedup: outcomes land the moment this batch
+        // arrives - unless a thief's copy of a cell already did.
+        resolved +=
+            apply_result_batch(batch, remote.outstanding, outcomes,
+                               &committed);
+        for (const std::size_t index : remote.outstanding) {
+          if (inflight[index] > 0) {
+            --inflight[index];
+          }
+        }
       } catch (const wire::Error& e) {
+        // apply_result_batch applies atomically - a throwing batch
+        // committed nothing, so every outstanding cell re-queues.
         lose(remote, std::string("malformed results: ") + e.what());
         return false;
       }
@@ -233,8 +414,17 @@ std::vector<CellOutcome> ClusterExecutor::run(
   for (auto& remote : remotes_) {
     dispatch(*remote);
   }
+  for (auto& remote : remotes_) {
+    steal_for(*remote);  // more workers than batches: duplicate up front
+  }
 
   for (;;) {
+    if (resolved == cells.size()) {
+      // Every outcome is final.  A straggler may still owe a batch whose
+      // cells a thief answered; its stale frames are flushed while
+      // waiting for the next sweep's ack.
+      break;
+    }
     std::vector<pollfd> fds;
     std::vector<Remote*> fd_remote;
     for (auto& remote : remotes_) {
@@ -277,11 +467,15 @@ std::vector<CellOutcome> ClusterExecutor::run(
       process_frames(remote);
     }
     // A loss above may have re-queued cells while other workers sit
-    // idle; hand the rolled-back work out again.
+    // idle; hand the rolled-back work out again, then let anyone still
+    // idle steal a straggler's tail.
     for (auto& remote : remotes_) {
       if (remote->alive() && remote->outstanding.empty()) {
         dispatch(*remote);
       }
+    }
+    for (auto& remote : remotes_) {
+      steal_for(*remote);
     }
   }
 

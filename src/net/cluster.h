@@ -23,12 +23,27 @@
 // instead of cascading; if every worker is gone, the remaining cells fail
 // the same way - a crashed, disconnected or vanished worker never hangs
 // the sweep (hosts that disappear without a FIN/RST are detected by TCP
-// keepalive within about a minute).  A worker that is alive but stalled
-// is waited on indefinitely, like a slow cell on a local executor.
+// keepalive within about a minute).
+//
+// A worker that is alive but merely *slow* is handled by work stealing
+// (options.steal): once the queue is empty, a straggler's unanswered tail
+// is re-dispatched to idle workers - rollback-and-retry on an alternate
+// executor, the recovery-block pattern again - and whichever answer
+// arrives first is committed; the loser's late duplicate is recognized by
+// per-cell in-flight accounting and ignored.  Because per-cell seeds make
+// both evaluations bitwise identical, stealing can never change the
+// printed tables, only the wall-clock.  The handshake is equally
+// stall-proof: Hellos go out to every worker at once and the acks are
+// collected in parallel under a deadline (options.handshake_timeout_ms);
+// a worker that accepts TCP but never answers is demoted to "lost"
+// instead of hanging the sweep.
 //
 // One ClusterExecutor holds its connections across run() calls: a bench
 // with several sweeps handshakes each sweep (fresh grid fingerprint) over
-// the same connections.
+// the same connections.  A straggler that still owes a stolen-from batch
+// when a sweep completes keeps its connection; its stale answers are
+// flushed while waiting for the next sweep's ack (frames on one session
+// are strictly ordered, so everything it owed precedes the new HelloAck).
 #pragma once
 
 #include <cstddef>
@@ -50,6 +65,14 @@ struct ClusterOptions {
   // workers that are still starting up.
   int connect_retries = 10;
   bool quiet = false;  // no stderr notes on worker loss
+  // Re-dispatch a straggler's unanswered tail to idle workers once the
+  // queue is empty (duplicate answers are deduped; output is unchanged).
+  bool steal = false;
+  // How long the per-sweep Hello may go unanswered before the worker is
+  // demoted to "lost" (it accepted TCP but never spoke the protocol).
+  // Must comfortably exceed a straggler's worst batch time, since a
+  // stolen-from worker flushes its stale answers ahead of the ack.
+  int handshake_timeout_ms = 10000;
 };
 
 class ClusterExecutor final : public Executor {
@@ -68,6 +91,11 @@ class ClusterExecutor final : public Executor {
   // Workers still connected (before the first run: endpoints configured).
   std::size_t live_workers() const;
 
+  // Cells ever re-dispatched from a straggler to an idle worker, summed
+  // across run() calls (tests and smoke scripts assert the steal path
+  // actually fired; duplicated evaluation never shows in the output).
+  std::size_t stolen_cells() const { return stolen_cells_; }
+
   // Evaluates every cell on the remote workers; outcomes in cell order,
   // bitwise identical to InProcessExecutor running the same plans.  The
   // cell_fn argument is unused (see set_plan_fn).  Throws net::Error if
@@ -84,6 +112,7 @@ class ClusterExecutor final : public Executor {
   ClusterOptions options_;
   PlanFn plan_fn_;
   mutable bool connected_ = false;
+  mutable std::size_t stolen_cells_ = 0;
   mutable std::vector<std::unique_ptr<Remote>> remotes_;
 };
 

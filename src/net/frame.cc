@@ -1,5 +1,7 @@
 #include "net/frame.h"
 
+#include <sys/socket.h>
+
 #include <utility>
 
 #include "support/io.h"
@@ -21,6 +23,12 @@ Hello Hello::decode(wire::Reader& r) {
   out.fingerprint = r.u64();
   out.total_cells = r.u64();
   return out;
+}
+
+void FrameConn::abort() {
+  if (sock_.valid()) {
+    ::shutdown(sock_.fd(), SHUT_RDWR);
+  }
 }
 
 bool FrameConn::send(std::uint16_t type,

@@ -22,6 +22,16 @@
 // differently must fail the handshake, not produce wrong tables - and
 // echoes the grid fingerprint so the coordinator can detect a worker that
 // somehow acked a different sweep.
+//
+// Each coordinator connection is one *session* with its own state: a
+// daemon serving several coordinators at once (net/worker.h) keeps a
+// per-session handshake flag and batch counter, and a kFrameCellBatch on
+// a session that has not completed a Hello is refused with kFrameError -
+// work must never bypass the version/fingerprint checks.  Frames on one
+// session stay strictly ordered (one TCP stream), which is what lets a
+// coordinator flush a straggler's stale kFrameResultBatch answers while
+// waiting for the next sweep's ack: anything the worker still owed from
+// the previous sweep arrives before the new HelloAck.
 #pragma once
 
 #include <cstddef>
@@ -61,6 +71,12 @@ class FrameConn {
   int fd() const { return sock_.fd(); }
   bool open() const { return sock_.valid(); }
   void close() { sock_.close(); }
+
+  // Wakes a recv() blocked in another thread by shutting the socket down
+  // (both directions); the blocked call sees EOF and returns false.  The
+  // fd itself stays owned by this FrameConn - safe to call while a
+  // session thread is inside recv(), unlike close().
+  void abort();
 
   // Seals and writes one frame; false if the peer is gone.
   bool send(std::uint16_t type, const std::vector<std::byte>& payload);

@@ -13,6 +13,8 @@
 #include <thread>
 #include <utility>
 
+#include "support/io.h"
+
 namespace rbx {
 namespace net {
 
@@ -145,6 +147,47 @@ Socket Listener::accept_client() {
   }
 }
 
+void Listener::abort() {
+  if (!sock_.valid()) {
+    return;
+  }
+  ::shutdown(sock_.fd(), SHUT_RDWR);
+  // shutdown() wakes a blocked accept() on Linux, but BSDs return
+  // ENOTCONN from it and leave the accept blocked; a best-effort
+  // loopback self-connect kicks the loop on every platform (the caller
+  // sets its stop flag before abort(), so the woken loop exits whether
+  // accept fails or hands back this throwaway connection).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd >= 0) {
+    sockaddr_in self{};
+    self.sin_family = AF_INET;
+    self.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    self.sin_port = htons(port_);
+    (void)::connect(fd, reinterpret_cast<const sockaddr*>(&self),
+                    sizeof(self));
+    ::close(fd);
+  }
+}
+
+bool finish_connect(int fd, std::string* err) {
+  pollfd pfd{fd, POLLOUT, 0};
+  if (io::poll_retry(&pfd, 1, -1) < 0) {
+    *err = std::strerror(errno);
+    return false;
+  }
+  int soerr = 0;
+  socklen_t len = sizeof(soerr);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) {
+    *err = std::strerror(errno);
+    return false;
+  }
+  if (soerr != 0) {
+    *err = std::strerror(soerr);
+    return false;
+  }
+  return true;
+}
+
 namespace {
 
 // One resolve + connect attempt; returns an invalid Socket and sets *err
@@ -168,16 +211,21 @@ Socket try_connect(const Endpoint& endpoint, std::string* err) {
       last = std::strerror(errno);
       continue;
     }
-    int connected;
-    do {
-      connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
-    } while (connected != 0 && errno == EINTR);
+    // A connect() interrupted by a signal keeps establishing the
+    // connection asynchronously; retrying it would get EALREADY (or
+    // EISCONN once established) and misreport a successful connect as a
+    // failure.  Finish the interrupted attempt with poll + SO_ERROR.
+    int connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (connected != 0 && errno == EINTR) {
+      connected = finish_connect(fd, &last) ? 0 : -1;
+    } else if (connected != 0) {
+      last = std::strerror(errno);
+    }
     if (connected == 0) {
       tune_conn(fd);
       ::freeaddrinfo(res);
       return Socket(fd);
     }
-    last = std::strerror(errno);
     ::close(fd);
   }
   ::freeaddrinfo(res);

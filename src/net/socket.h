@@ -66,13 +66,35 @@ class Listener {
   explicit Listener(std::uint16_t port);
 
   std::uint16_t port() const { return port_; }
-  // Blocks until a client connects; throws net::Error on failure.
+  // Blocks until a client connects; throws net::Error on failure (and
+  // after abort(), which is how a stopping daemon reports "no more
+  // clients" rather than a real infrastructure error).
   Socket accept_client();
+
+  // Wakes a blocked accept_client() in another thread: shuts the
+  // listening socket down and nudges it with a throwaway loopback
+  // connect (shutdown alone only wakes accept on Linux).  The woken
+  // accept either fails or returns the throwaway connection, so callers
+  // must set their stop flag *before* abort() and re-check it after
+  // every accept.  The WorkerServer stop path and the fail_after kill
+  // hook use this to get the accept loop out of its blocking accept.
+  void abort();
 
  private:
   Socket sock_;
   std::uint16_t port_ = 0;
 };
+
+// Completes a connect() that did not finish synchronously - interrupted
+// by a signal (EINTR) or started non-blocking (EINPROGRESS).  POSIX
+// continues establishing the connection asynchronously in both cases, so
+// re-calling connect() is wrong (it reports EALREADY/EISCONN and a
+// *successful* connect looks like a failure); instead this polls the fd
+// for writability and reads SO_ERROR.  Returns true once the connection
+// is established; on failure sets *err and returns false.  try_connect
+// uses it on EINTR; exposed so tests can drive it through the
+// EINPROGRESS path, which exercises the identical kernel state.
+bool finish_connect(int fd, std::string* err);
 
 // Blocking connect; throws net::Error if the endpoint cannot be resolved
 // or reached.  `retries` extra attempts are spaced `retry_delay_ms` apart

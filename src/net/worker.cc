@@ -1,11 +1,18 @@
 #include "net/worker.h"
 
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/backend.h"
 #include "core/executor.h"
+#include "support/io.h"
 
 namespace rbx {
 namespace net {
@@ -16,6 +23,33 @@ bool send_error(FrameConn& conn, const std::string& message) {
   wire::Writer w;
   w.str(message);
   return conn.send(kFrameError, w.data());
+}
+
+// Half-close, then drain until the peer hangs up (bounded).  Used when
+// refusing a coordinator whose frames may still be unread - it pipelines
+// its Hello right after connect, and a close() with unread data makes
+// the kernel send RST, which can destroy the refusal frame before the
+// coordinator reads it; the "loud" refusal would arrive as a bare
+// connection reset.
+void linger_close(FrameConn& conn) {
+  if (!conn.open()) {
+    return;
+  }
+  ::shutdown(conn.fd(), SHUT_WR);
+  std::byte sink[1024];
+  for (int i = 0; i < 20; ++i) {  // at most ~2 s for a wedged peer
+    pollfd pfd{conn.fd(), POLLIN, 0};
+    const int ready = io::poll_retry(&pfd, 1, 100);
+    if (ready < 0) {
+      break;
+    }
+    if (ready == 0) {
+      continue;
+    }
+    if (io::read_some(conn.fd(), sink, sizeof(sink)) <= 0) {
+      break;  // peer read the error and closed (or died)
+    }
+  }
 }
 
 CellOutcome evaluate_batch_cell(const BatchCell& cell) {
@@ -42,26 +76,179 @@ CellOutcome evaluate_batch_cell(const BatchCell& cell) {
 WorkerServer::WorkerServer(const WorkerOptions& options)
     : options_(options), listener_(options.port) {}
 
-bool WorkerServer::serve() {
-  for (;;) {
-    FrameConn conn(listener_.accept_client());
-    if (!options_.quiet) {
-      std::fprintf(stderr, "sweep_workerd: coordinator connected\n");
+WorkerServer::~WorkerServer() {
+  stop();
+  reap_sessions(/*all=*/true);
+}
+
+void WorkerServer::stop() {
+  stopping_.store(true);
+  listener_.abort();
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  for (auto& session : sessions_) {
+    session->conn.abort();
+  }
+  if (once_conn_ != nullptr) {
+    once_conn_->abort();
+  }
+}
+
+void WorkerServer::reap_sessions(bool all) {
+  std::vector<std::unique_ptr<Session>> taken;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (all || (*it)->done.load()) {
+        taken.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
     }
-    const bool keep_going = serve_connection(conn);
-    if (!options_.quiet) {
-      std::fprintf(stderr, "sweep_workerd: coordinator disconnected\n");
+  }
+  // Join outside the lock: a session in its fail_after path takes the
+  // lock to abort its peers, and must never wait on a holder that is
+  // itself blocked joining a thread.
+  for (auto& session : taken) {
+    if (all) {
+      session->conn.abort();
     }
-    if (!keep_going) {
-      return false;  // fail_after tripped: this worker is "killed"
-    }
-    if (options_.once) {
-      return true;
+    if (session->thread.joinable()) {
+      session->thread.join();
     }
   }
 }
 
+bool WorkerServer::serve() {
+  for (;;) {
+    Socket client;
+    try {
+      client = listener_.accept_client();
+    } catch (const Error&) {
+      if (stopping_.load() || failed_.load()) {
+        break;  // abort()ed listener, not an infrastructure failure
+      }
+      reap_sessions(/*all=*/true);
+      throw;
+    }
+    if (stopping_.load() || failed_.load()) {
+      break;
+    }
+    if (options_.once) {
+      FrameConn conn(std::move(client));
+      // Register so stop() can abort a session blocked in recv(); the
+      // re-check below closes the register-after-stop race.
+      {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        once_conn_ = &conn;
+      }
+      if (stopping_.load()) {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        once_conn_ = nullptr;
+        break;
+      }
+      if (!options_.quiet) {
+        std::fprintf(stderr, "sweep_workerd: coordinator connected\n");
+      }
+      const bool keep_going = serve_connection(conn);
+      if (!options_.quiet) {
+        std::fprintf(stderr, "sweep_workerd: coordinator disconnected\n");
+      }
+      {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        once_conn_ = nullptr;
+      }
+      return keep_going;
+    }
+    reap_sessions(/*all=*/false);
+    std::size_t active = 0;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      for (const auto& session : sessions_) {
+        if (!session->done.load()) {
+          ++active;
+        }
+      }
+    }
+    if (active >= options_.max_coordinators) {
+      // Refuse loudly instead of queueing: a silently backlogged
+      // coordinator looks exactly like a wedged daemon.  (A coordinator
+      // that connects in the instant between a peer's disconnect and
+      // its session thread retiring can be refused spuriously - that
+      // window is a few instructions wide and indistinguishable from
+      // connecting a moment earlier, while the pool really was full.)
+      if (!options_.quiet) {
+        std::fprintf(stderr,
+                     "sweep_workerd: refused a coordinator (at the "
+                     "--max-coordinators=%zu cap)\n",
+                     options_.max_coordinators);
+      }
+      // Refuse on a detached thread: the coordinator pipelines its
+      // Hello right behind connect(), and closing with it unread would
+      // RST the refusal frame away, so the refusal must linger until
+      // the peer reads it - but that drain (bounded at ~2 s against a
+      // wedged peer) must never stall the accept loop, or refusals
+      // would re-create the very backlog they exist to avoid.  The
+      // thread owns nothing but the socket, so it may safely outlive
+      // the server.
+      std::thread([conn = FrameConn(std::move(client)), active,
+                   cap = options_.max_coordinators]() mutable {
+        send_error(conn, "worker is already serving " +
+                             std::to_string(active) +
+                             " coordinators (--max-coordinators=" +
+                             std::to_string(cap) + ")");
+        linger_close(conn);
+      }).detach();
+      continue;
+    }
+    auto session = std::make_unique<Session>(std::move(client));
+    Session* raw = session.get();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.push_back(std::move(session));
+    }
+    raw->thread = std::thread([this, raw]() {
+      if (!options_.quiet) {
+        std::fprintf(stderr, "sweep_workerd: coordinator connected\n");
+      }
+      const bool keep_going = serve_connection(raw->conn);
+      // Hang up now - a refused peer waiting for EOF must see it when
+      // the session ends, not when the next accept happens to reap this
+      // Session.  abort(), which leaves the fd owned, is the call that
+      // is safe against a concurrent stop(); the fd itself is released
+      // when the session is reaped.
+      raw->conn.abort();
+      // Retire from the max-coordinators head count the moment the
+      // session's work is over (reap_sessions join-blocks until the
+      // thread truly exits, so the early store is safe).
+      raw->done.store(true);
+      if (!options_.quiet) {
+        std::fprintf(stderr, "sweep_workerd: coordinator disconnected\n");
+      }
+      if (!keep_going) {
+        // Simulated kill (fail_after): the whole worker counts as dead,
+        // so every session - and the accept loop - goes down with it.
+        failed_.store(true);
+        listener_.abort();
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        for (auto& other : sessions_) {
+          if (other.get() != raw) {
+            other->conn.abort();
+          }
+        }
+      }
+    });
+  }
+  reap_sessions(/*all=*/true);
+  return !failed_.load();
+}
+
 bool WorkerServer::serve_connection(FrameConn& conn) {
+  // Per-session state: the handshake and the fail_after counter belong to
+  // this coordinator's session, not to the daemon - concurrent sessions
+  // must not see each other's progress.
+  bool handshaken = false;
+  std::size_t batches_served = 0;
   for (;;) {
     wire::Frame frame;
     bool got = false;
@@ -101,18 +288,39 @@ bool WorkerServer::serve_connection(FrameConn& conn) {
         if (!conn.send(kFrameHelloAck, w.data())) {
           return true;
         }
+        handshaken = true;
       } else if (frame.type == kFrameCellBatch) {
+        if (!handshaken) {
+          // Work before the handshake would bypass the protocol/wire
+          // version and fingerprint checks; refuse and hang up.
+          send_error(conn,
+                     "worker: cell batch before the Hello handshake "
+                     "(refusing unversioned work)");
+          return true;
+        }
         if (options_.fail_after != 0 &&
-            batches_served_ >= options_.fail_after) {
+            batches_served >= options_.fail_after) {
           // Simulated kill: a batch is in flight and never answered.
+          // abort(), not close(): stop() or another failing session may
+          // concurrently abort() this FrameConn, and only abort() leaves
+          // the fd owned (close() racing abort() could shutdown() a
+          // recycled fd).  The fd itself is released when the session is
+          // reaped.
           if (!options_.quiet) {
             std::fprintf(stderr,
                          "sweep_workerd: dropping connection after %zu "
                          "batches (--fail-after)\n",
-                         batches_served_);
+                         batches_served);
           }
-          conn.close();
+          conn.abort();
           return false;
+        }
+        if (options_.delay_ms != 0) {
+          // Deterministic straggler: hold the batch, as a busy or
+          // overloaded host would, so steal tests and CI can rely on
+          // this worker losing its tail.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options_.delay_ms));
         }
         wire::Reader r(frame.payload);
         const CellBatch batch = CellBatch::decode(r);
@@ -128,7 +336,7 @@ bool WorkerServer::serve_connection(FrameConn& conn) {
         if (!conn.send(kFrameResultBatch, w.data())) {
           return true;  // coordinator went away mid-answer
         }
-        ++batches_served_;
+        ++batches_served;
       } else {
         send_error(conn, "worker: unexpected frame type " +
                              std::to_string(frame.type));

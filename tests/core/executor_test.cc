@@ -254,6 +254,48 @@ TEST(MultiProcessExecutorTest, EmptyCellsAndWorkerClamp) {
   EXPECT_TRUE(outcomes[0].ok());
 }
 
+TEST(ApplyResultBatchTest, CommittedMaskIgnoresLateDuplicates) {
+  // Work stealing can put one cell in flight on two workers; the first
+  // answer must win and the loser's duplicate must be ignored without
+  // tripping the strict batch checks.
+  const auto entry = [](std::uint64_t index, double value) {
+    ResultSet r("test", "cell");
+    r.set("x", value);
+    CellOutcome outcome;
+    outcome.result = std::move(r);
+    return ResultBatch::Entry{index, std::move(outcome)};
+  };
+
+  std::vector<CellOutcome> outcomes(3);
+  std::vector<std::uint8_t> committed(3, 0);
+
+  ResultBatch first;  // the thief answers cells 1 and 2
+  first.entries.push_back(entry(1, 10.0));
+  first.entries.push_back(entry(2, 20.0));
+  EXPECT_EQ(apply_result_batch(first, {1, 2}, outcomes, &committed), 2u);
+  EXPECT_EQ(outcomes[1].result.value("x"), 10.0);
+
+  ResultBatch late;  // the straggler answers its whole batch {0, 1} later
+  late.entries.push_back(entry(0, 5.0));
+  late.entries.push_back(entry(1, 99.0));  // duplicate of a stolen cell
+  EXPECT_EQ(apply_result_batch(late, {0, 1}, outcomes, &committed), 1u);
+  EXPECT_EQ(outcomes[0].result.value("x"), 5.0);
+  // The first answer stuck (in reality both are bitwise identical; the
+  // sentinel value just proves the duplicate was dropped, not applied).
+  EXPECT_EQ(outcomes[1].result.value("x"), 10.0);
+
+  // The strict contract still holds under the mask: a short or foreign
+  // answer is a protocol violation even when some cells are committed.
+  ResultBatch shorting;
+  shorting.entries.push_back(entry(1, 1.0));
+  EXPECT_THROW(apply_result_batch(shorting, {1, 2}, outcomes, &committed),
+               wire::Error);
+  ResultBatch foreign;
+  foreign.entries.push_back(entry(7, 1.0));
+  EXPECT_THROW(apply_result_batch(foreign, {1}, outcomes, &committed),
+               wire::Error);
+}
+
 TEST(ShardSpecTest, PartitionIsDisjointAndComplete) {
   const std::size_t total = 23;
   for (std::size_t count : {1u, 2u, 3u, 5u, 23u, 31u}) {

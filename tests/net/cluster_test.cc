@@ -50,11 +50,32 @@ CellFn local_fn_for(const PlanFn& plan) {
 // own thread (joined on destruction - destroy the executor, which closes
 // its connections, before the worker leaves scope).
 struct TestWorker {
-  explicit TestWorker(std::size_t fail_after = 0)
+  explicit TestWorker(std::size_t fail_after = 0, std::size_t delay_ms = 0)
       : server(net::WorkerOptions{/*port=*/0, /*once=*/true, fail_after,
-                                  /*quiet=*/true}),
+                                  /*quiet=*/true, /*max_coordinators=*/4,
+                                  delay_ms}),
         thread([this]() { server.serve(); }) {}
   ~TestWorker() { thread.join(); }
+
+  net::Endpoint endpoint() const { return {"127.0.0.1", server.port()}; }
+
+  net::WorkerServer server;
+  std::thread thread;
+};
+
+// A long-running daemon serving up to `max_coordinators` concurrent
+// sessions - the tools/sweep_workerd --serve mode.  stop() unblocks the
+// serve loop; the destructor joins it.
+struct PoolWorker {
+  explicit PoolWorker(std::size_t max_coordinators, std::size_t delay_ms = 0)
+      : server(net::WorkerOptions{/*port=*/0, /*once=*/false,
+                                  /*fail_after=*/0, /*quiet=*/true,
+                                  max_coordinators, delay_ms}),
+        thread([this]() { server.serve(); }) {}
+  ~PoolWorker() {
+    server.stop();
+    thread.join();
+  }
 
   net::Endpoint endpoint() const { return {"127.0.0.1", server.port()}; }
 
@@ -178,6 +199,129 @@ TEST(ClusterExecutorTest, SkipsUnreachableEndpointAndStillCompletes) {
   }
 }
 
+TEST(ClusterExecutorTest, TwoCoordinatorsShareOneDaemonPoolConcurrently) {
+  // The accept-backlog fix: a daemon pool serves two sweeps at once, each
+  // coordinator on its own session, and both print the reference bytes.
+  PoolWorker w1(/*max_coordinators=*/2);
+  PoolWorker w2(/*max_coordinators=*/2);
+
+  const auto sweep_matches_reference = [&](std::uint64_t master_seed) {
+    const std::vector<Scenario> cells = mc_grid(master_seed);
+    const PlanFn plan = mc_plan();
+    const auto reference =
+        InProcessExecutor({1}).run(cells, local_fn_for(plan));
+    net::ClusterExecutor cluster(
+        cluster_options({w1.endpoint(), w2.endpoint()}));
+    cluster.set_plan_fn(plan);
+    const auto remote = cluster.run(cells, CellFn());
+    if (remote.size() != cells.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!remote[i].ok() || remote[i].result != reference[i].result) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  bool first_ok = false;
+  bool second_ok = false;
+  std::thread first([&]() { first_ok = sweep_matches_reference(61); });
+  std::thread second([&]() { second_ok = sweep_matches_reference(67); });
+  first.join();
+  second.join();
+  EXPECT_TRUE(first_ok);
+  EXPECT_TRUE(second_ok);
+}
+
+TEST(ClusterExecutorTest, CoordinatorBeyondCapacityIsRefusedNotBacklogged) {
+  PoolWorker worker(/*max_coordinators=*/1);
+
+  net::FrameConn first(net::connect_to(worker.endpoint(), /*retries=*/5));
+  net::Hello hello;
+  wire::Writer w;
+  hello.encode(w);
+  ASSERT_TRUE(first.send(net::kFrameHello, w.data()));
+  wire::Frame ack;
+  ASSERT_TRUE(first.recv(&ack));
+  ASSERT_EQ(ack.type, net::kFrameHelloAck);
+
+  // The session above is still open, so a second coordinator must get a
+  // loud refusal instead of sitting in the accept backlog forever.
+  net::FrameConn second(net::connect_to(worker.endpoint(), /*retries=*/5));
+  wire::Frame reply;
+  ASSERT_TRUE(second.recv(&reply));
+  EXPECT_EQ(reply.type, net::kFrameError);
+  wire::Reader r(reply.payload);
+  EXPECT_NE(r.str().find("max-coordinators"), std::string::npos);
+}
+
+TEST(ClusterExecutorTest, StealsStragglerTailAndStaysBitwise) {
+  const std::vector<Scenario> cells = mc_grid(53);
+  const PlanFn plan = mc_plan();
+  const auto reference =
+      InProcessExecutor({1}).run(cells, local_fn_for(plan));
+
+  TestWorker fast;
+  // Holds every batch for 800 ms - far longer than the rest of the grid
+  // takes - so its cells are still in flight when the queue drains and
+  // the fast worker must steal them to finish.
+  TestWorker slow(/*fail_after=*/0, /*delay_ms=*/800);
+  {
+    auto options = cluster_options({fast.endpoint(), slow.endpoint()},
+                                   /*batch=*/1);
+    options.steal = true;
+    net::ClusterExecutor cluster(std::move(options));
+    cluster.set_plan_fn(plan);
+
+    // Two sweeps over the same connections: the second one's handshake
+    // must flush the straggler's stale answer (its stolen batch) instead
+    // of misreading it as the ack.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      const auto remote = cluster.run(cells, CellFn());
+      ASSERT_EQ(remote.size(), cells.size());
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        ASSERT_TRUE(remote[i].ok())
+            << "sweep " << sweep << " cell " << i << ": " << remote[i].error;
+        EXPECT_EQ(remote[i].result, reference[i].result)
+            << "sweep " << sweep << " cell " << i;
+      }
+    }
+    // The straggler never died - both workers are still connected; its
+    // tail was stolen, its late duplicate answers ignored.
+    EXPECT_EQ(cluster.live_workers(), 2u);
+    EXPECT_GE(cluster.stolen_cells(), 2u);  // at least one steal per sweep
+  }
+}
+
+TEST(ClusterExecutorTest, HungHandshakeWorkerIsDemotedNotWaitedOn) {
+  const std::vector<Scenario> cells = mc_grid(59);
+  const PlanFn plan = mc_plan();
+  const auto reference =
+      InProcessExecutor({1}).run(cells, local_fn_for(plan));
+
+  // A listener that is never accepted: TCP connects fine (backlog), but
+  // no Hello is ever answered - the "accepts TCP, never speaks" stall.
+  net::Listener hung(0);
+
+  TestWorker alive;
+  {
+    auto options = cluster_options(
+        {net::Endpoint{"127.0.0.1", hung.port()}, alive.endpoint()});
+    options.handshake_timeout_ms = 300;
+    net::ClusterExecutor cluster(std::move(options));
+    cluster.set_plan_fn(plan);
+    const auto remote = cluster.run(cells, CellFn());
+    ASSERT_EQ(remote.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      ASSERT_TRUE(remote[i].ok()) << remote[i].error;
+      EXPECT_EQ(remote[i].result, reference[i].result);
+    }
+    EXPECT_EQ(cluster.live_workers(), 1u);
+  }
+}
+
 TEST(WorkerHandshakeTest, RefusesWireVersionMismatch) {
   TestWorker worker;
   {
@@ -211,6 +355,33 @@ TEST(WorkerHandshakeTest, RefusesProtocolMismatch) {
     EXPECT_EQ(reply.type, net::kFrameError);
     wire::Reader r(reply.payload);
     EXPECT_NE(r.str().find("protocol"), std::string::npos);
+  }
+}
+
+TEST(WorkerTest, RejectsCellBatchBeforeHandshake) {
+  // Work sent before the Hello would bypass the protocol/wire-version/
+  // fingerprint checks entirely; the worker must refuse and hang up.
+  // A pool-mode worker, because its sessions outlive their threads: the
+  // hang-up must come from the session ending, not from daemon teardown.
+  PoolWorker worker(/*max_coordinators=*/2);
+  {
+    net::FrameConn conn(
+        net::connect_to(worker.endpoint(), /*retries=*/5));
+    CellBatch batch;
+    batch.cells.push_back(BatchCell{
+        0, Scenario::symmetric(2, 1.0, 1.0), true,
+        EvalPlan{{EvalStep{"analytic", ""}}}});
+    wire::Writer bw;
+    batch.encode(bw);
+    ASSERT_TRUE(conn.send(kFrameCellBatch, bw.data()));
+    wire::Frame reply;
+    ASSERT_TRUE(conn.recv(&reply));
+    EXPECT_EQ(reply.type, net::kFrameError);
+    wire::Reader r(reply.payload);
+    EXPECT_NE(r.str().find("handshake"), std::string::npos);
+    // The worker hung up: the next recv sees EOF, not an answer.
+    wire::Frame extra;
+    EXPECT_FALSE(conn.recv(&extra));
   }
 }
 

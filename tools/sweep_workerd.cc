@@ -14,12 +14,24 @@
 // in the scenarios, making the daemon's answers bitwise identical to a
 // local run.
 //
+// The daemon is long-running and serves coordinators *concurrently* -
+// each connection is an independent session on its own thread, so two
+// sweeps (or two users) can share one worker fleet without the second
+// coordinator wedging in the accept backlog behind the first.
+//
 // Flags (strict; anything malformed exits 2, like the bench flags):
 //   --serve=PORT     listen on PORT (required; 0 = ephemeral, printed)
+//   --max-coordinators=N
+//                    serve up to N concurrent coordinator sessions
+//                    (default 4); one beyond the cap is refused with an
+//                    error frame, never silently backlogged
 //   --once           exit after the first coordinator disconnects
-//   --fail-after=N   drop the connection instead of serving batch N+1 and
+//   --fail-after=N   drop a session instead of serving its batch N+1 and
 //                    exit 1 - a deterministic "worker killed mid-sweep"
 //                    for recovery tests and CI chaos runs
+//   --delay-ms=N     stall N ms before evaluating each batch - a
+//                    deterministic straggler for work-stealing tests and
+//                    CI throttle runs
 //   --quiet          no connection notes on stderr
 #include <cstdio>
 #include <cstring>
@@ -33,7 +45,8 @@ namespace {
                               const char* why) {
   std::fprintf(stderr, "%s: bad argument '%s' (%s)\n", prog, arg, why);
   std::fprintf(stderr,
-               "usage: %s --serve=PORT [--once] [--fail-after=N] [--quiet]\n",
+               "usage: %s --serve=PORT [--max-coordinators=N] [--once]\n"
+               "       [--fail-after=N] [--delay-ms=N] [--quiet]\n",
                prog);
   std::exit(2);
 }
@@ -60,6 +73,18 @@ int main(int argc, char** argv) {
         usage_error(prog, arg, "expected a non-negative integer");
       }
       opts.fail_after = static_cast<std::size_t>(n);
+    } else if (std::strncmp(arg, "--max-coordinators=", 19) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_strict_u64(arg + 19, &n) || n == 0) {
+        usage_error(prog, arg, "expected a positive integer");
+      }
+      opts.max_coordinators = static_cast<std::size_t>(n);
+    } else if (std::strncmp(arg, "--delay-ms=", 11) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_strict_u64(arg + 11, &n)) {
+        usage_error(prog, arg, "expected a non-negative integer");
+      }
+      opts.delay_ms = static_cast<std::size_t>(n);
     } else if (std::strcmp(arg, "--once") == 0) {
       opts.once = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
