@@ -14,12 +14,22 @@
 //   SweepEngine  parameter-grid expansion and parallel evaluation of
 //                scenario batches with deterministic per-cell seeding
 //                (core/sweep.h);
-//   Executor     where sweep cells run (core/executor.h):
-//                InProcessExecutor (thread pool), MultiProcessExecutor
-//                (forked workers fed wire-encoded cell batches over
-//                pipes) or net::ClusterExecutor (remote sweep_workerd
-//                daemons over TCP, net/cluster.h), all returning
-//                per-cell outcomes bitwise identical to a serial run;
+//   Executor     where sweep cells run (core/executor.h).  Every executor
+//                is a lane configuration over the one shared scheduler,
+//                DispatchCore (core/dispatch.h): InProcessExecutor (a
+//                ThreadLane of worker threads), MultiProcessExecutor (a
+//                ForkLane of forked workers, respawned on crash),
+//                net::ClusterExecutor (a TcpLane of remote sweep_workerd
+//                daemons, net/cluster.h) and HybridExecutor (any mix of
+//                lanes in a single sweep), all returning per-cell
+//                outcomes bitwise identical to a serial run;
+//   DispatchCore the scheduler itself (core/dispatch.h): cell queue,
+//                adaptive batch sizing, per-cell in-flight accounting
+//                under a committed mask, straggler work stealing, loss
+//                reconciliation, streaming result merge, and mid-sweep
+//                re-admission of lost workers - shared by every lane
+//                kind, so forked workers get stealing and adaptive
+//                batching exactly as cluster workers do;
 //   EvalPlan     a sweep cell's evaluation recipe as data - which
 //                backends to run and how to merge their metrics - so a
 //                cell can ship to a worker daemon that has no access to
@@ -57,20 +67,30 @@
 //   host B: outcomes for shard_cell_indices(cells.size(), {1, 2})
 //   merge_shard_partials({A, B}) == SweepEngine(...).run(cells, ...)
 //
-// (benches expose this as --shard=i/k + --merge=fileA,fileB; see
-// core/experiment.h's SweepRunner).  For one live sweep spanning many
-// hosts, net::ClusterExecutor streams plan-carrying cell batches to
-// sweep_workerd daemons (--connect=hostA:4701,hostB:4701), merges
-// results as they arrive, and re-queues a lost worker's in-flight cells
-// to the survivors - still byte-identical.  The daemons are long-running
-// and serve several coordinators concurrently (one session per
-// connection, capped by --max-coordinators), so many sweeps share one
-// worker fleet; --steal additionally re-dispatches a *slow* worker's
-// unanswered tail to idle workers once the queue is empty, committing
-// whichever answer arrives first and ignoring the late duplicate - a
-// stalled-but-connected host bounds nothing but its own contribution,
-// and because per-cell seeds make both evaluations bitwise identical,
-// neither stealing nor recovery can change a printed table.
+// (benches expose this as --shard=i/k + --merge=A,B, where a merge
+// source is a partial file or the HOST:PORT of a --shard-serve run
+// streaming partials as they finish; see core/experiment.h's
+// SweepRunner).  For one live sweep spanning many machines - and the
+// local machine at once - the lane flags compose:
+//
+//   fig5_mean_interval --threads=8 --workers=4
+//                      --connect=hostA:4701,hostB:4701 --steal
+//
+// runs threads, forked workers and remote sweep_workerd daemons under
+// one DispatchCore, streaming plan-carrying cell batches to whichever
+// worker is idle and merging results as they arrive - still
+// byte-identical to --threads=1.  The daemons are long-running and serve
+// several coordinators concurrently (one session per connection, capped
+// by --max-coordinators), so many sweeps share one worker fleet.  The
+// scheduler applies the paper's backward error recovery to the pool
+// itself: a lost worker's in-flight cells are re-queued to the
+// survivors; --steal re-dispatches a *slow* worker's unanswered tail to
+// idle workers once the queue is empty, committing whichever answer
+// arrives first; and a lost worker that comes back (a restarted daemon,
+// a respawned fork child) is *re-admitted* mid-sweep after
+// re-handshaking against the same grid fingerprint.  Because per-cell
+// seeds make every evaluation bitwise identical, none of recovery,
+// stealing or re-admission can change a printed table.
 //
 // Layered as follows (each layer usable on its own):
 //
@@ -82,8 +102,11 @@
 //   trace/     histories, exact recovery lines, rollback planning
 //   des/       Monte-Carlo simulators of the three schemes
 //   runtime/   thread-based processes with real checkpoint/rollback
-//   core/      Scenario + EvalBackend + SweepEngine + Executor/ShardSpec
-//   net/       the TCP cluster transport (ClusterExecutor, WorkerServer)
+//   core/      Scenario + EvalBackend + SweepEngine + Executor/ShardSpec,
+//              DispatchCore + ThreadLane/ForkLane (core/dispatch.h,
+//              core/lane.h)
+//   net/       the TCP lane of the dispatch layer (TcpLane,
+//              ClusterExecutor, WorkerServer)
 //
 // The per-layer entry points (AsyncRbModel, SyncRbSimulator,
 // RecoverySystem, ...) remain public for code that needs one layer only;
@@ -92,8 +115,10 @@
 #pragma once
 
 #include "core/backend.h"              // IWYU pragma: export
+#include "core/dispatch.h"             // IWYU pragma: export
 #include "core/executor.h"             // IWYU pragma: export
 #include "core/experiment.h"           // IWYU pragma: export
+#include "core/lane.h"                 // IWYU pragma: export
 #include "core/result.h"               // IWYU pragma: export
 #include "core/scenario.h"             // IWYU pragma: export
 #include "core/sweep.h"                // IWYU pragma: export

@@ -1,27 +1,13 @@
 #include "core/executor.h"
 
-#include <sys/socket.h>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
-#include <deque>
 #include <stdexcept>
-#include <thread>
 
+#include "core/dispatch.h"
+#include "core/lane.h"
 #include "support/check.h"
-#include "support/io.h"
 
 namespace rbx {
-
-namespace {
-
-std::size_t default_parallelism() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
 
 CellOutcome evaluate_cell(const CellFn& cell_fn, const Scenario& cell,
                           std::size_t index) {
@@ -39,9 +25,10 @@ CellOutcome evaluate_cell(const CellFn& cell_fn, const Scenario& cell,
   return out;
 }
 
-}  // namespace
-
 // --- InProcessExecutor ---------------------------------------------------
+//
+// A DispatchCore over one ThreadLane: no batching knobs, no stealing, no
+// handshakes - the simplest lane configuration there is.
 
 InProcessExecutor::InProcessExecutor(Options options)
     : threads_(options.threads) {
@@ -52,128 +39,16 @@ InProcessExecutor::InProcessExecutor(Options options)
 
 std::vector<CellOutcome> InProcessExecutor::run(
     const std::vector<Scenario>& cells, const CellFn& cell_fn) const {
-  std::vector<CellOutcome> outcomes(cells.size());
-  if (cells.empty()) {
-    return outcomes;
-  }
-  const std::size_t workers =
-      threads_ < cells.size() ? threads_ : cells.size();
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      outcomes[i] = evaluate_cell(cell_fn, cells[i], i);
-    }
-    return outcomes;
-  }
-  std::atomic<std::size_t> next{0};
-  auto drain = [&]() {
-    for (std::size_t i = next.fetch_add(1); i < cells.size();
-         i = next.fetch_add(1)) {
-      outcomes[i] = evaluate_cell(cell_fn, cells[i], i);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) {
-    pool.emplace_back(drain);
-  }
-  drain();
-  for (std::thread& t : pool) {
-    t.join();
-  }
-  return outcomes;
+  ThreadLane lane(threads_);
+  DispatchCore core({&lane}, DispatchOptions());
+  return core.run(cells, cell_fn);
 }
 
 // --- MultiProcessExecutor ------------------------------------------------
-
-namespace {
-
-std::vector<std::byte> encode_cell_batch(
-    const std::vector<Scenario>& cells,
-    const std::vector<std::size_t>& batch) {
-  CellBatch out;
-  out.cells.reserve(batch.size());
-  for (std::size_t index : batch) {
-    // Forked children inherit the sweep's cell_fn closure, so no plan
-    // rides along (unlike the TCP transport in net/cluster.cc).
-    out.cells.push_back(BatchCell{index, cells[index], false, EvalPlan{}});
-  }
-  return out.seal();
-}
-
-// The child side: decode cell batches, evaluate, answer with result
-// batches, until the parent closes the request direction.
-[[noreturn]] void worker_loop(int fd, const CellFn& cell_fn) {
-  std::vector<std::byte> inbuf;
-  std::byte chunk[1 << 16];
-  for (;;) {
-    const ssize_t got = io::read_some(fd, chunk, sizeof(chunk));
-    if (got < 0) {
-      ::_exit(1);
-    }
-    if (got == 0) {
-      ::_exit(0);  // clean shutdown: parent closed the pipe
-    }
-    inbuf.insert(inbuf.end(), chunk, chunk + got);
-    std::size_t pos = 0;
-    for (;;) {
-      wire::Frame frame;
-      std::size_t consumed = 0;
-      bool complete = false;
-      try {
-        complete = wire::parse_frame(inbuf.data() + pos, inbuf.size() - pos,
-                                     &frame, &consumed);
-      } catch (const wire::Error&) {
-        ::_exit(1);  // corrupt request stream; parent reports the cells
-      }
-      if (!complete) {
-        break;
-      }
-      pos += consumed;
-      if (frame.type != kFrameCellBatch) {
-        ::_exit(1);
-      }
-      ResultBatch response;
-      try {
-        wire::Reader r(frame.payload);
-        const CellBatch batch = CellBatch::decode(r);
-        r.expect_done();
-        response.entries.reserve(batch.cells.size());
-        for (const BatchCell& cell : batch.cells) {
-          response.entries.push_back(
-              {cell.index,
-               evaluate_cell(cell_fn, cell.scenario,
-                             static_cast<std::size_t>(cell.index))});
-        }
-      } catch (const wire::Error&) {
-        ::_exit(1);
-      }
-      if (!io::send_all(fd, response.seal())) {
-        ::_exit(1);  // parent went away
-      }
-    }
-    inbuf.erase(inbuf.begin(),
-                inbuf.begin() + static_cast<std::ptrdiff_t>(pos));
-  }
-}
-
-struct Worker {
-  pid_t pid = -1;
-  int fd = -1;
-  std::vector<std::byte> inbuf;
-  std::vector<std::size_t> outstanding;  // batch in flight, empty = idle
-
-  bool alive() const { return fd >= 0; }
-};
-
-void fail_cells(std::vector<CellOutcome>& outcomes,
-                const std::vector<std::size_t>& indices,
-                const std::string& error) {
-  for (std::size_t index : indices) {
-    outcomes[index].error = error;
-  }
-}
-
-}  // namespace
+//
+// A DispatchCore over one ForkLane: the shared scheduler brings adaptive
+// batching, crash recovery with respawn, and (for HybridExecutor users)
+// work stealing to forked workers for free.
 
 MultiProcessExecutor::MultiProcessExecutor(Options options)
     : workers_(options.workers), batch_size_(options.batch_size) {
@@ -184,216 +59,11 @@ MultiProcessExecutor::MultiProcessExecutor(Options options)
 
 std::vector<CellOutcome> MultiProcessExecutor::run(
     const std::vector<Scenario>& cells, const CellFn& cell_fn) const {
-  std::vector<CellOutcome> outcomes(cells.size());
-  if (cells.empty()) {
-    return outcomes;
-  }
-
-  // Deal the cells into index batches (cells carry their own seeds, so
-  // batching is pure scheduling and cannot affect the numbers).
-  const std::size_t batch_size =
-      batch_size_ != 0
-          ? batch_size_
-          : std::max<std::size_t>(1, cells.size() / (workers_ * 4));
-  std::deque<std::vector<std::size_t>> queue;
-  for (std::size_t start = 0; start < cells.size(); start += batch_size) {
-    std::vector<std::size_t> batch;
-    for (std::size_t i = start;
-         i < cells.size() && i < start + batch_size; ++i) {
-      batch.push_back(i);
-    }
-    queue.push_back(std::move(batch));
-  }
-
-  const std::size_t worker_count =
-      workers_ < queue.size() ? workers_ : queue.size();
-
-  // All socketpairs first, so each child can close every end but its own.
-  std::vector<int> parent_fds(worker_count, -1);
-  std::vector<int> child_fds(worker_count, -1);
-  for (std::size_t w = 0; w < worker_count; ++w) {
-    int sv[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-      for (std::size_t c = 0; c < w; ++c) {
-        ::close(parent_fds[c]);
-        ::close(child_fds[c]);
-      }
-      throw std::runtime_error("MultiProcessExecutor: socketpair() failed");
-    }
-    parent_fds[w] = sv[0];
-    child_fds[w] = sv[1];
-  }
-
-  std::vector<Worker> workers(worker_count);
-  for (std::size_t w = 0; w < worker_count; ++w) {
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      // Shut down what was forked so far; those cells fail loudly below.
-      for (std::size_t c = 0; c < worker_count; ++c) {
-        if (parent_fds[c] >= 0) {
-          ::close(parent_fds[c]);
-        }
-        if (child_fds[c] >= 0) {
-          ::close(child_fds[c]);
-        }
-      }
-      for (std::size_t c = 0; c < w; ++c) {
-        ::waitpid(workers[c].pid, nullptr, 0);
-      }
-      throw std::runtime_error("MultiProcessExecutor: fork() failed");
-    }
-    if (pid == 0) {
-      // Child: keep only this worker's fd, drop every other end.
-      for (std::size_t c = 0; c < worker_count; ++c) {
-        ::close(parent_fds[c]);
-        if (c != w) {
-          ::close(child_fds[c]);
-        }
-      }
-      worker_loop(child_fds[w], cell_fn);  // never returns
-    }
-    workers[w].pid = pid;
-    workers[w].fd = parent_fds[w];
-    ::close(child_fds[w]);
-    child_fds[w] = -1;
-  }
-
-  const char* kCrashError =
-      "worker process exited before returning results for this cell";
-
-  // Hands the next queued batch to an idle worker (or closes its pipe when
-  // the queue is dry, telling the child to exit).
-  auto dispatch = [&](Worker& worker) {
-    while (!queue.empty()) {
-      std::vector<std::size_t> batch = std::move(queue.front());
-      queue.pop_front();
-      if (io::send_all(worker.fd, encode_cell_batch(cells, batch))) {
-        worker.outstanding = std::move(batch);
-        return;
-      }
-      // Worker died before accepting the batch: put the work back for
-      // someone else and retire this worker.
-      queue.push_front(std::move(batch));
-      ::close(worker.fd);
-      worker.fd = -1;
-      return;
-    }
-    ::close(worker.fd);
-    worker.fd = -1;
-  };
-
-  for (Worker& worker : workers) {
-    dispatch(worker);
-  }
-
-  auto busy_workers = [&]() {
-    std::size_t n = 0;
-    for (const Worker& worker : workers) {
-      if (worker.alive() && !worker.outstanding.empty()) {
-        ++n;
-      }
-    }
-    return n;
-  };
-
-  std::byte chunk[1 << 16];
-  while (busy_workers() > 0) {
-    std::vector<pollfd> fds;
-    std::vector<std::size_t> fd_worker;
-    for (std::size_t w = 0; w < workers.size(); ++w) {
-      if (workers[w].alive() && !workers[w].outstanding.empty()) {
-        fds.push_back(pollfd{workers[w].fd, POLLIN, 0});
-        fd_worker.push_back(w);
-      }
-    }
-    const int ready = io::poll_retry(fds.data(), fds.size(), -1);
-    if (ready < 0) {
-      // Infrastructure failure: shut the workers down (closing the pipe
-      // makes each child exit) and reap them before throwing, so a
-      // catching caller is not left with stuck children and open fds.
-      for (Worker& worker : workers) {
-        if (worker.alive()) {
-          ::close(worker.fd);
-          worker.fd = -1;
-        }
-        ::waitpid(worker.pid, nullptr, 0);
-      }
-      throw std::runtime_error("MultiProcessExecutor: poll() failed");
-    }
-    for (std::size_t k = 0; k < fds.size(); ++k) {
-      if (fds[k].revents == 0) {
-        continue;
-      }
-      Worker& worker = workers[fd_worker[k]];
-      const ssize_t got = io::read_some(worker.fd, chunk, sizeof(chunk));
-      if (got <= 0) {
-        // EOF or read error with a batch in flight: the worker crashed.
-        // Its cells become per-cell errors and the sweep carries on.
-        fail_cells(outcomes, worker.outstanding, kCrashError);
-        worker.outstanding.clear();
-        ::close(worker.fd);
-        worker.fd = -1;
-        continue;
-      }
-      worker.inbuf.insert(worker.inbuf.end(), chunk, chunk + got);
-      std::size_t pos = 0;
-      for (;;) {
-        wire::Frame frame;
-        std::size_t consumed = 0;
-        bool complete = false;
-        try {
-          complete = wire::parse_frame(worker.inbuf.data() + pos,
-                                       worker.inbuf.size() - pos, &frame,
-                                       &consumed);
-          if (!complete) {
-            break;
-          }
-          pos += consumed;
-          if (frame.type != kFrameResultBatch) {
-            throw wire::Error("unexpected frame type from worker");
-          }
-          wire::Reader r(frame.payload);
-          const ResultBatch batch = ResultBatch::decode(r);
-          r.expect_done();
-          apply_result_batch(batch, worker.outstanding, outcomes);
-        } catch (const wire::Error& e) {
-          // Treat a garbled response stream like a crash: fail the batch
-          // and drop the worker.
-          fail_cells(outcomes, worker.outstanding,
-                     std::string("worker sent malformed results: ") +
-                         e.what());
-          worker.outstanding.clear();
-          ::close(worker.fd);
-          worker.fd = -1;
-          break;
-        }
-        worker.outstanding.clear();
-        dispatch(worker);
-        if (!worker.alive()) {
-          break;
-        }
-      }
-      if (worker.alive() && pos > 0) {
-        worker.inbuf.erase(
-            worker.inbuf.begin(),
-            worker.inbuf.begin() + static_cast<std::ptrdiff_t>(pos));
-      }
-    }
-  }
-
-  // Anything still queued could not be placed (every worker died).
-  while (!queue.empty()) {
-    fail_cells(outcomes, queue.front(), kCrashError);
-    queue.pop_front();
-  }
-  for (Worker& worker : workers) {
-    if (worker.alive()) {
-      ::close(worker.fd);
-      worker.fd = -1;
-    }
-    ::waitpid(worker.pid, nullptr, 0);
-  }
-  return outcomes;
+  ForkLane lane(workers_);
+  DispatchOptions options;
+  options.batch_size = batch_size_;
+  DispatchCore core({&lane}, options);
+  return core.run(cells, cell_fn);
 }
 
 // --- batch payloads ------------------------------------------------------

@@ -3,22 +3,25 @@
 // SweepEngine (core/sweep.h) expands grids and owns the determinism
 // contract - per-cell seeds depend only on (master_seed, cell_index), and
 // results land in input order.  Executor is the seam below it that decides
-// *where* the cells run:
+// *where* the cells run.  Every executor is a lane configuration over the
+// one shared scheduler, core::DispatchCore (core/dispatch.h):
 //
-//   InProcessExecutor     today's thread pool - cells drained from an
-//                         atomic counter by N worker threads;
-//   MultiProcessExecutor  forked worker processes fed cell batches over
-//                         pipes as wire frames (support/wire.h) and
-//                         returning batched ResultSet frames - process
-//                         isolation (an aborting cell cannot take the
-//                         sweep down) and the stepping stone to
-//                         multi-host sharding.
+//   InProcessExecutor     one ThreadLane - worker threads inside this
+//                         process, each serving framed cell batches over
+//                         a socketpair;
+//   MultiProcessExecutor  one ForkLane - forked worker processes
+//                         (process isolation: an aborting cell cannot
+//                         take the sweep down), respawned on crash;
+//   net::ClusterExecutor  one TcpLane - remote sweep_workerd daemons
+//                         (net/cluster.h);
+//   HybridExecutor        any mix of the above in a single sweep
+//                         (core/dispatch.h).
 //
 // Every executor returns one CellOutcome per cell, in cell order: either a
-// ResultSet or a per-cell error string (a thrown cell_fn, or a worker
-// process that crashed mid-batch).  Because the cells carry their seeds
-// and the wire codec round-trips doubles bit-exactly, the outcomes are
-// bitwise identical across executors - the contract
+// ResultSet or a per-cell error string (a thrown cell_fn, or a cell that
+// was in flight on two workers that died).  Because the cells carry their
+// seeds and the wire codec round-trips doubles bit-exactly, the outcomes
+// are bitwise identical across executors - the contract
 // tests/core/executor_test.cc pins down.
 //
 // ShardSpec extends the same idea across hosts: shard i of k owns the
@@ -52,6 +55,12 @@ struct CellOutcome {
   bool ok() const { return error.empty(); }
 };
 
+// Evaluates one cell, catching anything cell_fn throws into a per-cell
+// error.  The one call every worker kind (thread, forked child, remote
+// daemon via plans) funnels through.
+CellOutcome evaluate_cell(const CellFn& cell_fn, const Scenario& cell,
+                          std::size_t index);
+
 class Executor {
  public:
   virtual ~Executor() = default;
@@ -65,7 +74,8 @@ class Executor {
                                        const CellFn& cell_fn) const = 0;
 };
 
-// Thread-pool execution inside the calling process.
+// Worker threads inside the calling process (a DispatchCore over one
+// ThreadLane).
 class InProcessExecutor final : public Executor {
  public:
   struct Options {
@@ -86,16 +96,16 @@ class InProcessExecutor final : public Executor {
   std::size_t threads_;
 };
 
-// Forked worker processes fed cell batches over pipes.
+// Forked worker processes fed cell batches over socketpairs (a
+// DispatchCore over one ForkLane).
 //
-// The parent forks `workers` children, each holding one socketpair.  Work
-// is dealt as kCellBatch frames (cell index + wire-encoded Scenario);
-// a child decodes each cell, evaluates it and answers with one
+// Work is dealt as kCellBatch frames (cell index + wire-encoded
+// Scenario); a child decodes each cell, evaluates it and answers with one
 // kResultBatch frame (index + ResultSet, or index + error string for a
-// throwing cell_fn), then blocks on the next request.  The parent polls
-// all children, hands out the next batch as each one finishes, and treats
-// a closed pipe with outstanding work as a crashed worker: those cells
-// come back as per-cell errors, never as a hung sweep.
+// throwing cell_fn), then blocks on the next request.  A child that
+// crashes mid-batch is respawned and its cells re-queued; a cell that
+// kills two workers in a row is declared poisonous and becomes a
+// per-cell error - never a hung sweep, never a shrinking pool.
 class MultiProcessExecutor final : public Executor {
  public:
   struct Options {

@@ -8,7 +8,10 @@
 #include <sstream>
 #include <utility>
 
+#include "core/dispatch.h"
+#include "core/lane.h"
 #include "net/cluster.h"
+#include "net/frame.h"
 
 namespace rbx {
 
@@ -18,12 +21,14 @@ namespace {
                               const char* why) {
   std::fprintf(stderr, "%s: bad argument '%s' (%s)\n", prog, arg, why);
   std::fprintf(stderr,
-               "usage: %s [--samples=N] [--nmax=N] [--seed=N] [--threads=N]\n"
-               "          [--workers=N] [--batch=N]\n"
-               "          [--connect=HOST:PORT,... [--steal]\n"
-               "           [--handshake-timeout-ms=N]]\n"
-               "          [--shard=i/k [--shard-out=FILE]]\n"
-               "          [--merge=FILE1,FILE2,...]\n",
+               "usage: %s [--samples=N] [--nmax=N] [--seed=N]\n"
+               "          [--threads=N] [--workers=N]\n"
+               "          [--connect=HOST:PORT,...] [--batch=N] [--steal]\n"
+               "          [--handshake-timeout-ms=N]\n"
+               "          [--shard=i/k [--shard-out=FILE | --shard-serve=PORT]]\n"
+               "          [--merge=SRC1,SRC2,...]  (SRC: file or HOST:PORT)\n"
+               "(--threads, --workers and --connect compose into one hybrid "
+               "sweep)\n",
                prog);
   std::exit(2);
 }
@@ -103,6 +108,7 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       value = arg + 10;
       size_target = &opts.threads;
+      opts.threads_given = true;
     } else if (std::strncmp(arg, "--workers=", 10) == 0) {
       value = arg + 10;
       size_target = &opts.workers;
@@ -168,6 +174,14 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
       opts.shard_out = arg + 12;
       shard_out_given = true;
       continue;
+    } else if (std::strncmp(arg, "--shard-serve=", 14) == 0) {
+      std::uint64_t port = 0;
+      if (!parse_strict_u64(arg + 14, &port) || port > 65535) {
+        usage_error(prog, arg, "expected a port in 0..65535 (0 = ephemeral)");
+      }
+      opts.shard_serve = true;
+      opts.shard_serve_port = static_cast<std::uint16_t>(port);
+      continue;
     } else if (std::strncmp(arg, "--merge=", 8) == 0) {
       const char* list = arg + 8;
       while (*list != '\0') {
@@ -212,23 +226,24 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
   if (!opts.merge_inputs.empty() && shard_given) {
     usage_error(prog, "--merge", "cannot combine --merge with --shard");
   }
-  if (!opts.connect.empty() && opts.workers > 0) {
-    usage_error(prog, "--connect",
-                "cannot combine --connect with --workers (pick one "
-                "distribution mode)");
-  }
   if (!opts.connect.empty() && !opts.merge_inputs.empty()) {
     usage_error(prog, "--connect",
                 "--merge evaluates nothing, so --connect is meaningless");
   }
+  // --batch and --steal are properties of the shared dispatch core, legal
+  // under any worker lane (forked or remote) and any hybrid mix of them -
+  // but meaningless on a pure --threads run, where they would silently do
+  // nothing (threads take single cells and cannot usefully straggle).
   if (batch_given && opts.workers == 0 && opts.connect.empty()) {
     usage_error(prog, "--batch",
-                "--batch only applies to --workers or --connect runs");
+                "--batch only applies to runs with a --workers or "
+                "--connect lane");
   }
-  if (opts.steal && opts.connect.empty()) {
+  if (opts.steal && opts.workers == 0 && opts.connect.empty()) {
     usage_error(prog, "--steal",
-                "--steal only applies to --connect runs (local executors "
-                "have no stragglers to steal from)");
+                "--steal only applies to runs with a --workers or "
+                "--connect lane (a pure --threads run has no stragglers "
+                "worth stealing from)");
   }
   if (handshake_timeout_given && opts.connect.empty()) {
     usage_error(prog, "--handshake-timeout-ms",
@@ -237,7 +252,16 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
   if (shard_out_given && !shard_given) {
     usage_error(prog, "--shard-out", "--shard-out requires --shard");
   }
-  if (shard_given && opts.shard_out.empty()) {
+  if (opts.shard_serve && !shard_given) {
+    usage_error(prog, "--shard-serve", "--shard-serve requires --shard");
+  }
+  if (opts.shard_serve && shard_out_given) {
+    usage_error(prog, "--shard-serve",
+                "--shard-serve streams partials to a --merge peer and "
+                "cannot combine with --shard-out");
+  }
+  opts.shard_mode = shard_given;
+  if (shard_given && !opts.shard_serve && opts.shard_out.empty()) {
     opts.shard_out = "shard-" + std::to_string(opts.shard.index) + "-of-" +
                      std::to_string(opts.shard.count) + ".rbxw";
   }
@@ -252,56 +276,138 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
   return opts;
 }
 
+// One source of shard partials for --merge: a preloaded partial file, or
+// a socket connected to a --shard-serve run that streams each section as
+// the shard finishes computing it.
+struct SweepRunner::MergeSource {
+  std::string name;
+  bool is_socket = false;
+  std::vector<wire::Frame> frames;       // file mode: all sections upfront
+  std::unique_ptr<net::FrameConn> conn;  // socket mode
+
+  // The ShardPartial frame of sweep section `section`; throws wire::Error
+  // naming this source when it cannot supply one.
+  wire::Frame next(std::size_t section) {
+    if (is_socket) {
+      wire::Frame frame;
+      try {
+        if (!conn->recv(&frame)) {
+          throw wire::Error("'" + name + "' hung up before streaming sweep "
+                            "section " + std::to_string(section) +
+                            " (did the shard run fail?)");
+        }
+      } catch (const wire::Error& e) {
+        throw wire::Error("'" + name + "': " + e.what());
+      }
+      return frame;
+    }
+    if (section >= frames.size()) {
+      throw wire::Error("'" + name + "' has only " +
+                        std::to_string(frames.size()) +
+                        " sweep sections (bench expected more - was it "
+                        "written by this bench?)");
+    }
+    return frames[section];
+  }
+};
+
 SweepRunner::SweepRunner(const ExperimentOptions& opts,
                          std::size_t default_threads)
     : opts_(opts) {
   if (opts_.threads == 0) {
     opts_.threads = default_threads;
   }
-  if (!opts_.connect.empty()) {
-    // One executor for the whole bench run: its worker connections (and
-    // its knowledge of which workers died) persist across sweeps.
-    net::ClusterOptions cluster;
-    cluster.endpoints = opts_.connect;
-    cluster.batch_size = opts_.batch;
-    cluster.steal = opts_.steal;
-    cluster.handshake_timeout_ms =
-        static_cast<int>(opts_.handshake_timeout_ms);
-    cluster_ = std::make_unique<net::ClusterExecutor>(std::move(cluster));
-  }
   if (!opts_.merge_inputs.empty()) {
-    try {
-      for (const std::string& path : opts_.merge_inputs) {
-        merge_frames_.push_back(wire::read_frames(path));
+    // Merge mode evaluates nothing, so no lanes are raised.  Sources that
+    // parse as HOST:PORT are sockets to --shard-serve runs; everything
+    // else is a partial file.
+    for (const std::string& input : opts_.merge_inputs) {
+      auto source = std::make_unique<MergeSource>();
+      source->name = input;
+      net::Endpoint endpoint;
+      std::string why;
+      if (net::parse_endpoint(input, &endpoint, &why)) {
+        source->is_socket = true;
+        try {
+          source->conn = std::make_unique<net::FrameConn>(
+              net::connect_to(endpoint, /*retries=*/10));
+        } catch (const net::Error& e) {
+          std::fprintf(stderr, "merge: %s\n", e.what());
+          std::exit(1);
+        }
+      } else {
+        try {
+          source->frames = wire::read_frames(input);
+        } catch (const wire::Error& e) {
+          std::fprintf(stderr, "merge: %s\n", e.what());
+          std::exit(1);
+        }
       }
-    } catch (const wire::Error& e) {
-      std::fprintf(stderr, "merge: %s\n", e.what());
+      merge_sources_.push_back(std::move(source));
+    }
+    return;
+  }
+  if (opts_.shard_serve) {
+    try {
+      shard_listener_ =
+          std::make_unique<net::Listener>(opts_.shard_serve_port);
+    } catch (const net::Error& e) {
+      std::fprintf(stderr, "shard: %s\n", e.what());
       std::exit(1);
     }
+    std::fprintf(stderr,
+                 "shard: serving partials on port %u (waiting for a "
+                 "--merge peer)\n",
+                 static_cast<unsigned>(shard_listener_->port()));
   }
+  // Compose the execution lanes.  One executor serves the whole bench
+  // run: its lanes (and a TCP lane's worker connections, including the
+  // knowledge of which workers died) persist across sweeps.
+  std::vector<std::unique_ptr<Lane>> lanes;
+  if (opts_.workers > 0) {
+    // Fork lane first: raising children before the thread lane spawns
+    // threads keeps each sweep's forks cheap and predictable.
+    lanes.push_back(std::make_unique<ForkLane>(opts_.workers));
+  }
+  if (opts_.threads_given || (opts_.workers == 0 && opts_.connect.empty())) {
+    lanes.push_back(std::make_unique<ThreadLane>(opts_.threads));
+  }
+  if (!opts_.connect.empty()) {
+    net::TcpLaneOptions tcp;
+    tcp.endpoints = opts_.connect;
+    // With local lanes present, an unreachable pool degrades the sweep
+    // instead of killing it; a --connect-only run still fails loudly.
+    tcp.required = lanes.empty();
+    lanes.push_back(std::make_unique<net::TcpLane>(std::move(tcp)));
+    remote_lanes_ = true;
+  }
+  DispatchOptions dispatch;
+  dispatch.batch_size = opts_.batch;
+  dispatch.steal = opts_.steal;
+  dispatch.handshake_timeout_ms =
+      static_cast<int>(opts_.handshake_timeout_ms);
+  executor_ =
+      std::make_unique<HybridExecutor>(std::move(lanes), dispatch);
 }
 
 SweepRunner::~SweepRunner() = default;
+
+std::uint16_t SweepRunner::shard_serve_port() const {
+  return shard_listener_ != nullptr ? shard_listener_->port() : 0;
+}
 
 std::vector<CellOutcome> SweepRunner::evaluate(
     const std::vector<Scenario>& cells, const CellFn& cell_fn,
     const PlanFn* plan_fn) const {
   try {
-    if (cluster_ != nullptr) {
-      if (plan_fn == nullptr) {
-        std::fprintf(stderr,
-                     "--connect: this sweep evaluates through a local-only "
-                     "cell function and cannot run on remote workers\n");
-        std::exit(2);
-      }
-      cluster_->set_plan_fn(*plan_fn);
-      return cluster_->run(cells, cell_fn);
+    if (remote_lanes_ && plan_fn == nullptr) {
+      std::fprintf(stderr,
+                   "--connect: this sweep evaluates through a local-only "
+                   "cell function and cannot run on remote workers\n");
+      std::exit(2);
     }
-    if (opts_.workers > 0) {
-      return MultiProcessExecutor({opts_.workers, opts_.batch})
-          .run(cells, cell_fn);
-    }
-    return InProcessExecutor({opts_.threads}).run(cells, cell_fn);
+    executor_->set_plan_fn(plan_fn != nullptr ? *plan_fn : PlanFn());
+    return executor_->run(cells, cell_fn);
   } catch (const std::exception& e) {
     // Infrastructure failures (no reachable workers, fork/poll failure)
     // are not per-cell errors; die loudly instead of unwinding through
@@ -347,27 +453,22 @@ std::optional<std::vector<ResultSet>> SweepRunner::run_impl(
     const std::vector<Scenario>& cells, const CellFn& cell_fn,
     const PlanFn* plan_fn) {
   const std::size_t section = sweep_index_++;
-  if (!merge_frames_.empty()) {
-    // Merge mode: pop section `section` of every partial file, applying
-    // each partial to the merger as it is decoded - the same streaming
-    // path the cluster transport uses, so a future "merge from sockets
-    // while shards still run" needs no new merge code.
+  if (!merge_sources_.empty()) {
+    // Merge mode: take section `section` from every source, applying each
+    // partial to the merger as it arrives.  A file source has all its
+    // sections upfront; a socket source streams each one the moment the
+    // --shard-serve run finishes computing it, so the merge overlaps with
+    // the shards' work.
     try {
       // The merger is pinned to THIS invocation's grid fingerprint, so a
       // merge run with different --samples/--seed than the shard runs
       // fails instead of printing tables that belong to other options.
-      PartialMerger merger(cells.size(), merge_frames_.size(),
+      PartialMerger merger(cells.size(), merge_sources_.size(),
                            grid_fingerprint(cells));
-      for (std::size_t f = 0; f < merge_frames_.size(); ++f) {
-        if (section >= merge_frames_[f].size()) {
-          throw wire::Error("'" + opts_.merge_inputs[f] + "' has only " +
-                            std::to_string(merge_frames_[f].size()) +
-                            " sweep sections (bench expected more - was it "
-                            "written by this bench?)");
-        }
-        const wire::Frame& frame = merge_frames_[f][section];
+      for (std::size_t f = 0; f < merge_sources_.size(); ++f) {
+        const wire::Frame frame = merge_sources_[f]->next(section);
         if (frame.type != kFrameShardPartial) {
-          throw wire::Error("'" + opts_.merge_inputs[f] +
+          throw wire::Error("'" + merge_sources_[f]->name +
                             "' section " + std::to_string(section) +
                             " is not a shard partial");
         }
@@ -377,7 +478,8 @@ std::optional<std::vector<ResultSet>> SweepRunner::run_impl(
         try {
           merger.apply(partial);
         } catch (const wire::Error& e) {
-          throw wire::Error("'" + opts_.merge_inputs[f] + "': " + e.what());
+          throw wire::Error("'" + merge_sources_[f]->name + "': " +
+                            e.what());
         }
       }
       return merger.take();
@@ -387,10 +489,10 @@ std::optional<std::vector<ResultSet>> SweepRunner::run_impl(
     }
   }
 
-  // shard_out is set exactly when --shard was given; this honors the
-  // degenerate --shard=0/1 (one shard owning every cell) by still writing
-  // the partial instead of silently running in normal mode.
-  if (!opts_.shard_out.empty()) {
+  // shard_mode covers the degenerate --shard=0/1 (one shard owning every
+  // cell): it still writes/streams the partial instead of silently
+  // running in normal mode.
+  if (opts_.shard_mode) {
     // Shard mode: evaluate the owned cells, append one partial section.
     const std::vector<std::size_t> owned =
         shard_cell_indices(cells.size(), opts_.shard);
@@ -437,6 +539,27 @@ std::optional<std::vector<ResultSet>> SweepRunner::run_impl(
     partial.encode(payload);
     const std::vector<std::byte> frame =
         wire::seal_frame(kFrameShardPartial, payload.data());
+    if (opts_.shard_serve) {
+      // Stream the section to the one --merge peer the moment it exists;
+      // the merge applies it while later sweeps are still computing.
+      if (shard_conn_ == nullptr) {
+        try {
+          shard_conn_ = std::make_unique<net::FrameConn>(
+              shard_listener_->accept_client());
+        } catch (const net::Error& e) {
+          std::fprintf(stderr, "shard: %s\n", e.what());
+          std::exit(1);
+        }
+      }
+      if (!shard_conn_->send_frame(frame)) {
+        std::fprintf(stderr,
+                     "shard: the --merge peer hung up before taking sweep "
+                     "section %zu\n",
+                     section);
+        std::exit(1);
+      }
+      return std::nullopt;
+    }
     partial_bytes_.insert(partial_bytes_.end(), frame.begin(), frame.end());
     try {
       // Rewritten after every sweep so the file is complete once the bench

@@ -3,21 +3,28 @@
 //
 // Every bench runs with no arguments and prints the paper's rows to stdout;
 // the flags below let a user trade precision for time and pick where the
-// sweep cells execute:
+// sweep cells execute.  Execution lanes *compose*: any mix of --threads,
+// --workers and --connect runs as one sweep over the shared dispatch core
+// (core/dispatch.h), byte-identical to a single-threaded run.
 //   --samples=N    Monte-Carlo sample count (lines / failures / commits)
 //   --nmax=N       largest process count in sweeps
 //   --seed=N       master RNG seed
-//   --threads=N    in-process worker threads (default: hardware concurrency)
-//   --workers=N    evaluate cells on N forked worker processes instead of
-//                  threads (MultiProcessExecutor)
-//   --batch=N      cells per worker batch frame for --workers/--connect
-//                  (0 = adaptive, the default)
+//   --threads=N    a lane of N in-process worker threads (the default
+//                  lane, at hardware concurrency, when no lane flag is
+//                  given)
+//   --workers=N    a lane of N forked worker processes (crashed workers
+//                  are respawned and their cells re-run)
 //   --connect=HOST:PORT,...
-//                  evaluate cells on remote sweep_workerd daemons over TCP
-//                  (net/cluster.h ClusterExecutor)
-//   --steal        with --connect: once the queue is empty, re-dispatch a
-//                  straggler's unanswered cells to idle workers (first
-//                  answer wins, duplicates are deduped; output unchanged)
+//                  a lane of remote sweep_workerd daemons over TCP; a
+//                  lost daemon is re-admitted mid-sweep when it comes
+//                  back (reconnect + re-handshake on a backoff timer)
+//   --batch=N      cells per worker batch frame (0 = adaptive, the
+//                  default); needs a --workers or --connect lane
+//   --steal        once the queue is empty, re-dispatch a straggler's
+//                  unanswered cells to idle workers (first answer wins,
+//                  duplicates are deduped; output unchanged); needs a
+//                  --workers or --connect lane - a pure --threads run
+//                  has no stragglers worth stealing from
 //   --handshake-timeout-ms=N
 //                  with --connect: how long a worker's per-sweep Hello may
 //                  go unanswered before it is demoted to "lost" (default
@@ -28,15 +35,24 @@
 //                  printing tables
 //   --shard-out=F  where --shard writes the partial (default
 //                  shard-<i>-of-<k>.rbxw)
-//   --merge=F1,F2,...
-//                  print the tables from k partial files instead of
-//                  evaluating; byte-identical to an unsharded run
+//   --shard-serve=PORT
+//                  with --shard: instead of a file, listen on PORT and
+//                  stream each sweep's ShardPartial frame to the one
+//                  --merge peer that connects (0 = ephemeral, printed on
+//                  stderr)
+//   --merge=SRC1,SRC2,...
+//                  print the tables from k partial sources instead of
+//                  evaluating; a source is a partial file path or a
+//                  HOST:PORT of a --shard-serve run, and socket sources
+//                  are merged as the shards stream in.  Byte-identical to
+//                  an unsharded run; partials from a different grid
+//                  (fingerprint mismatch) are refused loudly
 //
 // Parsing is strict: an unknown flag, a malformed number, a negative value,
-// --threads=0, --shard=3/2 or --connect=host (no port) prints a usage
-// message to stderr and exits with status 2 (a typo'd flag silently
-// falling back to defaults once cost a day of benchmarking against the
-// wrong sample count).
+// --threads=0, --shard=3/2, --connect=host (no port) or --steal without a
+// worker lane prints a usage message to stderr and exits with status 2 (a
+// typo'd flag silently falling back to defaults once cost a day of
+// benchmarking against the wrong sample count).
 #pragma once
 
 #include <cstddef>
@@ -53,8 +69,10 @@
 
 namespace rbx {
 
+class HybridExecutor;  // core/dispatch.h; kept out of every bench TU
+
 namespace net {
-class ClusterExecutor;  // net/cluster.h; kept out of every bench TU
+class FrameConn;  // net/frame.h
 }
 
 // Strict non-negative integer parse shared by the bench flags and
@@ -66,15 +84,21 @@ struct ExperimentOptions {
   std::size_t samples = 20000;
   std::size_t nmax = 0;      // 0 = bench default
   std::uint64_t seed = 20260610;
-  std::size_t threads = 0;   // 0 = hardware concurrency (SweepEngine default)
-  std::size_t workers = 0;   // 0 = in-process threads; N = forked processes
+  std::size_t threads = 0;   // 0 = hardware concurrency
+  bool threads_given = false;  // --threads named explicitly: add the lane
+                               // even when --workers/--connect are present
+  std::size_t workers = 0;   // forked-worker lane size; 0 = no fork lane
   std::size_t batch = 0;     // cells per worker batch; 0 = adaptive
-  std::vector<net::Endpoint> connect;  // non-empty = cluster execution
-  bool steal = false;        // --connect: steal stragglers' tails
+  std::vector<net::Endpoint> connect;  // non-empty = TCP lane
+  bool steal = false;        // steal stragglers' tails (multi-lane runs)
   std::size_t handshake_timeout_ms = 10000;  // --connect: Hello deadline
+  bool shard_mode = false;   // --shard given (covers the 0/1 degenerate)
   ShardSpec shard;           // {0, 1} = unsharded
-  std::string shard_out;     // partial file path; set when shard.active()
-  std::vector<std::string> merge_inputs;  // non-empty = merge mode
+  std::string shard_out;     // partial file path; set for file-mode shards
+  bool shard_serve = false;  // stream partials to a --merge peer instead
+  std::uint16_t shard_serve_port = 0;
+  std::vector<std::string> merge_inputs;  // non-empty = merge mode; each a
+                                          // file path or HOST:PORT source
 
   static ExperimentOptions parse(int argc, char** argv,
                                  std::size_t default_samples,
@@ -84,18 +108,21 @@ struct ExperimentOptions {
 // Drives every sweep of one bench invocation under the execution mode the
 // flags selected:
 //
-//   normal      evaluate all cells (threads; worker processes with
-//               --workers; remote daemons with --connect) and hand the
-//               results back;
+//   normal      evaluate all cells on the composed lanes (threads by
+//               default; forked workers with --workers; remote daemons
+//               with --connect; any mix of the three at once) and hand
+//               the results back;
 //   --shard=i/k evaluate only the owned cells of each sweep, append one
-//               ShardPartial section per run() call to the partial file,
-//               and return std::nullopt - the bench skips its printing and
-//               exits after its last sweep;
-//   --merge     evaluate nothing; pop the next ShardPartial section from
-//               every input file and return the merged full result vector.
+//               ShardPartial section per run() call to the partial file
+//               (or stream it to the --merge peer with --shard-serve),
+//               and return std::nullopt - the bench skips its printing
+//               and exits after its last sweep;
+//   --merge     evaluate nothing; take the next ShardPartial section from
+//               every input source - a file, or a socket streaming shards
+//               as they finish - and return the merged full result vector.
 //
 // Benches call run() once per grid, in a fixed order, so section s of every
-// partial file corresponds to the bench's s-th sweep.  A failed cell (a
+// partial source corresponds to the bench's s-th sweep.  A failed cell (a
 // throwing cell_fn or a crashed worker) prints the per-cell errors and
 // exits 1 - a bench table with silently missing rows would be worse.
 //
@@ -116,7 +143,7 @@ class SweepRunner {
   // process threads); 0 keeps the hardware-concurrency default.
   explicit SweepRunner(const ExperimentOptions& opts,
                        std::size_t default_threads = 0);
-  ~SweepRunner();  // out of line: ClusterExecutor is forward-declared here
+  ~SweepRunner();  // out of line: HybridExecutor is forward-declared here
 
   // Local-only: cells evaluate through an arbitrary closure.
   std::optional<std::vector<ResultSet>> run(
@@ -130,7 +157,13 @@ class SweepRunner {
   std::optional<std::vector<ResultSet>> run(
       const std::vector<Scenario>& cells, const EvalBackend& backend);
 
+  // The port a --shard-serve run is listening on (0 when not serving);
+  // useful with --shard-serve=0 (ephemeral).
+  std::uint16_t shard_serve_port() const;
+
  private:
+  struct MergeSource;  // a partial file, or a socket streaming partials
+
   std::optional<std::vector<ResultSet>> run_impl(
       const std::vector<Scenario>& cells, const CellFn& cell_fn,
       const PlanFn* plan_fn);
@@ -140,9 +173,14 @@ class SweepRunner {
 
   ExperimentOptions opts_;
   std::size_t sweep_index_ = 0;
-  std::vector<std::byte> partial_bytes_;           // shard mode accumulator
-  std::vector<std::vector<wire::Frame>> merge_frames_;  // one per input file
-  std::unique_ptr<net::ClusterExecutor> cluster_;  // --connect, else null
+  std::vector<std::byte> partial_bytes_;           // shard-to-file mode
+  std::unique_ptr<net::Listener> shard_listener_;  // --shard-serve
+  std::unique_ptr<net::FrameConn> shard_conn_;     // the one merge peer
+  std::vector<std::unique_ptr<MergeSource>> merge_sources_;
+  // One executor for the whole bench run: its lanes (and a TCP lane's
+  // worker connections) persist across sweeps.  Null in merge mode.
+  std::unique_ptr<HybridExecutor> executor_;
+  bool remote_lanes_ = false;  // a --connect lane exists: plans required
 };
 
 // "value +- half_width" with sensible precision.

@@ -19,11 +19,13 @@
 // without changing their printed reference values.
 //
 // SweepEngine delegates the actual evaluation to an Executor
-// (core/executor.h): by default the in-process thread pool, and the same
-// cells can go through MultiProcessExecutor or a ShardSpec split without
-// changing a single printed digit.  A cell_fn that throws is rethrown on
-// the calling thread (as std::runtime_error naming the cell) once the
-// remaining cells finish - it no longer std::terminates a worker thread.
+// (core/executor.h): by default InProcessExecutor (a thread lane over the
+// shared DispatchCore), and the same cells can go through forked workers,
+// remote daemons, any hybrid lane mix (core/dispatch.h) or a ShardSpec
+// split without changing a single printed digit.  A cell_fn that throws
+// is rethrown on the calling thread (as std::runtime_error naming the
+// cell) once the remaining cells finish - it no longer std::terminates a
+// worker thread.
 #pragma once
 
 #include <cstddef>

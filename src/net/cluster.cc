@@ -1,491 +1,148 @@
 #include "net/cluster.h"
 
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
-#include <deque>
-#include <stdexcept>
 #include <utility>
-
-#include "support/io.h"
 
 namespace rbx {
 namespace net {
 
-struct ClusterExecutor::Remote {
-  Endpoint endpoint;
-  std::unique_ptr<FrameConn> conn;  // null = lost
-  std::vector<std::size_t> outstanding;  // batch in flight, empty = idle
+// --- TcpLane ---------------------------------------------------------------
 
-  bool alive() const { return conn != nullptr && conn->open(); }
+struct TcpLane::Remote final : LaneWorker {
+  Remote(TcpLane* lane, Endpoint ep)
+      : lane_(lane), endpoint_(std::move(ep)) {}
+
+  std::string describe() const override { return endpoint_.to_string(); }
+  FrameChannel* channel() override { return &channel_; }
+  bool needs_plan() const override { return true; }
+  bool needs_handshake() const override { return true; }
+  void retire() override { channel_.close(); }
+
+  // Re-admission: only an endpoint that has spoken to us before is worth
+  // the backoff timer - one that was never reachable keeps its one
+  // blocking chance per process, exactly as before the refactor.
+  bool can_revive() const override { return ever_connected_; }
+  int revive_delay_ms() const override {
+    return lane_->options_.readmit_delay_ms;
+  }
+
+  Revive revive() override {
+    bool in_progress = false;
+    std::string err;
+    Socket sock = start_connect(endpoint_, &in_progress, &err);
+    if (!sock.valid()) {
+      return Revive::kFailed;
+    }
+    channel_ = FrameChannel(sock.release());
+    return in_progress ? Revive::kPending : Revive::kReady;
+  }
+
+  bool revive_finish() override {
+    std::string err;
+    if (!finish_connect(channel_.fd(), &err) ||
+        !set_blocking(channel_.fd(), true)) {
+      channel_.close();
+      return false;
+    }
+    return true;
+  }
+
+  TcpLane* lane_;
+  Endpoint endpoint_;
+  FrameChannel channel_;
+  bool ever_connected_ = false;
 };
 
-ClusterExecutor::ClusterExecutor(ClusterOptions options)
-    : options_(std::move(options)) {}
+TcpLane::TcpLane(TcpLaneOptions options) : options_(std::move(options)) {}
 
-ClusterExecutor::~ClusterExecutor() = default;
+TcpLane::~TcpLane() = default;
 
-std::size_t ClusterExecutor::live_workers() const {
+std::size_t TcpLane::live() const {
   if (!connected_) {
     return options_.endpoints.size();
   }
   std::size_t n = 0;
   for (const auto& remote : remotes_) {
-    if (remote->alive()) {
+    if (remote->channel_.open()) {
       ++n;
     }
   }
   return n;
 }
 
-void ClusterExecutor::ensure_connected() const {
-  if (connected_) {
-    return;
-  }
-  connected_ = true;
-  for (const Endpoint& endpoint : options_.endpoints) {
-    auto remote = std::make_unique<Remote>();
-    remote->endpoint = endpoint;
-    try {
-      remote->conn = std::make_unique<FrameConn>(
-          connect_to(endpoint, options_.connect_retries));
-    } catch (const Error& e) {
-      std::fprintf(stderr, "cluster: %s (continuing without this worker)\n",
-                   e.what());
+void TcpLane::start(std::size_t cell_count, const CellFn& cell_fn,
+                    std::vector<LaneWorker*>* out) {
+  (void)cell_count;
+  (void)cell_fn;  // remote daemons evaluate plans, never local closures
+  if (!connected_) {
+    connected_ = true;
+    for (const Endpoint& endpoint : options_.endpoints) {
+      auto remote = std::make_unique<Remote>(this, endpoint);
+      try {
+        Socket sock = connect_to(endpoint, options_.connect_retries);
+        remote->channel_ = FrameChannel(sock.release());
+        remote->ever_connected_ = true;
+      } catch (const Error& e) {
+        if (!options_.quiet) {
+          std::fprintf(stderr,
+                       "cluster: %s (continuing without this worker)\n",
+                       e.what());
+        }
+      }
+      remotes_.push_back(std::move(remote));
     }
-    remotes_.push_back(std::move(remote));
+    if (live() == 0 && options_.required) {
+      throw Error("cluster: none of the " +
+                  std::to_string(options_.endpoints.size()) +
+                  " configured workers are reachable");
+    }
   }
-  if (live_workers() == 0) {
-    throw Error("cluster: none of the " +
-                std::to_string(options_.endpoints.size()) +
-                " configured workers are reachable");
+  for (const auto& remote : remotes_) {
+    out->push_back(remote.get());
   }
 }
 
+void TcpLane::finish() {
+  // Persistent lane: connections (and the knowledge of which endpoints
+  // have died) survive into the next sweep.
+}
+
+// --- ClusterExecutor -------------------------------------------------------
+
+namespace {
+
+TcpLaneOptions lane_options(const ClusterOptions& options) {
+  TcpLaneOptions out;
+  out.endpoints = options.endpoints;
+  out.connect_retries = options.connect_retries;
+  out.quiet = options.quiet;
+  out.required = true;
+  out.readmit_delay_ms = options.readmit_delay_ms;
+  return out;
+}
+
+DispatchOptions core_options(const ClusterOptions& options) {
+  DispatchOptions out;
+  out.batch_size = options.batch_size;
+  out.steal = options.steal;
+  out.handshake_timeout_ms = options.handshake_timeout_ms;
+  out.quiet = options.quiet;
+  out.readmit = options.readmit;
+  out.readmit_max_attempts = options.readmit_max_attempts;
+  return out;
+}
+
+}  // namespace
+
+ClusterExecutor::ClusterExecutor(ClusterOptions options)
+    : lane_(std::make_unique<TcpLane>(lane_options(options))),
+      core_({lane_.get()}, core_options(options)) {}
+
+ClusterExecutor::~ClusterExecutor() = default;
+
 std::vector<CellOutcome> ClusterExecutor::run(
     const std::vector<Scenario>& cells, const CellFn& cell_fn) const {
-  (void)cell_fn;  // remote workers evaluate plans, not local closures
-  if (!plan_fn_) {
-    throw std::runtime_error(
-        "ClusterExecutor: no plan function set (this sweep is local-only)");
-  }
-  std::vector<CellOutcome> outcomes(cells.size());
-  if (cells.empty()) {
-    return outcomes;
-  }
-  ensure_connected();
-
-  const auto refuse = [&](Remote& remote, const std::string& why) {
-    if (!options_.quiet) {
-      std::fprintf(stderr, "cluster: worker %s refused the handshake: %s\n",
-                   remote.endpoint.to_string().c_str(), why.c_str());
-    }
-    remote.conn.reset();
-  };
-
-  // --- handshake: one Hello per sweep, sent to every surviving worker at
-  // once, acks collected in parallel under a deadline.  A worker that
-  // accepted TCP but never answers is demoted to "lost" instead of
-  // blocking the sweep, and the sequential Hello round-trip per worker is
-  // gone - every worker handshakes in the slowest one's single RTT.
-  const std::uint64_t fingerprint = grid_fingerprint(cells);
-  Hello hello;
-  hello.fingerprint = fingerprint;
-  hello.total_cells = cells.size();
-
-  std::vector<Remote*> awaiting;
-  for (auto& remote : remotes_) {
-    if (!remote->alive()) {
-      continue;
-    }
-    // Stale bookkeeping from a previous sweep that ended with this worker
-    // still owing a stolen-from batch; the answers themselves are flushed
-    // below, ahead of the ack (one TCP stream keeps frames ordered).
-    remote->outstanding.clear();
-    wire::Writer w;
-    hello.encode(w);
-    if (!remote->conn->send(kFrameHello, w.data())) {
-      refuse(*remote, "connection lost");
-      continue;
-    }
-    awaiting.push_back(remote.get());
-  }
-
-  // Drains buffered frames on an awaiting worker.  True = this worker is
-  // settled (acked, or refused and reset); false = still awaiting bytes.
-  const auto check_ack = [&](Remote& remote) -> bool {
-    for (;;) {
-      wire::Frame ack;
-      try {
-        if (!remote.conn->pop(&ack)) {
-          return false;
-        }
-        if (ack.type == kFrameResultBatch) {
-          // A stale answer from the previous sweep (this straggler's tail
-          // was stolen and committed elsewhere); discard and keep going.
-          continue;
-        }
-        if (ack.type == kFrameError) {
-          wire::Reader r(ack.payload);
-          refuse(remote, r.str());
-          return true;
-        }
-        if (ack.type != kFrameHelloAck) {
-          refuse(remote,
-                 "unexpected frame type " + std::to_string(ack.type));
-          return true;
-        }
-        wire::Reader r(ack.payload);
-        const Hello echo = Hello::decode(r);
-        r.expect_done();
-        if (echo.protocol != hello.protocol ||
-            echo.wire_version != hello.wire_version ||
-            echo.fingerprint != fingerprint) {
-          refuse(remote, "ack does not echo this sweep's handshake");
-        }
-        return true;
-      } catch (const wire::Error& e) {
-        refuse(remote, std::string("malformed ack: ") + e.what());
-        return true;
-      }
-    }
-  };
-
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(options_.handshake_timeout_ms);
-  // Acks may already sit in the buffers (arrived with earlier traffic).
-  awaiting.erase(std::remove_if(awaiting.begin(), awaiting.end(),
-                                [&](Remote* r) { return check_ack(*r); }),
-                 awaiting.end());
-  while (!awaiting.empty()) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) {
-      for (Remote* remote : awaiting) {
-        refuse(*remote,
-               "no handshake answer within " +
-                   std::to_string(options_.handshake_timeout_ms) +
-                   " ms (worker hung, or not speaking the protocol)");
-      }
-      break;
-    }
-    const int timeout_ms = static_cast<int>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
-            .count() +
-        1);
-    std::vector<pollfd> fds;
-    fds.reserve(awaiting.size());
-    for (Remote* remote : awaiting) {
-      fds.push_back(pollfd{remote->conn->fd(), POLLIN, 0});
-    }
-    const int ready = io::poll_retry(fds.data(), fds.size(), timeout_ms);
-    if (ready < 0) {
-      for (auto& remote : remotes_) {
-        remote->conn.reset();
-      }
-      throw Error("cluster: poll() failed");
-    }
-    if (ready == 0) {
-      continue;  // deadline check at the top of the loop demotes them
-    }
-    std::vector<Remote*> still;
-    for (std::size_t k = 0; k < fds.size(); ++k) {
-      Remote& remote = *awaiting[k];
-      if (fds[k].revents == 0) {
-        still.push_back(&remote);
-        continue;
-      }
-      if (!remote.conn->fill()) {
-        // EOF; the ack may still be whole in the buffer.
-        if (!check_ack(remote) && remote.alive()) {
-          refuse(remote, "connection closed before the ack");
-        }
-        continue;
-      }
-      if (!check_ack(remote)) {
-        still.push_back(&remote);
-      }
-    }
-    awaiting = std::move(still);
-  }
-  if (live_workers() == 0) {
-    throw Error("cluster: no worker accepted the handshake");
-  }
-
-  // --- deal, stream, steal, recover ---
-  std::deque<std::size_t> queue;
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    queue.push_back(i);
-  }
-  // Cells already re-run once because a worker died holding them; a
-  // second loss marks the cell itself as the problem.
-  std::vector<std::uint8_t> requeued(cells.size(), 0);
-  // Per-cell in-flight accounting: how many workers currently hold a
-  // copy of the cell (stealing replicates it), and whether its outcome
-  // is final (first answer wins; late duplicates are ignored).
-  std::vector<std::uint8_t> inflight(cells.size(), 0);
-  std::vector<std::uint8_t> committed(cells.size(), 0);
-  std::size_t resolved = 0;  // committed outcomes, answers and errors alike
-
-  const auto live_count = [&]() { return live_workers(); };
-
-  // Rolls a lost worker's in-flight cells back into the queue (backward
-  // error recovery: per-cell seeds make the rerun bitwise identical).  A
-  // cell another worker still holds - its thief, or the straggler it was
-  // stolen from - needs nothing: the surviving copy answers for it.
-  const auto lose = [&](Remote& remote, const std::string& why) {
-    if (!options_.quiet) {
-      std::fprintf(
-          stderr,
-          "cluster: lost worker %s (%s); re-queueing %zu in-flight cells\n",
-          remote.endpoint.to_string().c_str(), why.c_str(),
-          remote.outstanding.size());
-    }
-    for (std::size_t k = remote.outstanding.size(); k-- > 0;) {
-      const std::size_t index = remote.outstanding[k];
-      if (inflight[index] > 0) {
-        --inflight[index];
-      }
-      if (committed[index] != 0 || inflight[index] > 0) {
-        continue;
-      }
-      if (requeued[index] != 0) {
-        outcomes[index].error =
-            "cell was in flight on two lost cluster workers";
-        committed[index] = 1;
-        ++resolved;
-      } else {
-        requeued[index] = 1;
-        queue.push_front(index);
-      }
-    }
-    remote.outstanding.clear();
-    remote.conn.reset();
-  };
-
-  // Ships `indices` to a worker as one batch; on success the worker owns
-  // them (outstanding + in-flight counts).  False = the send failed and
-  // nothing was recorded.
-  const auto send_batch = [&](Remote& remote,
-                              const std::vector<std::size_t>& indices) {
-    CellBatch batch;
-    batch.cells.reserve(indices.size());
-    for (const std::size_t index : indices) {
-      batch.cells.push_back(BatchCell{index, cells[index], true,
-                                      plan_fn_(cells[index], index)});
-    }
-    wire::Writer w;
-    batch.encode(w);
-    if (!remote.conn->send(kFrameCellBatch, w.data())) {
-      return false;
-    }
-    for (const std::size_t index : indices) {
-      ++inflight[index];
-    }
-    remote.outstanding = indices;
-    return true;
-  };
-
-  const auto dispatch = [&](Remote& remote) {
-    if (queue.empty() || !remote.alive() || !remote.outstanding.empty()) {
-      return;
-    }
-    std::size_t want = options_.batch_size;
-    if (want == 0) {
-      // Adaptive: about four batches per live worker of what remains,
-      // shrinking to single cells at the tail.
-      want = std::max<std::size_t>(1, queue.size() / (live_count() * 4));
-      want = std::min<std::size_t>(want, 64);
-    }
-    want = std::min(want, queue.size());
-    std::vector<std::size_t> indices;
-    indices.reserve(want);
-    for (std::size_t k = 0; k < want; ++k) {
-      indices.push_back(queue.front());
-      queue.pop_front();
-    }
-    if (!send_batch(remote, indices)) {
-      // Died before accepting: the batch was never in flight, put it
-      // back in order for someone else.
-      for (std::size_t k = indices.size(); k-- > 0;) {
-        queue.push_front(indices[k]);
-      }
-      lose(remote, "send failed");
-    }
-  };
-
-  // The stall fix: an idle worker with an empty queue takes the back half
-  // of the biggest straggler's unanswered tail instead of watching it.
-  // Only sole-copy, uncommitted cells qualify (at most two workers ever
-  // hold a cell at once); repeated halving covers the whole tail if the
-  // straggler never wakes, so one wedged-but-connected host can no longer
-  // set the sweep's wall-clock.  The straggler is not written off: it
-  // answers its whole batch whenever it recovers, and whichever answer
-  // lands first is committed - the duplicate is ignored, so the printed
-  // bytes cannot change, only the finish time.
-  const auto steal_for = [&](Remote& thief) {
-    if (!options_.steal || !queue.empty() || !thief.alive() ||
-        !thief.outstanding.empty()) {
-      return;
-    }
-    Remote* victim = nullptr;
-    std::vector<std::size_t> best;
-    for (auto& remote : remotes_) {
-      if (remote.get() == &thief || !remote->alive() ||
-          remote->outstanding.empty()) {
-        continue;
-      }
-      std::vector<std::size_t> stealable;
-      for (const std::size_t index : remote->outstanding) {
-        if (committed[index] == 0 && inflight[index] == 1) {
-          stealable.push_back(index);
-        }
-      }
-      if (stealable.size() > best.size()) {
-        victim = remote.get();
-        best = std::move(stealable);
-      }
-    }
-    if (victim == nullptr || best.empty()) {
-      return;
-    }
-    const std::size_t take = (best.size() + 1) / 2;
-    const std::vector<std::size_t> stolen(best.end() -
-                                              static_cast<std::ptrdiff_t>(take),
-                                          best.end());
-    if (!send_batch(thief, stolen)) {
-      lose(thief, "send failed");
-      return;
-    }
-    stolen_cells_ += take;
-    if (!options_.quiet) {
-      std::fprintf(stderr,
-                   "cluster: stole %zu tail cell(s) from straggler %s for "
-                   "idle worker %s\n",
-                   take, victim->endpoint.to_string().c_str(),
-                   thief.endpoint.to_string().c_str());
-    }
-  };
-
-  // Drains complete frames from a worker; false = the worker was lost.
-  const auto process_frames = [&](Remote& remote) {
-    for (;;) {
-      if (!remote.alive()) {
-        return false;
-      }
-      wire::Frame frame;
-      try {
-        if (!remote.conn->pop(&frame)) {
-          return true;
-        }
-        if (frame.type == kFrameError) {
-          wire::Reader r(frame.payload);
-          lose(remote, "worker error: " + r.str());
-          return false;
-        }
-        if (frame.type != kFrameResultBatch) {
-          lose(remote, "unexpected frame type " + std::to_string(frame.type));
-          return false;
-        }
-        wire::Reader r(frame.payload);
-        const ResultBatch batch = ResultBatch::decode(r);
-        r.expect_done();
-        // Streaming merge with dedup: outcomes land the moment this batch
-        // arrives - unless a thief's copy of a cell already did.
-        resolved +=
-            apply_result_batch(batch, remote.outstanding, outcomes,
-                               &committed);
-        for (const std::size_t index : remote.outstanding) {
-          if (inflight[index] > 0) {
-            --inflight[index];
-          }
-        }
-      } catch (const wire::Error& e) {
-        // apply_result_batch applies atomically - a throwing batch
-        // committed nothing, so every outstanding cell re-queues.
-        lose(remote, std::string("malformed results: ") + e.what());
-        return false;
-      }
-      remote.outstanding.clear();
-      dispatch(remote);
-    }
-  };
-
-  for (auto& remote : remotes_) {
-    dispatch(*remote);
-  }
-  for (auto& remote : remotes_) {
-    steal_for(*remote);  // more workers than batches: duplicate up front
-  }
-
-  for (;;) {
-    if (resolved == cells.size()) {
-      // Every outcome is final.  A straggler may still owe a batch whose
-      // cells a thief answered; its stale frames are flushed while
-      // waiting for the next sweep's ack.
-      break;
-    }
-    std::vector<pollfd> fds;
-    std::vector<Remote*> fd_remote;
-    for (auto& remote : remotes_) {
-      if (remote->alive() && !remote->outstanding.empty()) {
-        fds.push_back(pollfd{remote->conn->fd(), POLLIN, 0});
-        fd_remote.push_back(remote.get());
-      }
-    }
-    if (fds.empty()) {
-      break;  // nothing in flight anywhere
-    }
-    if (io::poll_retry(fds.data(), fds.size(), -1) < 0) {
-      // Infrastructure failure: drop every connection before throwing so
-      // a catching caller is not left with half a sweep wedged remotely.
-      for (auto& remote : remotes_) {
-        remote->conn.reset();
-      }
-      throw Error("cluster: poll() failed");
-    }
-    for (std::size_t k = 0; k < fds.size(); ++k) {
-      if (fds[k].revents == 0) {
-        continue;
-      }
-      Remote& remote = *fd_remote[k];
-      if (!remote.alive()) {
-        continue;  // lost while handling an earlier fd this round
-      }
-      if (!remote.conn->fill()) {
-        // EOF or read error.  Frames may still be whole in the buffer
-        // (answered, then died): apply them before declaring the loss.
-        if (process_frames(remote) && remote.alive()) {
-          if (remote.outstanding.empty()) {
-            remote.conn.reset();  // clean EOF between batches
-          } else {
-            lose(remote, "connection closed");
-          }
-        }
-        continue;
-      }
-      process_frames(remote);
-    }
-    // A loss above may have re-queued cells while other workers sit
-    // idle; hand the rolled-back work out again, then let anyone still
-    // idle steal a straggler's tail.
-    for (auto& remote : remotes_) {
-      if (remote->alive() && remote->outstanding.empty()) {
-        dispatch(*remote);
-      }
-    }
-    for (auto& remote : remotes_) {
-      steal_for(*remote);
-    }
-  }
-
-  // Anything still queued could not be placed (every worker is gone).
-  while (!queue.empty()) {
-    outcomes[queue.front()].error =
-        "no cluster worker remaining to evaluate this cell";
-    queue.pop_front();
-  }
-  return outcomes;
+  return core_.run(cells, cell_fn);
 }
 
 }  // namespace net

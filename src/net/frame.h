@@ -2,11 +2,12 @@
 //
 // The transport carries exactly the wire frames of support/wire.h - magic,
 // version, type, length-prefixed payload - so the bytes a coordinator
-// sends over TCP are the same bytes MultiProcessExecutor sends over a
-// socketpair.  FrameConn adds the two things a stream socket needs:
-// buffered reassembly of frames that arrive split across reads, and
-// poll-friendly non-greedy fills for the coordinator's multiplexed event
-// loop.
+// sends over TCP are the same bytes a ThreadLane or ForkLane worker sees
+// on its socketpair.  Since the dispatch refactor the buffered framing
+// itself lives in core (rbx::FrameChannel, core/lane.h): FrameConn is that
+// class adopting a net::Socket's fd, and the handshake frames (Hello /
+// HelloAck / Error) are re-exported here from core for the worker daemon
+// and its tests.
 //
 // On top of the executor-layer frames (kFrameCellBatch / kFrameResultBatch
 // / kFrameShardPartial) the cluster protocol adds a handshake:
@@ -21,7 +22,9 @@
 // not speak - two builds that would decode each other's doubles
 // differently must fail the handshake, not produce wrong tables - and
 // echoes the grid fingerprint so the coordinator can detect a worker that
-// somehow acked a different sweep.
+// somehow acked a different sweep.  A re-admitted worker (one that died
+// or hung and reconnected mid-sweep) re-runs exactly this handshake
+// against the same fingerprint before it may take work again.
 //
 // Each coordinator connection is one *session* with its own state: a
 // daemon serving several coordinators at once (net/worker.h) keeps a
@@ -34,69 +37,26 @@
 // the previous sweep arrives before the new HelloAck.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <vector>
+#include <utility>
 
+#include "core/lane.h"
 #include "net/socket.h"
-#include "support/wire.h"
 
 namespace rbx {
 namespace net {
 
-// Cluster control frame types (the executor data frames are 1..3).
-inline constexpr std::uint16_t kFrameHello = 16;
-inline constexpr std::uint16_t kFrameHelloAck = 17;
-inline constexpr std::uint16_t kFrameError = 18;
+// Re-exported cluster control frames and versions (core/lane.h).
+using rbx::Hello;
+using rbx::kFrameError;
+using rbx::kFrameHello;
+using rbx::kFrameHelloAck;
+using rbx::kProtocolVersion;
 
-// Version of the cluster conversation itself (handshake, batching rules).
-// Bump on incompatible protocol changes; both sides refuse a mismatch.
-inline constexpr std::uint32_t kProtocolVersion = 1;
-
-struct Hello {
-  std::uint32_t protocol = kProtocolVersion;
-  std::uint16_t wire_version = wire::kVersion;
-  std::uint64_t fingerprint = 0;  // grid_fingerprint of the sweep
-  std::uint64_t total_cells = 0;
-
-  void encode(wire::Writer& w) const;
-  static Hello decode(wire::Reader& r);
-};
-
-// Framed connection over one TCP socket.
-class FrameConn {
+// Framed connection over one TCP socket: the shared FrameChannel adopting
+// the socket's fd.
+class FrameConn : public FrameChannel {
  public:
-  explicit FrameConn(Socket sock) : sock_(std::move(sock)) {}
-
-  int fd() const { return sock_.fd(); }
-  bool open() const { return sock_.valid(); }
-  void close() { sock_.close(); }
-
-  // Wakes a recv() blocked in another thread by shutting the socket down
-  // (both directions); the blocked call sees EOF and returns false.  The
-  // fd itself stays owned by this FrameConn - safe to call while a
-  // session thread is inside recv(), unlike close().
-  void abort();
-
-  // Seals and writes one frame; false if the peer is gone.
-  bool send(std::uint16_t type, const std::vector<std::byte>& payload);
-
-  // Reads once from the socket into the reassembly buffer (use after
-  // poll() said the fd is readable).  False on EOF or error - the
-  // connection is finished; frames already buffered can still be popped.
-  bool fill();
-
-  // Pops the next complete frame out of the buffer.  Throws wire::Error
-  // on corrupt framing (bad magic / version / length).
-  bool pop(wire::Frame* out);
-
-  // Blocking receive: fill until one frame is complete.  False on EOF
-  // before a full frame; throws wire::Error on corrupt framing.
-  bool recv(wire::Frame* out);
-
- private:
-  Socket sock_;
-  std::vector<std::byte> buf_;
+  explicit FrameConn(Socket sock) : FrameChannel(sock.release()) {}
 };
 
 }  // namespace net

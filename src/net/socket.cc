@@ -1,5 +1,6 @@
 #include "net/socket.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -234,6 +235,63 @@ Socket try_connect(const Endpoint& endpoint, std::string* err) {
 }
 
 }  // namespace
+
+bool set_blocking(int fd, bool blocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return false;
+  }
+  const int want = blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+Socket start_connect(const Endpoint& endpoint, bool* in_progress,
+                     std::string* err) {
+  *in_progress = false;
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  const std::string port_text = std::to_string(endpoint.port);
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(endpoint.host.c_str(), port_text.c_str(), &hints, &res);
+  if (rc != 0) {
+    *err = "cannot resolve '" + endpoint.host + "': " + gai_strerror(rc);
+    return Socket();
+  }
+  std::string last = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = std::strerror(errno);
+      continue;
+    }
+    tune_conn(fd);
+    if (!set_blocking(fd, false)) {
+      last = std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    const int connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (connected == 0) {
+      ::freeaddrinfo(res);
+      set_blocking(fd, true);
+      return Socket(fd);
+    }
+    if (errno == EINPROGRESS || errno == EINTR) {
+      // Establishing asynchronously; the caller polls for writability and
+      // finishes with finish_connect().
+      ::freeaddrinfo(res);
+      *in_progress = true;
+      return Socket(fd);
+    }
+    last = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  *err = last;
+  return Socket();
+}
 
 Socket connect_to(const Endpoint& endpoint, int retries,
                   int retry_delay_ms) {

@@ -39,6 +39,13 @@ class Socket {
   int fd() const { return fd_; }
   bool valid() const { return fd_ >= 0; }
   void close();
+  // Hands ownership of the fd to the caller (e.g. a core FrameChannel);
+  // this Socket becomes invalid.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
 
  private:
   int fd_ = -1;
@@ -102,6 +109,19 @@ bool finish_connect(int fd, std::string* err);
 // daemon that is still starting up.
 Socket connect_to(const Endpoint& endpoint, int retries = 0,
                   int retry_delay_ms = 200);
+
+// Non-blocking connect for event loops (the re-admission timer in
+// core/dispatch.cc must never block a live sweep on a dead host).  On
+// immediate success returns a connected blocking socket with *in_progress
+// = false.  If the connect is still establishing, returns the (still
+// non-blocking) socket with *in_progress = true: poll its fd for
+// writability, call finish_connect(), then set_blocking(fd, true).  On
+// failure returns an invalid Socket and sets *err.
+Socket start_connect(const Endpoint& endpoint, bool* in_progress,
+                     std::string* err);
+
+// Sets or clears O_NONBLOCK; false on fcntl failure.
+bool set_blocking(int fd, bool blocking);
 
 }  // namespace net
 }  // namespace rbx

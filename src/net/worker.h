@@ -26,6 +26,14 @@
 // tests/net/cluster_test.cc and the CI smoke job exercise the
 // coordinator's re-queue recovery deterministically; `delay_ms` stalls
 // every batch, the deterministic "straggler" for work-stealing tests.
+//
+// A daemon needs no special support for mid-sweep re-admission: a
+// coordinator that lost this worker and reconnects is just a new session
+// that must complete the same Hello handshake (the coordinator refuses
+// its own reconnect if the fingerprint no longer matches its sweep) -
+// which is why killing a daemon and restarting it, even mid-sweep, is an
+// operation the fleet absorbs (tests/net/hybrid_test.cc and the CI
+// re-admission smoke restart one deterministically).
 #pragma once
 
 #include <atomic>

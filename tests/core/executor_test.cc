@@ -209,10 +209,13 @@ TEST(MultiProcessExecutorTest, ThrowingCellBecomesPerCellError) {
   }
 }
 
-TEST(MultiProcessExecutorTest, WorkerCrashSurfacesAsPerCellError) {
+TEST(MultiProcessExecutorTest, PoisonousCellFailsAfterKillingTwoWorkers) {
   // A cell that kills its worker process outright (not an exception).
-  // The crashed batch comes back as per-cell errors; every other cell
-  // still evaluates - the sweep never hangs and never dies.
+  // The dispatch core respawns the crashed worker and re-runs the cell
+  // once; when the rerun kills a worker too, the cell is declared
+  // poisonous and becomes a per-cell error.  Every other cell still
+  // evaluates - the sweep never hangs, never dies, and the pool never
+  // shrinks.
   const std::vector<Scenario> cells(8, Scenario::symmetric(2, 1.0, 1.0));
   const auto outcomes = MultiProcessExecutor({2, 1}).run(
       cells, [](const Scenario& s, std::size_t i) {
@@ -225,8 +228,7 @@ TEST(MultiProcessExecutorTest, WorkerCrashSurfacesAsPerCellError) {
       });
   ASSERT_EQ(outcomes.size(), 8u);
   EXPECT_FALSE(outcomes[3].ok());
-  EXPECT_NE(outcomes[3].error.find("worker process exited"),
-            std::string::npos)
+  EXPECT_NE(outcomes[3].error.find("two lost workers"), std::string::npos)
       << outcomes[3].error;
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     if (i == 3) {

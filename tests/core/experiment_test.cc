@@ -277,13 +277,96 @@ TEST(ExperimentOptionsDeathTest, RejectsEmptyConnectEntry) {
               ::testing::ExitedWithCode(2), "empty endpoint");
 }
 
-TEST(ExperimentOptionsDeathTest, RejectsConnectCombinedWithWorkers) {
+TEST(ExperimentOptions, ThreadsWorkersAndConnectComposeIntoOneHybridRun) {
+  // The lane flags compose: one sweep can span in-process threads, forked
+  // workers and remote daemons at once.
   char prog[] = "bench";
-  char a1[] = "--connect=hostA:4701";
+  char a1[] = "--threads=8";
   char a2[] = "--workers=4";
+  char a3[] = "--connect=hostA:4701,hostB:4701";
+  char a4[] = "--steal";
+  char a5[] = "--batch=2";
+  char* argv[] = {prog, a1, a2, a3, a4, a5};
+  const auto opts = ExperimentOptions::parse(6, argv, 100, 2);
+  EXPECT_EQ(opts.threads, 8u);
+  EXPECT_TRUE(opts.threads_given);
+  EXPECT_EQ(opts.workers, 4u);
+  ASSERT_EQ(opts.connect.size(), 2u);
+  EXPECT_TRUE(opts.steal);
+  EXPECT_EQ(opts.batch, 2u);
+}
+
+TEST(ExperimentOptions, ThreadLaneOnlyWhenNamedAlongsideWorkerLanes) {
+  // Without --threads, a --workers/--connect run gets no thread lane (the
+  // pre-hybrid behavior); threads_given is how SweepRunner knows.
+  char prog[] = "bench";
+  char a1[] = "--workers=4";
+  char* argv[] = {prog, a1};
+  const auto opts = ExperimentOptions::parse(2, argv, 100, 2);
+  EXPECT_FALSE(opts.threads_given);
+  EXPECT_EQ(opts.threads, 0u);
+}
+
+TEST(ExperimentOptions, StealComposesWithWorkersAlone) {
+  // --steal was once --connect-only; any worker lane now qualifies.
+  char prog[] = "bench";
+  char a1[] = "--workers=2";
+  char a2[] = "--steal";
+  char* argv[] = {prog, a1, a2};
+  const auto opts = ExperimentOptions::parse(3, argv, 100, 2);
+  EXPECT_TRUE(opts.steal);
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsStealOnPureThreadsRun) {
+  char prog[] = "bench";
+  char a1[] = "--steal";
+  char a2[] = "--threads=8";
   char* argv[] = {prog, a1, a2};
   EXPECT_EXIT(ExperimentOptions::parse(3, argv, 100, 2),
-              ::testing::ExitedWithCode(2), "distribution mode");
+              ::testing::ExitedWithCode(2), "only applies");
+}
+
+TEST(ExperimentOptions, ParsesShardServe) {
+  char prog[] = "bench";
+  char a1[] = "--shard=0/2";
+  char a2[] = "--shard-serve=4711";
+  char* argv[] = {prog, a1, a2};
+  const auto opts = ExperimentOptions::parse(3, argv, 100, 2);
+  EXPECT_TRUE(opts.shard_mode);
+  EXPECT_TRUE(opts.shard_serve);
+  EXPECT_EQ(opts.shard_serve_port, 4711);
+  // Serving replaces the partial file; no default path is invented.
+  EXPECT_TRUE(opts.shard_out.empty());
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsShardServeWithoutShard) {
+  char prog[] = "bench";
+  char a1[] = "--shard-serve=4711";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "requires --shard");
+}
+
+TEST(ExperimentOptionsDeathTest, RejectsShardServeCombinedWithShardOut) {
+  char prog[] = "bench";
+  char a1[] = "--shard=0/2";
+  char a2[] = "--shard-out=f.rbxw";
+  char a3[] = "--shard-serve=4711";
+  char* argv[] = {prog, a1, a2, a3};
+  EXPECT_EXIT(ExperimentOptions::parse(4, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "cannot combine");
+}
+
+TEST(ExperimentOptions, MergeAcceptsSocketSourcesAlongsideFiles) {
+  // A merge source that parses as HOST:PORT is a socket to a
+  // --shard-serve run; anything else stays a file path.
+  char prog[] = "bench";
+  char a1[] = "--merge=shard0.rbxw,127.0.0.1:4712";
+  char* argv[] = {prog, a1};
+  const auto opts = ExperimentOptions::parse(2, argv, 100, 2);
+  ASSERT_EQ(opts.merge_inputs.size(), 2u);
+  EXPECT_EQ(opts.merge_inputs[0], "shard0.rbxw");
+  EXPECT_EQ(opts.merge_inputs[1], "127.0.0.1:4712");
 }
 
 TEST(Formatting, CiString) {

@@ -119,7 +119,11 @@ TEST(ClusterExecutorTest, WorkerLossMidSweepRequeuesAndStaysBitwise) {
   const auto reference =
       InProcessExecutor({1}).run(cells, local_fn_for(plan));
 
-  TestWorker healthy;
+  // The healthy worker is throttled slightly so it cannot drain the whole
+  // queue before the dying worker's handshake settles - without the
+  // barrier of the old per-sweep handshake phase, an unthrottled survivor
+  // could finish everything first and the kill below would never trigger.
+  TestWorker healthy(/*fail_after=*/0, /*delay_ms=*/25);
   // Answers one single-cell batch, then drops the connection with its
   // next batch in flight: a deterministic mid-sweep kill.
   TestWorker dying(/*fail_after=*/1);
@@ -147,8 +151,13 @@ TEST(ClusterExecutorTest, AllWorkersLostFailsRemainingCellsWithoutHanging) {
 
   TestWorker dying(/*fail_after=*/1);
   {
-    net::ClusterExecutor cluster(cluster_options({dying.endpoint()},
-                                                 /*batch=*/1));
+    auto options = cluster_options({dying.endpoint()}, /*batch=*/1);
+    // Without re-admission: the dead worker's listener is still bound (the
+    // test object is in scope), so each revival attempt would connect and
+    // then burn a full handshake timeout - the pre-refactor semantics of
+    // "everyone is gone" are what this test pins.
+    options.readmit = false;
+    net::ClusterExecutor cluster(std::move(options));
     cluster.set_plan_fn(plan);
     const auto remote = cluster.run(cells, CellFn());
     ASSERT_EQ(remote.size(), cells.size());
@@ -275,23 +284,33 @@ TEST(ClusterExecutorTest, StealsStragglerTailAndStaysBitwise) {
     net::ClusterExecutor cluster(std::move(options));
     cluster.set_plan_fn(plan);
 
-    // Two sweeps over the same connections: the second one's handshake
-    // must flush the straggler's stale answer (its stolen batch) instead
-    // of misreading it as the ack.
-    for (int sweep = 0; sweep < 2; ++sweep) {
-      const auto remote = cluster.run(cells, CellFn());
-      ASSERT_EQ(remote.size(), cells.size());
-      for (std::size_t i = 0; i < cells.size(); ++i) {
-        ASSERT_TRUE(remote[i].ok())
-            << "sweep " << sweep << " cell " << i << ": " << remote[i].error;
-        EXPECT_EQ(remote[i].result, reference[i].result)
-            << "sweep " << sweep << " cell " << i;
-      }
+    // Sweep 1: the straggler holds its batch, the fast worker drains the
+    // queue and must steal the tail to finish.
+    const auto first = cluster.run(cells, CellFn());
+    ASSERT_EQ(first.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      ASSERT_TRUE(first[i].ok()) << "cell " << i << ": " << first[i].error;
+      EXPECT_EQ(first[i].result, reference[i].result) << "cell " << i;
     }
-    // The straggler never died - both workers are still connected; its
-    // tail was stolen, its late duplicate answers ignored.
-    EXPECT_EQ(cluster.live_workers(), 2u);
-    EXPECT_GE(cluster.stolen_cells(), 2u);  // at least one steal per sweep
+    EXPECT_GE(cluster.stolen_cells_last_run(), 1u);
+    EXPECT_EQ(cluster.stolen_cells_last_run(), cluster.stolen_cells());
+    const std::size_t after_first = cluster.stolen_cells();
+
+    // Sweep 2 over the same connections: the straggler still owes its
+    // stolen-from batch, so its stale answer must be flushed ahead of the
+    // new HelloAck (and if it is still asleep when the fast worker
+    // finishes everything, it is simply not waited on - there is no
+    // handshake barrier).  Either way the bytes cannot change, and the
+    // per-run counter reports this sweep alone - asserting the lifetime
+    // counter across runs was the accumulation bug the split fixed.
+    const auto second = cluster.run(cells, CellFn());
+    ASSERT_EQ(second.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      ASSERT_TRUE(second[i].ok()) << "cell " << i << ": " << second[i].error;
+      EXPECT_EQ(second[i].result, reference[i].result) << "cell " << i;
+    }
+    EXPECT_GE(cluster.stolen_cells(), after_first);  // lifetime: monotone
+    EXPECT_LE(cluster.stolen_cells_last_run(), cluster.stolen_cells());
   }
 }
 

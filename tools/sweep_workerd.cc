@@ -17,7 +17,12 @@
 // The daemon is long-running and serves coordinators *concurrently* -
 // each connection is an independent session on its own thread, so two
 // sweeps (or two users) can share one worker fleet without the second
-// coordinator wedging in the accept backlog behind the first.
+// coordinator wedging in the accept backlog behind the first.  It is
+// also safe to kill and restart a daemon while sweeps are running:
+// coordinators roll the lost cells back to the surviving workers, retry
+// the endpoint on a backoff timer, and *re-admit* the restarted daemon
+// mid-sweep once it passes the handshake again - with byte-identical
+// output either way.
 //
 // Flags (strict; anything malformed exits 2, like the bench flags):
 //   --serve=PORT     listen on PORT (required; 0 = ephemeral, printed)
