@@ -38,7 +38,18 @@
 //                multi-host batch sweeps: shard i of k evaluates cells
 //                with index % k == i, writes a ShardPartial, and
 //                PartialMerger / merge_shard_partials() reassembles the
-//                exact unsharded result vector (core/executor.h).
+//                exact unsharded result vector (core/executor.h);
+//   SweepJournal crash durability (recov/journal.h, recov/resume.h): a
+//                CRC'd write-ahead log of cell commits, an ARIES-style
+//                analysis pass tolerating torn tails, and resume planning
+//                that seeds DispatchCore with the recovered winners so a
+//                SIGKILLed sweep restarts evaluating only the losers
+//                (--journal/--resume on every bench) - output bitwise
+//                identical to an uninterrupted run;
+//   ResultCache  the worker daemon's disk-backed cell cache
+//                (recov/cache.h, sweep_workerd --cache-dir): a repeated
+//                sweep is answered from disk without re-evaluating,
+//                bypassed per-sweep by --no-cache.
 //
 // Scenario and ResultSet have exact binary round-trips (encode/decode on
 // support/wire.h) - the executors and shard files depend on doubles being
@@ -107,6 +118,8 @@
 //              core/lane.h)
 //   net/       the TCP lane of the dispatch layer (TcpLane,
 //              ClusterExecutor, WorkerServer)
+//   recov/     crash durability: sweep journal + resume planning +
+//              the worker-side result cache
 //
 // The per-layer entry points (AsyncRbModel, SyncRbSimulator,
 // RecoverySystem, ...) remain public for code that needs one layer only;
@@ -132,6 +145,9 @@
 #include "model/sync_model.h"          // IWYU pragma: export
 #include "net/cluster.h"               // IWYU pragma: export
 #include "net/worker.h"                // IWYU pragma: export
+#include "recov/cache.h"               // IWYU pragma: export
+#include "recov/journal.h"             // IWYU pragma: export
+#include "recov/resume.h"              // IWYU pragma: export
 #include "runtime/system.h"            // IWYU pragma: export
 #include "support/table.h"             // IWYU pragma: export
 #include "support/wire.h"              // IWYU pragma: export

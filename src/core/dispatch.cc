@@ -51,13 +51,56 @@ struct Slot {
 DispatchCore::DispatchCore(std::vector<Lane*> lanes, DispatchOptions options)
     : lanes_(std::move(lanes)), options_(std::move(options)) {}
 
+void DispatchCore::set_precommitted(std::vector<std::uint8_t> mask,
+                                    std::vector<CellOutcome> outcomes) {
+  have_precommitted_ = true;
+  precommitted_mask_ = std::move(mask);
+  precommitted_outcomes_ = std::move(outcomes);
+}
+
 std::vector<CellOutcome> DispatchCore::run(const std::vector<Scenario>& cells,
                                            const CellFn& cell_fn) {
   stolen_last_run_ = 0;
   readmitted_last_run_ = 0;
   std::vector<CellOutcome> outcomes(cells.size());
+
+  // Consume the one-shot resume seed (the journal's redo pass): these
+  // outcomes are final before any worker starts.
+  std::vector<std::uint8_t> pre;
+  if (have_precommitted_) {
+    have_precommitted_ = false;
+    std::vector<std::uint8_t> mask = std::move(precommitted_mask_);
+    std::vector<CellOutcome> seeded = std::move(precommitted_outcomes_);
+    precommitted_mask_.clear();
+    precommitted_outcomes_.clear();
+    if (mask.size() != cells.size() || seeded.size() != cells.size()) {
+      throw std::runtime_error(
+          "dispatch: pre-committed mask does not match the grid (" +
+          std::to_string(mask.size()) + " entries, " +
+          std::to_string(cells.size()) + " cells)");
+    }
+    pre = std::move(mask);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (pre[i] != 0) {
+        outcomes[i] = std::move(seeded[i]);
+      }
+    }
+  }
+
   if (cells.empty()) {
     return outcomes;
+  }
+
+  // A fully pre-committed sweep (resuming a journal that already ended) is
+  // done before any worker starts - don't raise lanes just to idle them.
+  if (!pre.empty()) {
+    bool all_committed = true;
+    for (std::size_t i = 0; i < cells.size() && all_committed; ++i) {
+      all_committed = pre[i] != 0;
+    }
+    if (all_committed) {
+      return outcomes;
+    }
   }
 
   std::vector<LaneWorker*> workers;
@@ -91,6 +134,9 @@ std::vector<CellOutcome> DispatchCore::run(const std::vector<Scenario>& cells,
     Hello hello;
     hello.fingerprint = fingerprint;
     hello.total_cells = total;
+    if (options_.no_cache) {
+      hello.flags |= kHelloFlagNoCache;
+    }
 
     std::vector<Slot> slots(workers.size());
     for (std::size_t i = 0; i < workers.size(); ++i) {
@@ -98,9 +144,18 @@ std::vector<CellOutcome> DispatchCore::run(const std::vector<Scenario>& cells,
     }
 
     // --- shared per-cell bookkeeping ---
+    // Pre-committed cells (a resumed sweep's winners) enter already final:
+    // committed up front, never enqueued, invisible to the workers.
     std::deque<std::size_t> queue;
+    std::vector<std::uint8_t> committed(total, 0);
+    std::size_t resolved = 0;  // final outcomes, answers and errors alike
     for (std::size_t i = 0; i < total; ++i) {
-      queue.push_back(i);
+      if (!pre.empty() && pre[i] != 0) {
+        committed[i] = 1;
+        ++resolved;
+      } else {
+        queue.push_back(i);
+      }
     }
     // Cells already re-run once because a worker died holding them; a
     // second loss marks the cell itself as the problem.
@@ -109,8 +164,6 @@ std::vector<CellOutcome> DispatchCore::run(const std::vector<Scenario>& cells,
     // replicates it), and whether its outcome is final (first answer
     // wins; late duplicates are ignored).
     std::vector<std::uint8_t> inflight(total, 0);
-    std::vector<std::uint8_t> committed(total, 0);
-    std::size_t resolved = 0;  // final outcomes, answers and errors alike
 
     const auto ready_count = [&]() {
       std::size_t n = 0;
@@ -168,6 +221,9 @@ std::vector<CellOutcome> DispatchCore::run(const std::vector<Scenario>& cells,
           outcomes[index].error = "cell was in flight on two lost workers";
           committed[index] = 1;
           ++resolved;
+          if (commit_hook_) {
+            commit_hook_(index, outcomes[index]);
+          }
         } else {
           requeued[index] = 1;
           queue.push_front(index);
@@ -440,9 +496,26 @@ std::vector<CellOutcome> DispatchCore::run(const std::vector<Scenario>& cells,
           r.expect_done();
           // Streaming merge with dedup: outcomes land the moment this
           // batch arrives - unless a thief's copy of a cell already did.
+          // The commit hook fires exactly for the 0->1 transitions of the
+          // committed mask (a duplicate answer must not re-journal).
+          std::vector<std::size_t> fresh;
+          if (commit_hook_) {
+            for (const std::size_t index : slot.outstanding) {
+              if (committed[index] == 0) {
+                fresh.push_back(index);
+              }
+            }
+          }
           resolved +=
               apply_result_batch(batch, slot.outstanding, outcomes,
                                  &committed);
+          if (commit_hook_) {
+            for (const std::size_t index : fresh) {
+              if (committed[index] != 0) {
+                commit_hook_(index, outcomes[index]);
+              }
+            }
+          }
           for (const std::size_t index : slot.outstanding) {
             if (inflight[index] > 0) {
               --inflight[index];

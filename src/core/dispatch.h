@@ -35,6 +35,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +61,9 @@ struct DispatchOptions {
   // consecutive failure), up to readmit_max_attempts tries per loss.
   bool readmit = true;
   int readmit_max_attempts = 5;
+  // Ask remote daemons to bypass their result cache (--no-cache): set the
+  // kHelloFlagNoCache bit in this sweep's handshake.
+  bool no_cache = false;
 };
 
 class DispatchCore {
@@ -69,6 +74,23 @@ class DispatchCore {
   // thread/fork workers always run cell_fn.  Must be set before run()
   // whenever a plan-needing lane is configured.
   void set_plan_fn(PlanFn plan_fn) { plan_fn_ = std::move(plan_fn); }
+
+  // Fired once per cell the moment its outcome becomes final - the commit
+  // point a sweep journal (recov/journal.h) hangs off.  Called from the
+  // dispatch thread, in commit order (not cell order).  Cells the run
+  // never commits (no worker remaining) do not fire.
+  using CommitHook = std::function<void(std::size_t, const CellOutcome&)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  // Seeds the NEXT run() with already-final outcomes (the redo pass of a
+  // resumed sweep): cells with mask[i] != 0 take outcomes[i] verbatim,
+  // are never enqueued and never reach a worker; only the losers are
+  // evaluated.  One-shot - consumed by that run, later runs start clean.
+  // The commit hook does not fire for pre-committed cells (they are
+  // already in the journal).  mask and outcomes must match the grid the
+  // next run() receives; run() throws std::runtime_error otherwise.
+  void set_precommitted(std::vector<std::uint8_t> mask,
+                        std::vector<CellOutcome> outcomes);
 
   // Evaluates every cell across the lanes; outcomes in cell order,
   // bitwise identical to a serial run of the same cell_fn.  Throws
@@ -94,6 +116,10 @@ class DispatchCore {
   std::vector<Lane*> lanes_;
   DispatchOptions options_;
   PlanFn plan_fn_;
+  CommitHook commit_hook_;
+  bool have_precommitted_ = false;
+  std::vector<std::uint8_t> precommitted_mask_;
+  std::vector<CellOutcome> precommitted_outcomes_;
   std::size_t stolen_total_ = 0;
   std::size_t stolen_last_run_ = 0;
   std::size_t readmitted_total_ = 0;
@@ -114,6 +140,13 @@ class HybridExecutor final : public Executor {
   std::string name() const override { return "hybrid"; }
 
   void set_plan_fn(PlanFn plan_fn) { core_.set_plan_fn(std::move(plan_fn)); }
+  void set_commit_hook(DispatchCore::CommitHook hook) {
+    core_.set_commit_hook(std::move(hook));
+  }
+  void set_precommitted(std::vector<std::uint8_t> mask,
+                        std::vector<CellOutcome> outcomes) {
+    core_.set_precommitted(std::move(mask), std::move(outcomes));
+  }
 
   std::size_t stolen_cells() const { return core_.stolen_cells(); }
   std::size_t stolen_cells_last_run() const {

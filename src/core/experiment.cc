@@ -1,7 +1,9 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +14,8 @@
 #include "core/lane.h"
 #include "net/cluster.h"
 #include "net/frame.h"
+#include "recov/journal.h"
+#include "recov/resume.h"
 
 namespace rbx {
 
@@ -27,6 +31,7 @@ namespace {
                "          [--handshake-timeout-ms=N]\n"
                "          [--shard=i/k [--shard-out=FILE | --shard-serve=PORT]]\n"
                "          [--merge=SRC1,SRC2,...]  (SRC: file or HOST:PORT)\n"
+               "          [--journal=FILE | --resume=FILE] [--no-cache]\n"
                "(--threads, --workers and --connect compose into one hybrid "
                "sweep)\n",
                prog);
@@ -182,6 +187,21 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
       opts.shard_serve = true;
       opts.shard_serve_port = static_cast<std::uint16_t>(port);
       continue;
+    } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+      if (arg[10] == '\0') {
+        usage_error(prog, arg, "expected a file path");
+      }
+      opts.journal = arg + 10;
+      continue;
+    } else if (std::strncmp(arg, "--resume=", 9) == 0) {
+      if (arg[9] == '\0') {
+        usage_error(prog, arg, "expected a journal file path");
+      }
+      opts.resume = arg + 9;
+      continue;
+    } else if (std::strcmp(arg, "--no-cache") == 0) {
+      opts.no_cache = true;
+      continue;
     } else if (std::strncmp(arg, "--merge=", 8) == 0) {
       const char* list = arg + 8;
       while (*list != '\0') {
@@ -248,6 +268,28 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
   if (handshake_timeout_given && opts.connect.empty()) {
     usage_error(prog, "--handshake-timeout-ms",
                 "--handshake-timeout-ms only applies to --connect runs");
+  }
+  if (!opts.journal.empty() && !opts.resume.empty()) {
+    usage_error(prog, "--journal",
+                "--journal starts a fresh journal and --resume continues "
+                "one; pick one");
+  }
+  if ((!opts.journal.empty() || !opts.resume.empty()) &&
+      !opts.merge_inputs.empty()) {
+    usage_error(prog, "--merge",
+                "--merge evaluates nothing, so there is nothing to "
+                "journal or resume");
+  }
+  if ((!opts.journal.empty() || !opts.resume.empty()) && shard_given) {
+    usage_error(prog, "--shard",
+                "the sweep journal covers whole sweeps; journal the "
+                "unsharded run (or re-run the lost shard - partials are "
+                "cheap) instead of combining it with --shard");
+  }
+  if (opts.no_cache && opts.connect.empty()) {
+    usage_error(prog, "--no-cache",
+                "--no-cache only applies to --connect runs (only remote "
+                "daemons keep a result cache)");
   }
   if (shard_out_given && !shard_given) {
     usage_error(prog, "--shard-out", "--shard-out requires --shard");
@@ -386,8 +428,50 @@ SweepRunner::SweepRunner(const ExperimentOptions& opts,
   dispatch.steal = opts_.steal;
   dispatch.handshake_timeout_ms =
       static_cast<int>(opts_.handshake_timeout_ms);
+  dispatch.no_cache = opts_.no_cache;
   executor_ =
       std::make_unique<HybridExecutor>(std::move(lanes), dispatch);
+
+  // Crash durability.  --resume runs the journal's analysis pass up front
+  // (an unreadable or foreign journal is refused before any cell runs)
+  // and keeps appending to the same file; --journal starts a fresh log.
+  if (!opts_.resume.empty()) {
+    try {
+      resume_state_ = std::make_unique<recov::JournalAnalysis>(
+          recov::analyze_journal(opts_.resume));
+    } catch (const wire::Error& e) {
+      std::fprintf(stderr, "resume: %s\n", e.what());
+      std::exit(2);
+    }
+    if (resume_state_->torn_tail) {
+      std::fprintf(stderr,
+                   "resume: journal has a torn tail (%zu bytes dropped) - "
+                   "expected after a crash; those cells re-evaluate\n",
+                   resume_state_->dropped_bytes);
+    }
+    std::fprintf(stderr,
+                 "resume: recovered %zu committed cell(s) across %zu "
+                 "sweep(s) from %s\n",
+                 resume_state_->committed_cells(),
+                 resume_state_->sweeps.size(), opts_.resume.c_str());
+  }
+  const std::string journal_path =
+      !opts_.resume.empty() ? opts_.resume : opts_.journal;
+  if (!journal_path.empty()) {
+    recov::JournalWriter::Options jopts;
+    jopts.truncate = opts_.resume.empty();  // --journal: fresh file
+    if (resume_state_ != nullptr && resume_state_->torn_tail) {
+      // Cut the file at the last valid record so this run's appends stay
+      // reachable by the next analysis scan.
+      jopts.truncate_at = resume_state_->valid_bytes;
+    }
+    try {
+      journal_ = std::make_unique<recov::JournalWriter>(journal_path, jopts);
+    } catch (const wire::Error& e) {
+      std::fprintf(stderr, "journal: %s\n", e.what());
+      std::exit(1);
+    }
+  }
 }
 
 SweepRunner::~SweepRunner() = default;
@@ -563,8 +647,10 @@ std::optional<std::vector<ResultSet>> SweepRunner::run_impl(
     partial_bytes_.insert(partial_bytes_.end(), frame.begin(), frame.end());
     try {
       // Rewritten after every sweep so the file is complete once the bench
-      // exits (benches run a fixed sequence of sweeps).
-      wire::write_file(opts_.shard_out, partial_bytes_);
+      // exits (benches run a fixed sequence of sweeps).  Atomic (temp file
+      // + rename): a crash mid-rewrite leaves the previous sweep's
+      // complete partial, never a torn file that would poison the merge.
+      wire::write_file_atomic(opts_.shard_out, partial_bytes_);
     } catch (const wire::Error& e) {
       std::fprintf(stderr, "shard: %s\n", e.what());
       std::exit(1);
@@ -572,7 +658,88 @@ std::optional<std::vector<ResultSet>> SweepRunner::run_impl(
     return std::nullopt;
   }
 
-  std::vector<CellOutcome> outcomes = evaluate(cells, cell_fn, plan_fn);
+  std::vector<CellOutcome> outcomes;
+  if (journal_ != nullptr) {
+    const std::uint64_t fingerprint = grid_fingerprint(cells);
+    std::size_t precommitted = 0;
+    if (resume_state_ != nullptr &&
+        section < resume_state_->sweeps.size()) {
+      // The redo pass: seed the dispatch core with the journal's winners;
+      // only the losers reach a worker.  A journal written by a different
+      // sweep (fingerprint or cell-count mismatch) is refused with exit 2
+      // before anything evaluates.
+      recov::ResumePlan plan;
+      try {
+        plan = recov::plan_resume(resume_state_->sweeps[section],
+                                  cells.size(), fingerprint);
+      } catch (const wire::Error& e) {
+        std::fprintf(stderr, "resume: %s\n", e.what());
+        std::exit(2);
+      }
+      precommitted = plan.committed_cells();
+      std::vector<CellOutcome> seeded(cells.size());
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (plan.committed[i] != 0) {
+          seeded[i].result = std::move(plan.results[i]);
+        }
+      }
+      executor_->set_precommitted(std::move(plan.committed),
+                                  std::move(seeded));
+      std::fprintf(stderr,
+                   "journal: sweep %zu: %zu/%zu cells already committed, "
+                   "evaluating %zu\n",
+                   section, precommitted, cells.size(),
+                   cells.size() - precommitted);
+    }
+    char digest[96];
+    std::snprintf(digest, sizeof(digest), "samples=%zu nmax=%zu seed=%llu",
+                  opts_.samples, opts_.nmax,
+                  static_cast<unsigned long long>(opts_.seed));
+    try {
+      journal_->sweep_begin(section, fingerprint, cells.size(), digest);
+    } catch (const wire::Error& e) {
+      std::fprintf(stderr, "journal: %s\n", e.what());
+      std::exit(1);
+    }
+    recov::JournalWriter* journal = journal_.get();
+    executor_->set_commit_hook(
+        [journal, section](std::size_t index, const CellOutcome& outcome) {
+          // Only real results are journaled: an errored cell must be
+          // re-evaluated by a resumed run, not replayed as an error.
+          if (outcome.ok()) {
+            journal->cell_committed(section, index, outcome.result);
+          }
+        });
+    const auto t0 = std::chrono::steady_clock::now();
+    outcomes = evaluate(cells, cell_fn, plan_fn);
+    const long long wall_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    recov::SweepEndStats stats;
+    stats.committed_cells = cells.size();
+    stats.evaluated_cells = cells.size() - precommitted;
+    stats.wall_ms = static_cast<std::uint64_t>(wall_ms);
+    stats.cells_per_sec =
+        1000.0 * static_cast<double>(stats.evaluated_cells) /
+        static_cast<double>(std::max<long long>(wall_ms, 1));
+    try {
+      journal_->sweep_end(section, stats);
+    } catch (const wire::Error& e) {
+      std::fprintf(stderr, "journal: %s\n", e.what());
+      std::exit(1);
+    }
+    std::fprintf(stderr,
+                 "journal: sweep %zu done: %llu/%llu cell(s) evaluated in "
+                 "%llu ms (%.1f cells/s)\n",
+                 section,
+                 static_cast<unsigned long long>(stats.evaluated_cells),
+                 static_cast<unsigned long long>(stats.committed_cells),
+                 static_cast<unsigned long long>(stats.wall_ms),
+                 stats.cells_per_sec);
+  } else {
+    outcomes = evaluate(cells, cell_fn, plan_fn);
+  }
   std::vector<ResultSet> results;
   results.reserve(outcomes.size());
   bool failed = false;

@@ -47,11 +47,27 @@
 //                  are merged as the shards stream in.  Byte-identical to
 //                  an unsharded run; partials from a different grid
 //                  (fingerprint mismatch) are refused loudly
+//   --journal=FILE start a fresh crash-durable sweep journal at FILE
+//                  (recov/journal.h): every committed cell is logged the
+//                  moment its outcome is final, so a killed run can be
+//                  picked up with --resume
+//   --resume=FILE  recover the committed cells from a journal a killed
+//                  run left behind, evaluate only the losers, and keep
+//                  appending to the same journal; output is bitwise
+//                  identical to an uninterrupted run.  A journal written
+//                  by a different sweep (grid fingerprint mismatch, e.g.
+//                  other --samples/--seed) is refused loudly with exit 2
+//   --no-cache     ask --connect daemons to bypass their --cache-dir
+//                  result cache for this run's sessions (fresh
+//                  evaluations; the answers are bitwise identical either
+//                  way)
 //
 // Parsing is strict: an unknown flag, a malformed number, a negative value,
-// --threads=0, --shard=3/2, --connect=host (no port) or --steal without a
-// worker lane prints a usage message to stderr and exits with status 2 (a
-// typo'd flag silently falling back to defaults once cost a day of
+// --threads=0, --shard=3/2, --connect=host (no port), --steal without a
+// worker lane, --journal together with --resume, either with --shard or
+// --merge (they evaluate elsewhere or not at all), or --no-cache without a
+// --connect lane prints a usage message to stderr and exits with status 2
+// (a typo'd flag silently falling back to defaults once cost a day of
 // benchmarking against the wrong sample count).
 #pragma once
 
@@ -73,6 +89,11 @@ class HybridExecutor;  // core/dispatch.h; kept out of every bench TU
 
 namespace net {
 class FrameConn;  // net/frame.h
+}
+
+namespace recov {
+class JournalWriter;      // recov/journal.h; kept out of every bench TU
+struct JournalAnalysis;
 }
 
 // Strict non-negative integer parse shared by the bench flags and
@@ -99,6 +120,9 @@ struct ExperimentOptions {
   std::uint16_t shard_serve_port = 0;
   std::vector<std::string> merge_inputs;  // non-empty = merge mode; each a
                                           // file path or HOST:PORT source
+  std::string journal;       // --journal: start a fresh sweep journal here
+  std::string resume;        // --resume: recover + append to this journal
+  bool no_cache = false;     // --no-cache: bypass worker result caches
 
   static ExperimentOptions parse(int argc, char** argv,
                                  std::size_t default_samples,
@@ -181,6 +205,10 @@ class SweepRunner {
   // worker connections) persist across sweeps.  Null in merge mode.
   std::unique_ptr<HybridExecutor> executor_;
   bool remote_lanes_ = false;  // a --connect lane exists: plans required
+  // Crash durability (--journal / --resume): the writer appends a record
+  // per committed cell; the recovered analysis seeds resumed sweeps.
+  std::unique_ptr<recov::JournalWriter> journal_;
+  std::unique_ptr<recov::JournalAnalysis> resume_state_;
 };
 
 // "value +- half_width" with sensible precision.

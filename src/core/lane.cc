@@ -25,6 +25,7 @@ void Hello::encode(wire::Writer& w) const {
   w.u16(wire_version);
   w.u64(fingerprint);
   w.u64(total_cells);
+  w.u32(flags);
 }
 
 Hello Hello::decode(wire::Reader& r) {
@@ -33,6 +34,7 @@ Hello Hello::decode(wire::Reader& r) {
   out.wire_version = r.u16();
   out.fingerprint = r.u64();
   out.total_cells = r.u64();
+  out.flags = r.u32();
   return out;
 }
 

@@ -48,13 +48,20 @@ inline constexpr std::uint16_t kFrameError = 18;
 
 // Version of the cluster conversation itself (handshake, batching rules).
 // Bump on incompatible protocol changes; both sides refuse a mismatch.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// v2 added the flags word to Hello.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+// Hello.flags bits.
+inline constexpr std::uint32_t kHelloFlagNoCache = 1;  // bypass the worker's
+                                                       // result cache for
+                                                       // this session
 
 struct Hello {
   std::uint32_t protocol = kProtocolVersion;
   std::uint16_t wire_version = wire::kVersion;
   std::uint64_t fingerprint = 0;  // grid_fingerprint of the sweep
   std::uint64_t total_cells = 0;
+  std::uint32_t flags = 0;        // kHelloFlag* bits
 
   void encode(wire::Writer& w) const;
   static Hello decode(wire::Reader& r);

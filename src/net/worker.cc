@@ -74,7 +74,17 @@ CellOutcome evaluate_batch_cell(const BatchCell& cell) {
 }  // namespace
 
 WorkerServer::WorkerServer(const WorkerOptions& options)
-    : options_(options), listener_(options.port) {}
+    : options_(options), listener_(options.port) {
+  if (!options_.cache_dir.empty()) {
+    cache_ = std::make_unique<recov::ResultCache>(options_.cache_dir);
+    if (!options_.quiet) {
+      std::fprintf(stderr,
+                   "sweep_workerd: result cache at %s (%zu entries "
+                   "recovered)\n",
+                   cache_->path().c_str(), cache_->entries());
+    }
+  }
+}
 
 WorkerServer::~WorkerServer() {
   stop();
@@ -244,11 +254,30 @@ bool WorkerServer::serve() {
 }
 
 bool WorkerServer::serve_connection(FrameConn& conn) {
-  // Per-session state: the handshake and the fail_after counter belong to
-  // this coordinator's session, not to the daemon - concurrent sessions
-  // must not see each other's progress.
+  // Per-session state: the handshake, the fail_after counter and the
+  // cache opt-out belong to this coordinator's session, not to the
+  // daemon - concurrent sessions must not see each other's progress.
   bool handshaken = false;
+  bool session_no_cache = false;
   std::size_t batches_served = 0;
+  std::size_t cells_evaluated = 0;
+  std::size_t cells_cached = 0;
+  // The session summary line CI's cache-smoke greps for ("evaluated=0"
+  // proves the second run came entirely from the cache); printed on every
+  // exit path of a session that served cells.
+  struct SessionSummary {
+    const std::size_t& evaluated;
+    const std::size_t& cached;
+    bool quiet;
+    ~SessionSummary() {
+      if (!quiet && evaluated + cached > 0) {
+        std::fprintf(stderr,
+                     "sweep_workerd: session done: cells=%zu evaluated=%zu "
+                     "cached=%zu\n",
+                     evaluated + cached, evaluated, cached);
+      }
+    }
+  } summary{cells_evaluated, cells_cached, options_.quiet};
   for (;;) {
     wire::Frame frame;
     bool got = false;
@@ -284,11 +313,17 @@ bool WorkerServer::serve_connection(FrameConn& conn) {
           return true;
         }
         wire::Writer w;
-        hello.encode(w);  // echo, fingerprint included
+        hello.encode(w);  // echo, fingerprint and flags included
         if (!conn.send(kFrameHelloAck, w.data())) {
           return true;
         }
         handshaken = true;
+        session_no_cache = (hello.flags & kHelloFlagNoCache) != 0;
+        if (session_no_cache && cache_ != nullptr && !options_.quiet) {
+          std::fprintf(stderr,
+                       "sweep_workerd: coordinator asked for --no-cache; "
+                       "bypassing the result cache this session\n");
+        }
       } else if (frame.type == kFrameCellBatch) {
         if (!handshaken) {
           // Work before the handshake would bypass the protocol/wire
@@ -327,9 +362,23 @@ bool WorkerServer::serve_connection(FrameConn& conn) {
         r.expect_done();
         ResultBatch response;
         response.entries.reserve(batch.cells.size());
+        const bool use_cache = cache_ != nullptr && !session_no_cache;
         for (const BatchCell& cell : batch.cells) {
-          response.entries.push_back(
-              {cell.index, evaluate_batch_cell(cell)});
+          CellOutcome outcome;
+          if (use_cache && cell.has_plan &&
+              cache_->lookup(cell.scenario, cell.plan, &outcome.result)) {
+            // A hit is the exact bytes an evaluation would produce (the
+            // scenario carries the per-cell seed), so the answer is
+            // bitwise identical - only faster.
+            ++cells_cached;
+          } else {
+            outcome = evaluate_batch_cell(cell);
+            ++cells_evaluated;
+            if (use_cache && cell.has_plan && outcome.ok()) {
+              cache_->insert(cell.scenario, cell.plan, outcome.result);
+            }
+          }
+          response.entries.push_back({cell.index, std::move(outcome)});
         }
         wire::Writer w;
         response.encode(w);

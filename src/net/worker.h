@@ -42,10 +42,12 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "net/frame.h"
 #include "net/socket.h"
+#include "recov/cache.h"
 
 namespace rbx {
 namespace net {
@@ -60,6 +62,10 @@ struct WorkerOptions {
                                      // coordinator is refused, not queued
   std::size_t delay_ms = 0;    // artificial stall before each batch - a
                                // deterministic straggler for steal tests
+  std::string cache_dir;       // non-empty: remember every evaluated cell
+                               // in DIR/cache.rbxj and answer repeats from
+                               // it (recov/cache.h); coordinators opt out
+                               // per session with the no-cache Hello flag
 };
 
 class WorkerServer {
@@ -99,6 +105,9 @@ class WorkerServer {
 
   WorkerOptions options_;
   Listener listener_;
+  // The shared result cache (--cache-dir); sessions consult and fill it
+  // concurrently (ResultCache is internally locked).  Null = no cache.
+  std::unique_ptr<recov::ResultCache> cache_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> failed_{false};
   std::mutex sessions_mutex_;

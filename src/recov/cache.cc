@@ -1,0 +1,214 @@
+#include "recov/cache.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "recov/journal.h"
+#include "support/io.h"
+
+namespace rbx {
+namespace recov {
+
+namespace {
+
+std::vector<std::byte> encode_scenario(const Scenario& scenario) {
+  wire::Writer w;
+  scenario.encode(w);
+  return w.data();
+}
+
+std::vector<std::byte> encode_plan(const EvalPlan& plan) {
+  wire::Writer w;
+  plan.encode(w);
+  return w.data();
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::vector<std::byte>& data) {
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// A length-prefixed blob (the wire format has str() for strings; blobs
+// reuse the same u32-length framing for raw bytes).
+void put_blob(wire::Writer& w, const std::vector<std::byte>& data) {
+  w.u32(static_cast<std::uint32_t>(data.size()));
+  w.bytes(data.data(), data.size());
+}
+
+std::vector<std::byte> get_blob(wire::Reader& r) {
+  const std::uint32_t size = r.u32();
+  std::vector<std::byte> out;
+  out.reserve(size);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    out.push_back(static_cast<std::byte>(r.u8()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t cell_key(const Scenario& scenario, const EvalPlan& plan) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, encode_scenario(scenario));
+  h = fnv1a(h, encode_plan(plan));
+  return h;
+}
+
+ResultCache::ResultCache(const std::string& dir, Options options)
+    : path_(dir + "/cache.rbxj"), options_(options) {
+  // Replay whatever a previous daemon left behind; a missing file is a
+  // fresh cache, a torn tail is the record a kill interrupted.
+  std::vector<std::byte> data;
+  try {
+    data = read_file_bytes(path_, "cache");
+  } catch (const wire::Error&) {
+    // Distinguish "no cache yet" from "unusable directory" below, when
+    // the append open fails too.
+  }
+  const RecordScan scan = scan_records(data.data(), data.size());
+  for (const wire::Frame& frame : scan.records) {
+    if (frame.type != kRecordCacheEntry) {
+      throw wire::Error("cache: unexpected record type " +
+                        std::to_string(frame.type) + " in '" + path_ +
+                        "' (not a result cache?)");
+    }
+    wire::Reader r(frame.payload);
+    const std::uint64_t key = r.u64();
+    Entry entry;
+    entry.scenario_bytes = get_blob(r);
+    entry.plan_bytes = get_blob(r);
+    entry.result = ResultSet::decode(r);
+    r.expect_done();
+    const Entry* existing = nullptr;
+    if (!find_locked(key, entry.scenario_bytes, entry.plan_bytes,
+                     &existing)) {
+      map_[key].push_back(std::move(entry));
+      ++count_;
+    }
+  }
+  do {
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  } while (fd_ < 0 && errno == EINTR);
+  if (fd_ < 0) {
+    throw wire::Error("cache: cannot open '" + path_ + "' for appending: " +
+                      std::strerror(errno) +
+                      " (does the --cache-dir directory exist?)");
+  }
+  if (scan.torn_tail) {
+    // Physically drop the record the kill tore: O_APPEND writes at the end
+    // of the file, and a record appended after torn bytes would be
+    // unreachable (the next load's scan stops at the tear).
+    if (::ftruncate(fd_, static_cast<off_t>(scan.valid_bytes)) != 0) {
+      throw wire::Error("cache: cannot drop the torn tail of '" + path_ +
+                        "': " + std::strerror(errno));
+    }
+  }
+}
+
+ResultCache::~ResultCache() {
+  if (fd_ >= 0) {
+    if (unsynced_ > 0) {
+      ::fsync(fd_);
+    }
+    ::close(fd_);
+  }
+}
+
+bool ResultCache::find_locked(std::uint64_t key,
+                              const std::vector<std::byte>& scenario_bytes,
+                              const std::vector<std::byte>& plan_bytes,
+                              const Entry** out) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    return false;
+  }
+  for (const Entry& entry : it->second) {
+    // Confirm the full encodings: a 64-bit hash collision must degrade to
+    // a miss, never to a wrong result.
+    if (entry.scenario_bytes == scenario_bytes &&
+        entry.plan_bytes == plan_bytes) {
+      *out = &entry;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ResultCache::lookup(const Scenario& scenario, const EvalPlan& plan,
+                         ResultSet* out) {
+  const std::vector<std::byte> scenario_bytes = encode_scenario(scenario);
+  const std::vector<std::byte> plan_bytes = encode_plan(plan);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(fnv1a(h, scenario_bytes), plan_bytes);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = nullptr;
+  if (find_locked(h, scenario_bytes, plan_bytes, &entry)) {
+    *out = entry->result;
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+void ResultCache::append_locked(std::uint64_t key, const Entry& entry) {
+  wire::Writer w;
+  w.u64(key);
+  put_blob(w, entry.scenario_bytes);
+  put_blob(w, entry.plan_bytes);
+  entry.result.encode(w);
+  const std::vector<std::byte> record =
+      seal_record(kRecordCacheEntry, w.data());
+  if (!io::write_all(fd_, record)) {
+    throw wire::Error("cache: append to '" + path_ + "' failed");
+  }
+  if (++unsynced_ >= options_.sync_every) {
+    ::fsync(fd_);
+    unsynced_ = 0;
+  }
+}
+
+void ResultCache::insert(const Scenario& scenario, const EvalPlan& plan,
+                         const ResultSet& result) {
+  Entry entry;
+  entry.scenario_bytes = encode_scenario(scenario);
+  entry.plan_bytes = encode_plan(plan);
+  entry.result = result;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(fnv1a(h, entry.scenario_bytes), entry.plan_bytes);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* existing = nullptr;
+  if (find_locked(h, entry.scenario_bytes, entry.plan_bytes, &existing)) {
+    return;  // already cached; the evaluations are bitwise identical
+  }
+  append_locked(h, entry);
+  map_[h].push_back(std::move(entry));
+  ++count_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+std::size_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace recov
+}  // namespace rbx

@@ -1,0 +1,106 @@
+// ResultCache: a worker-side, disk-backed cache of evaluated cells.
+//
+// A sweep cell is a pure function of its wire form: the Scenario carries
+// every knob including the per-cell seed, and the EvalPlan names the
+// backends and merge prefixes - so (scenario bytes, plan bytes) uniquely
+// determines the ResultSet, bit for bit.  The cache exploits that:
+// sweep_workerd (--cache-dir=DIR) remembers every cell it evaluates, and
+// a repeated or overlapping sweep - same grid re-run after a crash, the
+// same cells inside a larger grid, another coordinator sweeping the same
+// figure - is answered from the cache without re-evaluating anything.
+// Because a hit returns the exact bytes an evaluation would produce, a
+// cached sweep is bitwise identical to a fresh one; only the wall-clock
+// changes.  Coordinators that want fresh evaluation anyway (--no-cache)
+// set a Hello flag and the daemon bypasses lookups for that session.
+//
+// Keying: entries hash by FNV-1a over (scenario encoding || plan
+// encoding) - finer than (grid fingerprint, cell index), so overlapping
+// grids hit on their shared cells - and a lookup confirms the full
+// encodings, so a 64-bit hash collision degrades to a miss, never to a
+// wrong result.
+//
+// Persistence reuses the journal record format (recov/journal.h): the
+// cache file is a sequence of CRC'd kRecordCacheEntry records, appended
+// as cells are evaluated and replayed through the same
+// torn-tail-tolerant analysis scan on startup - killing a daemon
+// mid-append costs at most the torn record.
+//
+// Thread-safe: sweep_workerd serves sessions concurrently, so lookup and
+// insert take an internal mutex (the disk append happens under it too,
+// keeping records whole).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/result.h"
+#include "core/scenario.h"
+
+namespace rbx {
+namespace recov {
+
+// FNV-1a over the cell's full wire form (scenario + plan).
+std::uint64_t cell_key(const Scenario& scenario, const EvalPlan& plan);
+
+class ResultCache {
+ public:
+  struct Options {
+    std::size_t sync_every = 32;  // entries per fsync batch
+  };
+
+  // Loads DIR/cache.rbxj (tolerating a torn tail) and opens it for
+  // appending.  Throws wire::Error when the directory does not exist or
+  // the file cannot be opened/scanned.
+  explicit ResultCache(const std::string& dir) : ResultCache(dir, Options()) {}
+  ResultCache(const std::string& dir, Options options);
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // True (and *out filled) when the exact cell is cached.
+  bool lookup(const Scenario& scenario, const EvalPlan& plan,
+              ResultSet* out);
+
+  // Remembers an evaluation, appending it to the cache file.  A cell
+  // already present is ignored (the evaluations are bitwise identical).
+  void insert(const Scenario& scenario, const EvalPlan& plan,
+              const ResultSet& result);
+
+  std::size_t entries() const;
+  std::size_t hits() const;
+  std::size_t misses() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Entry {
+    std::vector<std::byte> scenario_bytes;
+    std::vector<std::byte> plan_bytes;
+    ResultSet result;
+  };
+
+  bool find_locked(std::uint64_t key,
+                   const std::vector<std::byte>& scenario_bytes,
+                   const std::vector<std::byte>& plan_bytes,
+                   const Entry** out) const;
+  void append_locked(std::uint64_t key, const Entry& entry);
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> map_;
+  std::size_t count_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t unsynced_ = 0;
+};
+
+}  // namespace recov
+}  // namespace rbx

@@ -1,0 +1,40 @@
+#include "recov/resume.h"
+
+#include <string>
+
+namespace rbx {
+namespace recov {
+
+ResumePlan plan_resume(const SweepState& state, std::size_t total_cells,
+                       std::uint64_t fingerprint) {
+  if (state.fingerprint != fingerprint) {
+    throw wire::Error(
+        "the journal was written by a different sweep (grid "
+        "fingerprint mismatch - different --samples/--seed/--nmax, or a "
+        "different bench; journal options were '" +
+        state.options + "')");
+  }
+  if (state.total_cells != total_cells) {
+    throw wire::Error("the journal's sweep has " +
+                      std::to_string(state.total_cells) +
+                      " cells, this sweep has " +
+                      std::to_string(total_cells));
+  }
+  ResumePlan plan;
+  plan.committed.assign(total_cells, 0);
+  plan.results.assign(total_cells, ResultSet());
+  for (const auto& [cell, result] : state.committed) {
+    plan.committed[cell] = 1;
+    plan.results[cell] = result;
+  }
+  plan.lost.reserve(total_cells - state.committed.size());
+  for (std::size_t i = 0; i < total_cells; ++i) {
+    if (plan.committed[i] == 0) {
+      plan.lost.push_back(i);
+    }
+  }
+  return plan;
+}
+
+}  // namespace recov
+}  // namespace rbx

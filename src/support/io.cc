@@ -28,6 +28,26 @@ bool send_all(int fd, const std::vector<std::byte>& data) {
   return send_all(fd, data.data(), data.size());
 }
 
+bool write_all(int fd, const void* data, std::size_t size) {
+  const std::byte* p = static_cast<const std::byte*>(data);
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, p + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::vector<std::byte>& data) {
+  return write_all(fd, data.data(), data.size());
+}
+
 ssize_t read_some(int fd, void* buf, std::size_t cap) {
   for (;;) {
     const ssize_t n = ::read(fd, buf, cap);

@@ -32,6 +32,11 @@ namespace io {
 bool send_all(int fd, const void* data, std::size_t size);
 bool send_all(int fd, const std::vector<std::byte>& data);
 
+// Same loop over write() for non-socket fds (journal and cache files in
+// recov/ append through this).  Returns false on any non-EINTR error.
+bool write_all(int fd, const void* data, std::size_t size);
+bool write_all(int fd, const std::vector<std::byte>& data);
+
 // One read() of up to `cap` bytes, retrying EINTR.  Returns the byte
 // count, 0 on EOF, -1 on error.
 ssize_t read_some(int fd, void* buf, std::size_t cap);

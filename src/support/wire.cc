@@ -1,6 +1,10 @@
 #include "support/wire.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 
 namespace rbx {
@@ -167,6 +171,42 @@ void write_file(const std::string& path, const std::vector<std::byte>& data) {
   const bool closed = std::fclose(f) == 0;
   if (written != data.size() || !closed) {
     throw Error("wire: short write to '" + path + "'");
+  }
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::byte>& data) {
+  // Full write to a sibling temp file, fsync, then rename over the
+  // target: a reader (or a crash) sees either the old complete file or
+  // the new complete file, never a torn one.
+  const std::string tmp = path + ".tmp";
+  int fd = -1;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    throw Error("wire: cannot open '" + tmp + "' for writing");
+  }
+  const std::byte* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw Error("wire: short write to '" + tmp + "'");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw Error("wire: cannot replace '" + path + "' atomically");
   }
 }
 

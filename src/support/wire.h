@@ -128,6 +128,11 @@ bool parse_frame(const std::byte* data, std::size_t size, Frame* out,
 // frames.  read_frames throws wire::Error on trailing garbage or truncation
 // and on I/O failure.
 void write_file(const std::string& path, const std::vector<std::byte>& data);
+// Crash-safe variant: writes to path + ".tmp", fsyncs, then renames over
+// `path` - a crash mid-write leaves the previous complete file (or no
+// file), never a torn one.  Throws wire::Error on any failure.
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::byte>& data);
 std::vector<Frame> read_frames(const std::string& path);
 
 }  // namespace wire

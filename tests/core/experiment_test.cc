@@ -369,6 +369,61 @@ TEST(ExperimentOptions, MergeAcceptsSocketSourcesAlongsideFiles) {
   EXPECT_EQ(opts.merge_inputs[1], "127.0.0.1:4712");
 }
 
+TEST(ExperimentOptions, JournalFlagsParse) {
+  char prog[] = "bench";
+  char a1[] = "--journal=sweep.rbxj";
+  char* argv[] = {prog, a1};
+  const auto opts = ExperimentOptions::parse(2, argv, 100, 2);
+  EXPECT_EQ(opts.journal, "sweep.rbxj");
+  EXPECT_TRUE(opts.resume.empty());
+  EXPECT_FALSE(opts.no_cache);
+}
+
+TEST(ExperimentOptions, JournalAndResumeAreMutuallyExclusive) {
+  char prog[] = "bench";
+  char a1[] = "--journal=a.rbxj";
+  char a2[] = "--resume=b.rbxj";
+  char* argv[] = {prog, a1, a2};
+  EXPECT_EXIT(ExperimentOptions::parse(3, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "pick one");
+}
+
+TEST(ExperimentOptions, ResumeRejectsMerge) {
+  // --merge evaluates nothing, so journaling or resuming it is a user
+  // error, refused up front with exit 2.
+  char prog[] = "bench";
+  char a1[] = "--resume=a.rbxj";
+  char a2[] = "--merge=x.rbxw";
+  char* argv[] = {prog, a1, a2};
+  EXPECT_EXIT(ExperimentOptions::parse(3, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "nothing to");
+}
+
+TEST(ExperimentOptions, JournalRejectsShard) {
+  char prog[] = "bench";
+  char a1[] = "--journal=a.rbxj";
+  char a2[] = "--shard=0/2";
+  char* argv[] = {prog, a1, a2};
+  EXPECT_EXIT(ExperimentOptions::parse(3, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "whole sweeps");
+}
+
+TEST(ExperimentOptions, NoCacheRequiresConnect) {
+  char prog[] = "bench";
+  char a1[] = "--no-cache";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "--connect runs");
+}
+
+TEST(ExperimentOptions, EmptyJournalPathRefused) {
+  char prog[] = "bench";
+  char a1[] = "--resume=";
+  char* argv[] = {prog, a1};
+  EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
+              ::testing::ExitedWithCode(2), "journal file path");
+}
+
 TEST(Formatting, CiString) {
   EXPECT_EQ(fmt_ci(1.2345, 0.01, 2), "1.23 +- 0.01");
 }

@@ -53,7 +53,7 @@ struct TestWorker {
   explicit TestWorker(std::size_t fail_after = 0, std::size_t delay_ms = 0)
       : server(net::WorkerOptions{/*port=*/0, /*once=*/true, fail_after,
                                   /*quiet=*/true, /*max_coordinators=*/4,
-                                  delay_ms}),
+                                  delay_ms, /*cache_dir=*/{}}),
         thread([this]() { server.serve(); }) {}
   ~TestWorker() { thread.join(); }
 
@@ -70,7 +70,7 @@ struct PoolWorker {
   explicit PoolWorker(std::size_t max_coordinators, std::size_t delay_ms = 0)
       : server(net::WorkerOptions{/*port=*/0, /*once=*/false,
                                   /*fail_after=*/0, /*quiet=*/true,
-                                  max_coordinators, delay_ms}),
+                                  max_coordinators, delay_ms, /*cache_dir=*/{}}),
         thread([this]() { server.serve(); }) {}
   ~PoolWorker() {
     server.stop();

@@ -69,7 +69,7 @@ struct TestWorker {
   explicit TestWorker(std::size_t fail_after = 0, std::size_t delay_ms = 0)
       : server(net::WorkerOptions{/*port=*/0, /*once=*/true, fail_after,
                                   /*quiet=*/true, /*max_coordinators=*/4,
-                                  delay_ms}),
+                                  delay_ms, /*cache_dir=*/{}}),
         thread([this]() { server.serve(); }) {}
   ~TestWorker() { thread.join(); }
 
@@ -165,14 +165,14 @@ TEST(HybridExecutorTest, RestartedDaemonIsReadmittedMidSweep) {
                                               /*fail_after=*/0,
                                               /*quiet=*/true,
                                               /*max_coordinators=*/2,
-                                              /*delay_ms=*/60});
+                                              /*delay_ms=*/60, /*cache_dir=*/{}});
   std::thread steady_thread([&]() { steady.serve(); });
 
   // Dying worker: answers one batch, then drops its session and exits.
   auto first = std::make_unique<net::WorkerServer>(
       net::WorkerOptions{/*port=*/0, /*once=*/true, /*fail_after=*/1,
                          /*quiet=*/true, /*max_coordinators=*/4,
-                         /*delay_ms=*/0});
+                         /*delay_ms=*/0, /*cache_dir=*/{}});
   const std::uint16_t port = first->port();
   std::thread first_thread([&]() { first->serve(); });
 
@@ -188,7 +188,7 @@ TEST(HybridExecutorTest, RestartedDaemonIsReadmittedMidSweep) {
         second = std::make_unique<net::WorkerServer>(
             net::WorkerOptions{port, /*once=*/true, /*fail_after=*/0,
                                /*quiet=*/true, /*max_coordinators=*/4,
-                               /*delay_ms=*/0});
+                               /*delay_ms=*/0, /*cache_dir=*/{}});
       } catch (const net::Error&) {
         // The kernel may hold the port for a moment; the re-admission
         // backoff gives us plenty of retries.

@@ -1,0 +1,166 @@
+// The result cache's contract: a hit returns the exact bytes an
+// evaluation would produce, a 64-bit key collision degrades to a miss
+// (full-encoding verification), entries survive a daemon restart through
+// the journal-format file, and a torn final record costs only itself.
+#include "recov/cache.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/backend.h"
+#include "core/result.h"
+#include "core/scenario.h"
+#include "recov/journal.h"
+#include "support/wire.h"
+
+namespace rbx {
+namespace recov {
+namespace {
+
+Scenario cell_scenario(std::size_t n, std::uint64_t seed) {
+  return Scenario::symmetric(n, 1.0, 1.0).seed(seed).samples(500);
+}
+
+EvalPlan mc_plan() {
+  EvalPlan plan;
+  plan.steps.push_back({"monte-carlo", ""});
+  return plan;
+}
+
+ResultSet make_result(double v) {
+  ResultSet r("monte-carlo", "cached-cell");
+  r.set("mean_interval_x", v, 0.001, 500);
+  return r;
+}
+
+// A fresh empty directory under the test tmpdir.
+std::string fresh_dir(const char* name) {
+  const std::string dir = testing::TempDir() + name;
+  std::remove((dir + "/cache.rbxj").c_str());
+  ::rmdir(dir.c_str());
+  EXPECT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  return dir;
+}
+
+TEST(ResultCacheTest, MissThenInsertThenHit) {
+  const std::string dir = fresh_dir("cache_basic");
+  ResultCache cache(dir);
+  const Scenario s = cell_scenario(3, 42);
+  const EvalPlan plan = mc_plan();
+
+  ResultSet out("x", "y");
+  EXPECT_FALSE(cache.lookup(s, plan, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.insert(s, plan, make_result(1.25));
+  EXPECT_EQ(cache.entries(), 1u);
+  ASSERT_TRUE(cache.lookup(s, plan, &out));
+  EXPECT_EQ(out, make_result(1.25));
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // A different seed is a different cell: the per-cell seed is part of the
+  // scenario encoding, so nearby cells can never alias.
+  EXPECT_FALSE(cache.lookup(cell_scenario(3, 43), plan, &out));
+  // So is a different plan over the same scenario.
+  EvalPlan other = mc_plan();
+  other.steps.push_back({"analytic", "an_"});
+  EXPECT_FALSE(cache.lookup(s, other, &out));
+}
+
+TEST(ResultCacheTest, DuplicateInsertIsIgnored) {
+  const std::string dir = fresh_dir("cache_dup");
+  ResultCache cache(dir);
+  const Scenario s = cell_scenario(2, 7);
+  cache.insert(s, mc_plan(), make_result(2.0));
+  cache.insert(s, mc_plan(), make_result(2.0));
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCacheTest, EntriesSurviveRestart) {
+  const std::string dir = fresh_dir("cache_restart");
+  {
+    ResultCache cache(dir);
+    for (std::size_t n = 2; n <= 5; ++n) {
+      cache.insert(cell_scenario(n, n), mc_plan(),
+                   make_result(static_cast<double>(n)));
+    }
+  }
+  ResultCache reloaded(dir);
+  EXPECT_EQ(reloaded.entries(), 4u);
+  ResultSet out("x", "y");
+  for (std::size_t n = 2; n <= 5; ++n) {
+    ASSERT_TRUE(reloaded.lookup(cell_scenario(n, n), mc_plan(), &out))
+        << "n=" << n;
+    EXPECT_EQ(out, make_result(static_cast<double>(n)));
+  }
+}
+
+TEST(ResultCacheTest, TornTailCostsOnlyTheTornEntry) {
+  const std::string dir = fresh_dir("cache_torn");
+  {
+    ResultCache cache(dir);
+    cache.insert(cell_scenario(2, 1), mc_plan(), make_result(1.0));
+    cache.insert(cell_scenario(3, 2), mc_plan(), make_result(2.0));
+  }
+  const std::string file = dir + "/cache.rbxj";
+  const auto bytes = read_file_bytes(file, "cache");
+  // Chop into the middle of the second record (a daemon killed
+  // mid-append).
+  ASSERT_EQ(truncate(file.c_str(), static_cast<off_t>(bytes.size() - 10)),
+            0);
+
+  ResultCache cache(dir);
+  EXPECT_EQ(cache.entries(), 1u);
+  ResultSet out("x", "y");
+  EXPECT_TRUE(cache.lookup(cell_scenario(2, 1), mc_plan(), &out));
+  EXPECT_EQ(out, make_result(1.0));
+  EXPECT_FALSE(cache.lookup(cell_scenario(3, 2), mc_plan(), &out));
+  // And the file is append-able again: the torn tail was logically
+  // dropped, a new insert round-trips.
+  cache.insert(cell_scenario(4, 3), mc_plan(), make_result(3.0));
+  ResultCache again(dir);
+  EXPECT_GE(again.entries(), 2u);
+  EXPECT_TRUE(again.lookup(cell_scenario(4, 3), mc_plan(), &out));
+  EXPECT_EQ(out, make_result(3.0));
+}
+
+TEST(ResultCacheTest, MissingDirectoryRefuses) {
+  EXPECT_THROW(ResultCache(testing::TempDir() + "no_such_cache_dir_xyz"),
+               wire::Error);
+}
+
+TEST(ResultCacheTest, ForeignRecordTypeRefuses) {
+  // A journal (or any non-cache record stream) handed as a cache file is
+  // rejected by record type, not silently half-loaded.
+  const std::string dir = fresh_dir("cache_foreign");
+  wire::Writer w;
+  w.u64(0);
+  w.u64(0xfeedu);
+  w.u64(1);
+  w.str("x");
+  const auto rec = seal_record(kRecordSweepBegin, w.data());
+  wire::write_file(dir + "/cache.rbxj",
+                   std::vector<std::byte>(rec.begin(), rec.end()));
+  EXPECT_THROW(ResultCache{dir}, wire::Error);
+}
+
+TEST(ResultCacheTest, KeyIsStableAcrossProcessesByConstruction) {
+  // cell_key must depend only on the wire encodings (FNV-1a over bytes),
+  // so equal scenarios/plans built independently key identically...
+  const std::uint64_t a = cell_key(cell_scenario(4, 9), mc_plan());
+  const std::uint64_t b = cell_key(cell_scenario(4, 9), mc_plan());
+  EXPECT_EQ(a, b);
+  // ...and any knob that changes the encoding changes the key.
+  EXPECT_NE(a, cell_key(cell_scenario(4, 10), mc_plan()));
+  EXPECT_NE(a, cell_key(cell_scenario(5, 9), mc_plan()));
+}
+
+}  // namespace
+}  // namespace recov
+}  // namespace rbx

@@ -37,12 +37,17 @@
 //   --delay-ms=N     stall N ms before evaluating each batch - a
 //                    deterministic straggler for work-stealing tests and
 //                    CI throttle runs
+//   --cache-dir=DIR  remember every evaluated cell in DIR/cache.rbxj and
+//                    answer repeated cells from the cache (bitwise
+//                    identical to evaluating; only faster).  DIR must
+//                    exist.  Coordinators opt out with --no-cache.
 //   --quiet          no connection notes on stderr
 #include <cstdio>
 #include <cstring>
 
 #include "core/experiment.h"
 #include "net/worker.h"
+#include "support/wire.h"
 
 namespace {
 
@@ -51,7 +56,8 @@ namespace {
   std::fprintf(stderr, "%s: bad argument '%s' (%s)\n", prog, arg, why);
   std::fprintf(stderr,
                "usage: %s --serve=PORT [--max-coordinators=N] [--once]\n"
-               "       [--fail-after=N] [--delay-ms=N] [--quiet]\n",
+               "       [--fail-after=N] [--delay-ms=N] [--cache-dir=DIR]\n"
+               "       [--quiet]\n",
                prog);
   std::exit(2);
 }
@@ -90,6 +96,11 @@ int main(int argc, char** argv) {
         usage_error(prog, arg, "expected a non-negative integer");
       }
       opts.delay_ms = static_cast<std::size_t>(n);
+    } else if (std::strncmp(arg, "--cache-dir=", 12) == 0) {
+      if (arg[12] == '\0') {
+        usage_error(prog, arg, "expected a directory path");
+      }
+      opts.cache_dir = arg + 12;
     } else if (std::strcmp(arg, "--once") == 0) {
       opts.once = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -108,6 +119,10 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     return server.serve() ? 0 : 1;
   } catch (const net::Error& e) {
+    std::fprintf(stderr, "sweep_workerd: %s\n", e.what());
+    return 1;
+  } catch (const wire::Error& e) {
+    // A bad --cache-dir (missing directory, unreadable cache file).
     std::fprintf(stderr, "sweep_workerd: %s\n", e.what());
     return 1;
   }
