@@ -97,18 +97,22 @@ void evaluate_prp(const Scenario& s, ResultSet& out) {
   }
 }
 
-}  // namespace
-
-bool AnalyticBackend::supports(const Scenario& scenario) const {
-  if (scenario.scheme() == SchemeKind::kAsynchronous) {
-    return scenario.n() <= kFullChainMaxN ||
-           scenario.params().is_symmetric_rates();
-  }
-  return true;
+// The exact scenario inputs the evaluators above read: scheme, rates and
+// t_record.  Everything else (seed, samples, label, workload, sync policy)
+// is ignored by the analytic path, so it must stay out of the key -
+// including it would only split identical solutions across entries.
+std::string model_cache_key(const Scenario& s) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(s.scheme()));
+  w.f64_vec(s.params().mu());
+  w.f64_vec(s.params().lambda_flat());
+  w.f64(s.t_record());
+  const std::vector<std::byte>& bytes = w.data();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
 }
 
-ResultSet AnalyticBackend::evaluate(const Scenario& scenario) const {
-  ResultSet out(name(), scenario.label());
+void evaluate_scheme(const Scenario& scenario, ResultSet& out) {
   switch (scenario.scheme()) {
     case SchemeKind::kAsynchronous:
       evaluate_async(scenario, out);
@@ -120,7 +124,57 @@ ResultSet AnalyticBackend::evaluate(const Scenario& scenario) const {
       evaluate_prp(scenario, out);
       break;
   }
+}
+
+}  // namespace
+
+bool AnalyticBackend::supports(const Scenario& scenario) const {
+  if (scenario.scheme() == SchemeKind::kAsynchronous) {
+    return scenario.n() <= kFullChainMaxN ||
+           scenario.params().is_symmetric_rates();
+  }
+  return true;
+}
+
+ResultSet AnalyticBackend::evaluate(const Scenario& scenario) const {
+  if (!cache_models_) {
+    ResultSet out(name(), scenario.label());
+    evaluate_scheme(scenario, out);
+    return out;
+  }
+
+  const std::string key = model_cache_key(scenario);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      // Replay in insertion order with the doubles untouched: bitwise
+      // identical to the evaluation that populated the entry.
+      ResultSet out(name(), scenario.label());
+      for (const Metric& m : it->second) {
+        out.set(m.name, m.value, m.half_width, m.count);
+      }
+      return out;
+    }
+  }
+
+  // Solve outside the lock: concurrent sweep threads racing on the same
+  // key duplicate work once, but the entries they store are identical.
+  ResultSet out(name(), scenario.label());
+  evaluate_scheme(scenario, out);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cache_.size() >= kMaxCachedModels) {
+      cache_.clear();
+    }
+    cache_.emplace(key, out.metrics());
+  }
   return out;
+}
+
+std::size_t AnalyticBackend::cached_models() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
 }
 
 }  // namespace rbx

@@ -17,7 +17,27 @@
 //
 // All metrics are exact (half_width = 0, count = 0); the seed and sample
 // budget of the scenario are ignored.
+//
+// Solution cache: because the metrics depend only on (scheme, rates,
+// t_record) - never on the seed, sample budget or label - grid cells that
+// share those inputs share the entire chain build / LU / uniformization
+// work.  evaluate() memoizes the solved metric list keyed by the wire
+// encoding of exactly those inputs and re-labels cached metrics per cell,
+// so a fig5-style sweep that varies the seed axis pays for each distinct
+// parameter point once.  A hit replays the metrics in insertion order with
+// the doubles bit-preserved, so cached and fresh evaluations are bitwise
+// identical (pinned by tests/perf/analytic_cache_test.cc).  The cache is
+// mutex-guarded (sweep threads share the backend singleton) and resets
+// when it reaches kMaxCachedModels, which bounds memory on adversarial
+// grids.  Construct with cache_models=false to force every evaluation to
+// solve from scratch.
 #pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/backend.h"
 
@@ -25,9 +45,23 @@ namespace rbx {
 
 class AnalyticBackend : public EvalBackend {
  public:
+  static constexpr std::size_t kMaxCachedModels = 4096;
+
+  AnalyticBackend() : AnalyticBackend(true) {}
+  explicit AnalyticBackend(bool cache_models)
+      : cache_models_(cache_models) {}
+
   std::string name() const override { return "analytic"; }
   bool supports(const Scenario& scenario) const override;
   ResultSet evaluate(const Scenario& scenario) const override;
+
+  // Cache observability (tests and perf tooling).
+  std::size_t cached_models() const;
+
+ private:
+  bool cache_models_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string, std::vector<Metric>> cache_;
 };
 
 }  // namespace rbx

@@ -49,7 +49,13 @@
 //   ResultCache  the worker daemon's disk-backed cell cache
 //                (recov/cache.h, sweep_workerd --cache-dir): a repeated
 //                sweep is answered from disk without re-evaluating,
-//                bypassed per-sweep by --no-cache.
+//                bypassed per-sweep by --no-cache and size-capped at
+//                startup by --cache-max-bytes;
+//   BenchReport  the perf trajectory (perf/bench.h, perf/report.h): named
+//                micro-kernels spanning every layer below, measured by
+//                the perf_bench tool into BENCH_<label>.json files, with
+//                journal sweep-end counters imported alongside and a
+//                --compare mode that fails on regressions.
 //
 // Scenario and ResultSet have exact binary round-trips (encode/decode on
 // support/wire.h) - the executors and shard files depend on doubles being
@@ -120,6 +126,8 @@
 //              ClusterExecutor, WorkerServer)
 //   recov/     crash durability: sweep journal + resume planning +
 //              the worker-side result cache
+//   perf/      the bench harness: kernel registry, interval measurement,
+//              BENCH_*.json reports and regression compare (perf_bench)
 //
 // The per-layer entry points (AsyncRbModel, SyncRbSimulator,
 // RecoverySystem, ...) remain public for code that needs one layer only;
@@ -145,6 +153,8 @@
 #include "model/sync_model.h"          // IWYU pragma: export
 #include "net/cluster.h"               // IWYU pragma: export
 #include "net/worker.h"                // IWYU pragma: export
+#include "perf/bench.h"                // IWYU pragma: export
+#include "perf/report.h"               // IWYU pragma: export
 #include "recov/cache.h"               // IWYU pragma: export
 #include "recov/journal.h"             // IWYU pragma: export
 #include "recov/resume.h"              // IWYU pragma: export

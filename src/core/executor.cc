@@ -109,9 +109,13 @@ CellBatch CellBatch::decode(wire::Reader& r) {
 }
 
 std::vector<std::byte> CellBatch::seal() const {
+  // Encode straight into the framed buffer (begin/end_frame patch the
+  // length in place) - one buffer, no payload copy.
   wire::Writer w;
+  const std::size_t mark = w.begin_frame(kFrameCellBatch);
   encode(w);
-  return wire::seal_frame(kFrameCellBatch, w.data());
+  w.end_frame(mark);
+  return w.take();
 }
 
 void ResultBatch::encode(wire::Writer& w) const {
@@ -159,8 +163,10 @@ ResultBatch ResultBatch::decode(wire::Reader& r) {
 
 std::vector<std::byte> ResultBatch::seal() const {
   wire::Writer w;
+  const std::size_t mark = w.begin_frame(kFrameResultBatch);
   encode(w);
-  return wire::seal_frame(kFrameResultBatch, w.data());
+  w.end_frame(mark);
+  return w.take();
 }
 
 std::size_t apply_result_batch(const ResultBatch& batch,

@@ -61,7 +61,10 @@ AsyncSimResult AsyncRbSimulator::run_lines(std::size_t lines,
                           : std::numeric_limits<double>::infinity();
   bool at_entry = true;  // logically all-ones, with rule R4 active
   std::size_t mask = full;
-  std::vector<std::size_t> incl(n, 0), state_changing(n, 0);
+  incl_scratch_.assign(n, 0);
+  state_changing_scratch_.assign(n, 0);
+  std::vector<std::size_t>& incl = incl_scratch_;
+  std::vector<std::size_t>& state_changing = state_changing_scratch_;
 
   std::size_t formed = 0;
   while (formed < lines) {

@@ -76,6 +76,10 @@ class AsyncRbSimulator {
   std::vector<double> weights_;   // categorical weights: n RPs then pairs
   std::vector<std::pair<std::size_t, std::size_t>> pairs_;
   double total_rate_;
+  // Per-line RP counters, reused across run_lines calls (reset at every
+  // line) instead of allocating per run.
+  std::vector<std::size_t> incl_scratch_;
+  std::vector<std::size_t> state_changing_scratch_;
 };
 
 }  // namespace rbx

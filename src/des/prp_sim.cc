@@ -18,31 +18,33 @@ PrpSimulator::PrpSimulator(ProcessSetParams params, PrpSimParams sim,
     : params_(std::move(params)), sim_(sim), rng_(seed) {
   RBX_CHECK(sim_.t_record >= 0.0);
   RBX_CHECK(sim_.error_rate > 0.0);
-}
-
-PrpSimResult PrpSimulator::run(std::size_t failures) {
-  const std::size_t n = params_.n();
-
   // Event categories: n RPs, the positive-rate pairs, then the error source.
-  std::vector<double> weights;
-  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  const std::size_t n = params_.n();
   for (std::size_t i = 0; i < n; ++i) {
-    weights.push_back(params_.mu(i));
+    weights_.push_back(params_.mu(i));
   }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       if (params_.lambda(i, j) > 0.0) {
-        weights.push_back(params_.lambda(i, j));
-        pairs.push_back({i, j});
+        weights_.push_back(params_.lambda(i, j));
+        pairs_.push_back({i, j});
       }
     }
   }
-  const std::size_t error_category = weights.size();
-  weights.push_back(sim_.error_rate);
-  double total_rate = 0.0;
-  for (double w : weights) {
-    total_rate += w;
+  error_category_ = weights_.size();
+  weights_.push_back(sim_.error_rate);
+  total_rate_ = 0.0;
+  for (double w : weights_) {
+    total_rate_ += w;
   }
+}
+
+PrpSimResult PrpSimulator::run(std::size_t failures) {
+  const std::size_t n = params_.n();
+  const std::vector<double>& weights = weights_;
+  const std::vector<std::pair<std::size_t, std::size_t>>& pairs = pairs_;
+  const std::size_t error_category = error_category_;
+  const double total_rate = total_rate_;
 
   PrpSimResult result;
   History history(n);

@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "model/params.h"
 #include "support/rng.h"
@@ -83,6 +85,12 @@ class PrpSimulator {
   ProcessSetParams params_;
   PrpSimParams sim_;
   Rng rng_;
+  // Event-draw tables (n RPs, the positive-rate pairs, then the error
+  // source), built once here instead of at every run() call.
+  std::vector<double> weights_;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs_;
+  std::size_t error_category_ = 0;
+  double total_rate_ = 0.0;
 };
 
 }  // namespace rbx

@@ -91,7 +91,8 @@ SyncSimResult SyncRbSimulator::run(std::size_t lines) {
     // --- commit: every process runs to its next acceptance test ---
     double z = 0.0;
     double loss = 0.0;
-    std::vector<double> y(n);
+    std::vector<double>& y = y_scratch_;
+    y.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       y[i] = rng_.exponential(params_.mu[i]);
       z = std::max(z, y[i]);

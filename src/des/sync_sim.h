@@ -57,6 +57,10 @@ class SyncRbSimulator {
  private:
   SyncSimParams params_;
   Rng rng_;
+  // Per-commit scratch (one slot per process), reused across lines and
+  // runs instead of allocating inside the commit loop; every element is
+  // overwritten before use, so reuse cannot change a sampled value.
+  std::vector<double> y_scratch_;
 };
 
 }  // namespace rbx

@@ -76,7 +76,10 @@ CellOutcome evaluate_batch_cell(const BatchCell& cell) {
 WorkerServer::WorkerServer(const WorkerOptions& options)
     : options_(options), listener_(options.port) {
   if (!options_.cache_dir.empty()) {
-    cache_ = std::make_unique<recov::ResultCache>(options_.cache_dir);
+    recov::ResultCache::Options cache_options;
+    cache_options.max_bytes = options_.cache_max_bytes;
+    cache_ = std::make_unique<recov::ResultCache>(options_.cache_dir,
+                                                  cache_options);
     if (!options_.quiet) {
       std::fprintf(stderr,
                    "sweep_workerd: result cache at %s (%zu entries "

@@ -66,6 +66,9 @@ struct WorkerOptions {
                                // in DIR/cache.rbxj and answer repeats from
                                // it (recov/cache.h); coordinators opt out
                                // per session with the no-cache Hello flag
+  std::size_t cache_max_bytes = 0;  // startup size cap for the cache file
+                                    // (oldest entries dropped, file
+                                    // compacted); 0 = unlimited
 };
 
 class WorkerServer {

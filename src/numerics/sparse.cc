@@ -1,6 +1,7 @@
 #include "numerics/sparse.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/check.h"
 
@@ -10,13 +11,17 @@ void SparseMatrix::left_multiply(const std::vector<double>& x,
                                  std::vector<double>& y) const {
   RBX_CHECK(x.size() == rows_);
   y.assign(cols_, 0.0);
+  const std::uint32_t* cols = col_idx_.data();
+  const double* vals = values_.data();
+  double* out = y.data();
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
     if (xr == 0.0) {
       continue;
     }
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      y[col_idx_[k]] += xr * values_[k];
+    const std::uint32_t end = row_ptr_[r + 1];
+    for (std::uint32_t k = row_ptr_[r]; k < end; ++k) {
+      out[cols[k]] += xr * vals[k];
     }
   }
 }
@@ -24,13 +29,19 @@ void SparseMatrix::left_multiply(const std::vector<double>& x,
 void SparseMatrix::right_multiply(const std::vector<double>& x,
                                   std::vector<double>& y) const {
   RBX_CHECK(x.size() == cols_);
-  y.assign(rows_, 0.0);
+  // Every element is overwritten below, so size without zero-filling.
+  y.resize(rows_);
+  const std::uint32_t* cols = col_idx_.data();
+  const double* vals = values_.data();
+  const double* in = x.data();
+  double* out = y.data();
   for (std::size_t r = 0; r < rows_; ++r) {
     double sum = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      sum += values_[k] * x[col_idx_[k]];
+    const std::uint32_t end = row_ptr_[r + 1];
+    for (std::uint32_t k = row_ptr_[r]; k < end; ++k) {
+      sum += vals[k] * in[cols[k]];
     }
-    y[r] = sum;
+    out[r] = sum;
   }
 }
 
@@ -38,7 +49,7 @@ double SparseMatrix::at(std::size_t r, std::size_t c) const {
   RBX_CHECK(r < rows_ && c < cols_);
   const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
   const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
-  const auto it = std::lower_bound(begin, end, c);
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(c));
   if (it == end || *it != c) {
     return 0.0;
   }
@@ -66,19 +77,25 @@ std::vector<std::vector<double>> SparseMatrix::to_dense() const {
 }
 
 SparseMatrixBuilder::SparseMatrixBuilder(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols) {}
+    : rows_(rows), cols_(cols) {
+  RBX_CHECK(rows <= std::numeric_limits<std::uint32_t>::max() &&
+            cols <= std::numeric_limits<std::uint32_t>::max());
+}
 
 void SparseMatrixBuilder::add(std::size_t r, std::size_t c, double value) {
   RBX_CHECK(r < rows_ && c < cols_);
   if (value == 0.0) {
     return;
   }
-  triplets_.push_back({r, c, value});
+  triplets_.push_back({static_cast<std::uint32_t>(r),
+                       static_cast<std::uint32_t>(c), value});
 }
 
-SparseMatrix SparseMatrixBuilder::build() const {
-  std::vector<Triplet> sorted = triplets_;
-  std::sort(sorted.begin(), sorted.end(),
+SparseMatrix SparseMatrixBuilder::build() {
+  RBX_CHECK_MSG(
+      triplets_.size() < std::numeric_limits<std::uint32_t>::max(),
+      "sparse matrix nonzero count exceeds the u32 index space");
+  std::sort(triplets_.begin(), triplets_.end(),
             [](const Triplet& a, const Triplet& b) {
               if (a.row != b.row) {
                 return a.row < b.row;
@@ -90,17 +107,18 @@ SparseMatrix SparseMatrixBuilder::build() const {
   m.rows_ = rows_;
   m.cols_ = cols_;
   m.row_ptr_.assign(rows_ + 1, 0);
-  m.col_idx_.reserve(sorted.size());
-  m.values_.reserve(sorted.size());
+  m.col_idx_.reserve(triplets_.size());
+  m.values_.reserve(triplets_.size());
 
   std::size_t i = 0;
   for (std::size_t r = 0; r < rows_; ++r) {
-    m.row_ptr_[r] = m.values_.size();
-    while (i < sorted.size() && sorted[i].row == r) {
-      const std::size_t col = sorted[i].col;
+    m.row_ptr_[r] = static_cast<std::uint32_t>(m.values_.size());
+    while (i < triplets_.size() && triplets_[i].row == r) {
+      const std::uint32_t col = triplets_[i].col;
       double sum = 0.0;
-      while (i < sorted.size() && sorted[i].row == r && sorted[i].col == col) {
-        sum += sorted[i].value;
+      while (i < triplets_.size() && triplets_[i].row == r &&
+             triplets_[i].col == col) {
+        sum += triplets_[i].value;
         ++i;
       }
       if (sum != 0.0) {
@@ -109,7 +127,7 @@ SparseMatrix SparseMatrixBuilder::build() const {
       }
     }
   }
-  m.row_ptr_[rows_] = m.values_.size();
+  m.row_ptr_[rows_] = static_cast<std::uint32_t>(m.values_.size());
   return m;
 }
 

@@ -4,9 +4,20 @@
 // per state, so uniformization's repeated vector-matrix products run on a CSR
 // matrix.  The builder accumulates (row, col, value) triplets (summing
 // duplicates) and freezes into CSR.
+//
+// Layout notes (the SpMV loops are the hottest numerics in the repo):
+//  * indices are stored as u32 - the chains cap out near 2^12 states, and
+//    halving the index bytes measurably speeds the memory-bound SpMV loops
+//    (perf_bench kernels sparse_spmv_*) and the builder's triplet sort;
+//  * build() sorts the triplet list in place (consuming the builder's
+//    insertion order) instead of copying it;
+//  * the multiply routines write into a caller-owned buffer and never
+//    allocate after the first call on a given buffer; right_multiply sizes
+//    the output without zero-filling (every element is overwritten).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace rbx {
@@ -22,11 +33,13 @@ class SparseMatrix {
   std::size_t nonzeros() const { return values_.size(); }
 
   // y = x^T A (row vector through the matrix); the natural direction for
-  // probability-vector propagation.
+  // probability-vector propagation.  Writes into the caller's buffer
+  // (resized and zeroed; zeroing is required because the loop accumulates).
   void left_multiply(const std::vector<double>& x,
                      std::vector<double>& y) const;
 
-  // y = A x.
+  // y = A x.  Writes into the caller's buffer (resized, not zero-filled:
+  // every element is overwritten).
   void right_multiply(const std::vector<double>& x,
                       std::vector<double>& y) const;
 
@@ -54,13 +67,15 @@ class SparseMatrix {
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<std::size_t> row_ptr_;
-  std::vector<std::size_t> col_idx_;
+  std::vector<std::uint32_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
   std::vector<double> values_;
 };
 
 class SparseMatrixBuilder {
  public:
+  // Dimensions and the nonzero count must fit in u32 (checked); the
+  // library's chains are orders of magnitude below that.
   SparseMatrixBuilder(std::size_t rows, std::size_t cols);
 
   // Accumulates value at (r, c); duplicate coordinates sum.
@@ -69,12 +84,15 @@ class SparseMatrixBuilder {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
-  SparseMatrix build() const;
+  // Freezes into CSR.  Sorts the triplet list in place, so insertion order
+  // is consumed - the builder stays valid for further add() + build()
+  // rounds, but this is not const.
+  SparseMatrix build();
 
  private:
   struct Triplet {
-    std::size_t row;
-    std::size_t col;
+    std::uint32_t row;
+    std::uint32_t col;
     double value;
   };
   std::size_t rows_;

@@ -1,0 +1,346 @@
+// The default kernel set: one named kernel per hot loop the evaluation
+// stack actually runs, spanning every layer.
+//
+//   numerics  sparse builder freeze, CSR SpMV (both directions), dense LU
+//             factor+solve, RK4 transient integration
+//   markov    uniformization transient, first-passage moment solves
+//   core      one full analytic cell evaluation (async and sync schemes) -
+//             the unit every sweep, shard and cluster run multiplies
+//   des       the three simulators' inner event loops
+//   wire      encode/decode of Scenario and ResultSet, seal/parse of a
+//             plan-carrying CellBatch frame - the bytes every worker
+//             round-trip moves
+//
+// Setup (matrix assembly, scenario construction) happens in make() and is
+// excluded from timing; closures reuse their captured state across reps
+// exactly like the production call sites do (e.g. one simulator instance
+// across replications, one scratch vector across SpMV calls).
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/analytic_backend.h"
+#include "core/backend.h"
+#include "core/executor.h"
+#include "core/result.h"
+#include "core/scenario.h"
+#include "des/async_sim.h"
+#include "des/prp_sim.h"
+#include "des/sync_sim.h"
+#include "markov/ctmc.h"
+#include "numerics/lu.h"
+#include "numerics/matrix.h"
+#include "numerics/sparse.h"
+#include "perf/bench.h"
+#include "support/wire.h"
+
+namespace rbx {
+namespace perf {
+
+namespace {
+
+// Deterministic sparse test pattern: a banded "generator-shaped" matrix
+// (short and long couplings plus a diagonal), the same shape class as the
+// asynchronous-RB chain the production solvers run on.
+struct TripletPattern {
+  std::size_t n = 0;
+  std::vector<std::size_t> rows;
+  std::vector<std::size_t> cols;
+  std::vector<double> values;
+};
+
+TripletPattern banded_pattern(std::size_t n) {
+  TripletPattern p;
+  p.n = n;
+  const std::ptrdiff_t offsets[] = {-49, -7, -1, 1, 7, 49};
+  for (std::size_t r = 0; r < n; ++r) {
+    double out_rate = 0.0;
+    for (std::ptrdiff_t d : offsets) {
+      const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(r) + d;
+      if (c < 0 || c >= static_cast<std::ptrdiff_t>(n)) {
+        continue;
+      }
+      const double v = 0.25 + static_cast<double>((r * 7 + d + 49) % 13) / 13.0;
+      p.rows.push_back(r);
+      p.cols.push_back(static_cast<std::size_t>(c));
+      p.values.push_back(v);
+      out_rate += v;
+    }
+    p.rows.push_back(r);
+    p.cols.push_back(r);
+    p.values.push_back(-out_rate);
+  }
+  return p;
+}
+
+SparseMatrix build_banded(std::size_t n) {
+  const TripletPattern p = banded_pattern(n);
+  SparseMatrixBuilder b(n, n);
+  for (std::size_t i = 0; i < p.rows.size(); ++i) {
+    b.add(p.rows[i], p.cols[i], p.values[i]);
+  }
+  return b.build();
+}
+
+// A deterministic CTMC of the same shape (off-diagonal rates only; the
+// engine derives the diagonal).
+Ctmc banded_chain(std::size_t n) {
+  Ctmc chain(n);
+  const std::ptrdiff_t offsets[] = {-49, -7, -1, 1, 7, 49};
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::ptrdiff_t d : offsets) {
+      const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(r) + d;
+      if (c < 0 || c >= static_cast<std::ptrdiff_t>(n) ||
+          c == static_cast<std::ptrdiff_t>(r)) {
+        continue;
+      }
+      chain.add_rate(r, static_cast<std::size_t>(c),
+                     0.25 + static_cast<double>((r * 7 + d + 49) % 13) / 13.0);
+    }
+  }
+  chain.finalize();
+  return chain;
+}
+
+std::vector<double> uniform_distribution(std::size_t n) {
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+// Diagonally dominant dense system (always non-singular).
+Matrix dense_system(std::size_t n) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t d = i > j ? i - j : j - i;
+      a(i, j) = 1.0 / static_cast<double>(1 + d);
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+Scenario wire_scenario() {
+  return Scenario::symmetric(6, 1.0, 0.5)
+      .scheme(SchemeKind::kAsynchronous)
+      .samples(20000)
+      .seed(0x5eed);
+}
+
+ResultSet wire_result_set() {
+  ResultSet r("bench", "wire kernel payload");
+  for (std::size_t i = 0; i < 40; ++i) {
+    r.set(indexed_metric("metric_", i), 1.0 / static_cast<double>(i + 1),
+          1e-3, 1000 + i);
+  }
+  return r;
+}
+
+CellBatch wire_cell_batch() {
+  CellBatch batch;
+  const Scenario base = wire_scenario();
+  const EvalPlan plan = plan_for(analytic_backend());
+  for (std::size_t i = 0; i < 32; ++i) {
+    batch.cells.push_back(
+        BatchCell{i, Scenario(base).seed(1000 + i), true, plan});
+  }
+  return batch;
+}
+
+}  // namespace
+
+void register_default_kernels(KernelRegistry& registry) {
+  // --- numerics ---------------------------------------------------------
+  registry.add({"sparse_build", "numerics", [] {
+                  const TripletPattern p = banded_pattern(512);
+                  return [p]() -> double {
+                    SparseMatrixBuilder b(p.n, p.n);
+                    for (std::size_t i = 0; i < p.rows.size(); ++i) {
+                      b.add(p.rows[i], p.cols[i], p.values[i]);
+                    }
+                    const SparseMatrix m = b.build();
+                    return static_cast<double>(m.nonzeros());
+                  };
+                }});
+
+  registry.add({"sparse_spmv_left", "numerics", [] {
+                  const SparseMatrix m = build_banded(1024);
+                  const std::vector<double> x = uniform_distribution(1024);
+                  std::vector<double> y;
+                  return [m, x, y]() mutable -> double {
+                    m.left_multiply(x, y);
+                    return y[0];
+                  };
+                }});
+
+  registry.add({"sparse_spmv_right", "numerics", [] {
+                  const SparseMatrix m = build_banded(1024);
+                  const std::vector<double> x = uniform_distribution(1024);
+                  std::vector<double> y;
+                  return [m, x, y]() mutable -> double {
+                    m.right_multiply(x, y);
+                    return y[0];
+                  };
+                }});
+
+  registry.add({"lu_factor_solve", "numerics", [] {
+                  const Matrix a = dense_system(96);
+                  const std::vector<double> b(96, 1.0);
+                  return [a, b]() -> double {
+                    const LuDecomposition lu(a);
+                    const std::vector<double> x = lu.solve(b);
+                    return x[0];
+                  };
+                }});
+
+  registry.add({"ode_rk4_transient", "numerics", [] {
+                  const Ctmc chain = banded_chain(128);
+                  const std::vector<double> pi0 = uniform_distribution(128);
+                  return [chain, pi0]() -> double {
+                    const std::vector<double> pi =
+                        chain.transient_rk4(pi0, 0.5, 64);
+                    return pi[0];
+                  };
+                }});
+
+  // --- markov -----------------------------------------------------------
+  registry.add({"ctmc_uniformization", "markov", [] {
+                  const Ctmc chain = banded_chain(256);
+                  const std::vector<double> pi0 = uniform_distribution(256);
+                  return [chain, pi0]() -> double {
+                    const std::vector<double> pi = chain.transient(pi0, 1.0);
+                    return pi[0];
+                  };
+                }});
+
+  registry.add({"ctmc_first_passage", "markov", [] {
+                  const Ctmc chain = banded_chain(96);
+                  const std::vector<double> alpha = uniform_distribution(96);
+                  return [chain, alpha]() -> double {
+                    const FirstPassage fp(chain, {0});
+                    return fp.mean_hitting_time(alpha);
+                  };
+                }});
+
+  // --- core (one full analytic cell) ------------------------------------
+  registry.add({"analytic_async_cell", "core", [] {
+                  const Scenario s = Scenario::symmetric(6, 1.0, 0.5)
+                                         .scheme(SchemeKind::kAsynchronous);
+                  return [s]() -> double {
+                    const ResultSet r = analytic_backend().evaluate(s);
+                    return r.value("mean_interval_x");
+                  };
+                }});
+
+  registry.add({"analytic_sync_cell", "core", [] {
+                  const Scenario s = Scenario::symmetric(8, 1.0, 0.0)
+                                         .scheme(SchemeKind::kSynchronized);
+                  return [s]() -> double {
+                    const ResultSet r = analytic_backend().evaluate(s);
+                    return r.value("sync_mean_max_wait");
+                  };
+                }});
+
+  // --- des --------------------------------------------------------------
+  registry.add({"des_async_lines", "des", [] {
+                  auto sim = std::make_shared<AsyncRbSimulator>(
+                      ProcessSetParams::symmetric(4, 1.0, 0.5), 0x5eed);
+                  return [sim]() -> double {
+                    const AsyncSimResult r = sim->run_lines(32, 0.25);
+                    return r.interval.mean();
+                  };
+                }});
+
+  registry.add({"des_sync_lines", "des", [] {
+                  SyncSimParams params;
+                  params.mu = {1.0, 1.2, 0.8, 1.1};
+                  params.strategy = SyncStrategy::kElapsedTime;
+                  params.elapsed_threshold = 1.0;
+                  params.error_rate = 0.5;
+                  auto sim =
+                      std::make_shared<SyncRbSimulator>(params, 0x5eed);
+                  return [sim]() -> double {
+                    const SyncSimResult r = sim->run(64);
+                    return r.loss_rate;
+                  };
+                }});
+
+  registry.add({"des_prp_failures", "des", [] {
+                  PrpSimParams sim_params;
+                  sim_params.t_record = 1e-3;
+                  sim_params.error_rate = 0.5;
+                  auto sim = std::make_shared<PrpSimulator>(
+                      ProcessSetParams::symmetric(4, 1.0, 0.5), sim_params,
+                      0x5eed);
+                  return [sim]() -> double {
+                    const PrpSimResult r = sim->run(8);
+                    return r.prp_distance.mean();
+                  };
+                }});
+
+  // --- wire -------------------------------------------------------------
+  registry.add({"wire_encode_scenario", "wire", [] {
+                  const Scenario s = wire_scenario();
+                  return [s]() -> double {
+                    wire::Writer w;
+                    s.encode(w);
+                    return static_cast<double>(w.size());
+                  };
+                }});
+
+  registry.add({"wire_decode_scenario", "wire", [] {
+                  wire::Writer w;
+                  wire_scenario().encode(w);
+                  const std::vector<std::byte> bytes = w.data();
+                  return [bytes]() -> double {
+                    wire::Reader r(bytes);
+                    const Scenario s = Scenario::decode(r);
+                    return static_cast<double>(s.n());
+                  };
+                }});
+
+  registry.add({"wire_encode_resultset", "wire", [] {
+                  const ResultSet rs = wire_result_set();
+                  return [rs]() -> double {
+                    wire::Writer w;
+                    rs.encode(w);
+                    return static_cast<double>(w.size());
+                  };
+                }});
+
+  registry.add({"wire_decode_resultset", "wire", [] {
+                  wire::Writer w;
+                  wire_result_set().encode(w);
+                  const std::vector<std::byte> bytes = w.data();
+                  return [bytes]() -> double {
+                    wire::Reader r(bytes);
+                    const ResultSet rs = ResultSet::decode(r);
+                    return static_cast<double>(rs.metrics().size());
+                  };
+                }});
+
+  registry.add({"wire_seal_cellbatch", "wire", [] {
+                  const CellBatch batch = wire_cell_batch();
+                  return [batch]() -> double {
+                    const std::vector<std::byte> frame = batch.seal();
+                    return static_cast<double>(frame.size());
+                  };
+                }});
+
+  registry.add({"wire_parse_cellbatch", "wire", [] {
+                  const std::vector<std::byte> frame =
+                      wire_cell_batch().seal();
+                  return [frame]() -> double {
+                    wire::Frame parsed;
+                    std::size_t consumed = 0;
+                    parse_frame(frame.data(), frame.size(), &parsed,
+                                &consumed);
+                    wire::Reader r(parsed.payload);
+                    const CellBatch batch = CellBatch::decode(r);
+                    return static_cast<double>(batch.cells.size());
+                  };
+                }});
+}
+
+}  // namespace perf
+}  // namespace rbx

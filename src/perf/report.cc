@@ -1,0 +1,270 @@
+#include "perf/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "perf/json.h"
+#include "recov/journal.h"
+
+namespace rbx {
+namespace perf {
+
+namespace {
+
+constexpr const char* kSchema = "rbx-bench-v1";
+
+Json kernel_to_json(const KernelStats& k) {
+  Json j = Json::object();
+  j.set("name", Json::string(k.name));
+  j.set("layer", Json::string(k.layer));
+  j.set("ns_median", Json::number(k.ns_median));
+  j.set("ns_p10", Json::number(k.ns_p10));
+  j.set("ns_p90", Json::number(k.ns_p90));
+  j.set("reps", Json::number(static_cast<double>(k.reps)));
+  j.set("intervals", Json::number(static_cast<double>(k.intervals)));
+  j.set("threads", Json::number(static_cast<double>(k.threads)));
+  return j;
+}
+
+KernelStats kernel_from_json(const Json& j) {
+  KernelStats k;
+  k.name = j.string_at("name");
+  k.layer = j.string_at("layer");
+  k.ns_median = j.number_at("ns_median");
+  k.ns_p10 = j.number_at("ns_p10");
+  k.ns_p90 = j.number_at("ns_p90");
+  k.reps = static_cast<std::uint64_t>(j.number_at("reps"));
+  k.intervals = static_cast<std::size_t>(j.number_at("intervals"));
+  k.threads = static_cast<std::size_t>(j.number_at("threads"));
+  return k;
+}
+
+Json sweep_to_json(const SweepRecord& s) {
+  Json j = Json::object();
+  j.set("source", Json::string(s.source));
+  j.set("sweep", Json::number(static_cast<double>(s.sweep)));
+  j.set("committed_cells",
+        Json::number(static_cast<double>(s.committed_cells)));
+  j.set("evaluated_cells",
+        Json::number(static_cast<double>(s.evaluated_cells)));
+  j.set("wall_ms", Json::number(static_cast<double>(s.wall_ms)));
+  j.set("cells_per_sec", Json::number(s.cells_per_sec));
+  return j;
+}
+
+SweepRecord sweep_from_json(const Json& j) {
+  SweepRecord s;
+  s.source = j.string_at("source");
+  s.sweep = static_cast<std::uint64_t>(j.number_at("sweep"));
+  s.committed_cells =
+      static_cast<std::uint64_t>(j.number_at("committed_cells"));
+  s.evaluated_cells =
+      static_cast<std::uint64_t>(j.number_at("evaluated_cells"));
+  s.wall_ms = static_cast<std::uint64_t>(j.number_at("wall_ms"));
+  s.cells_per_sec = j.number_at("cells_per_sec");
+  return s;
+}
+
+}  // namespace
+
+std::string build_flags_description() {
+  std::string out;
+#ifdef NDEBUG
+  out += "Release";
+#else
+  out += "Debug";
+#endif
+#ifdef __OPTIMIZE__
+  out += " -O";
+#endif
+#ifdef __VERSION__
+  out += " | ";
+  out += __VERSION__;
+#endif
+  return out;
+}
+
+std::string BenchReport::to_json() const {
+  Json j = Json::object();
+  j.set("schema", Json::string(kSchema));
+  j.set("label", Json::string(label));
+  j.set("timestamp", Json::string(timestamp));
+  j.set("build_flags", Json::string(build_flags));
+  j.set("threads", Json::number(static_cast<double>(threads)));
+  Json ks = Json::array();
+  for (const KernelStats& k : kernels) {
+    ks.push_back(kernel_to_json(k));
+  }
+  j.set("kernels", std::move(ks));
+  Json ss = Json::array();
+  for (const SweepRecord& s : sweeps) {
+    ss.push_back(sweep_to_json(s));
+  }
+  j.set("sweeps", std::move(ss));
+  return j.dump();
+}
+
+BenchReport BenchReport::from_json(const std::string& text) {
+  const Json j = Json::parse(text);
+  if (j.string_at("schema") != kSchema) {
+    throw json::Error("bench report: unknown schema '" +
+                      j.string_at("schema") + "' (this build reads " +
+                      kSchema + ")");
+  }
+  BenchReport r;
+  r.label = j.string_at("label");
+  r.timestamp = j.string_at("timestamp");
+  r.build_flags = j.string_at("build_flags");
+  r.threads = static_cast<std::size_t>(j.number_at("threads"));
+  const Json* ks = j.find("kernels");
+  if (ks == nullptr || !ks->is_array()) {
+    throw json::Error("bench report: missing 'kernels' array");
+  }
+  for (const Json& k : ks->items()) {
+    r.kernels.push_back(kernel_from_json(k));
+  }
+  if (const Json* ss = j.find("sweeps"); ss != nullptr && ss->is_array()) {
+    for (const Json& s : ss->items()) {
+      r.sweeps.push_back(sweep_from_json(s));
+    }
+  }
+  return r;
+}
+
+void BenchReport::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw json::Error("bench report: cannot open '" + path +
+                      "' for writing");
+  }
+  out << to_json();
+  out.flush();
+  if (!out) {
+    throw json::Error("bench report: short write to '" + path + "'");
+  }
+}
+
+BenchReport BenchReport::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw json::Error("bench report: cannot open '" + path +
+                      "' for reading");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json(buf.str());
+}
+
+void import_journal(BenchReport* report, const std::string& journal_path,
+                    const std::string& source) {
+  std::string name = source;
+  if (name.empty()) {
+    const std::size_t slash = journal_path.find_last_of('/');
+    name = slash == std::string::npos ? journal_path
+                                      : journal_path.substr(slash + 1);
+  }
+  const recov::JournalAnalysis analysis =
+      recov::analyze_journal(journal_path);
+  for (std::size_t i = 0; i < analysis.sweeps.size(); ++i) {
+    const recov::SweepState& sweep = analysis.sweeps[i];
+    if (!sweep.ended) {
+      continue;  // no end record, no perf counters to import
+    }
+    SweepRecord rec;
+    rec.source = name;
+    rec.sweep = i;
+    rec.committed_cells = sweep.end_stats.committed_cells;
+    rec.evaluated_cells = sweep.end_stats.evaluated_cells;
+    rec.wall_ms = sweep.end_stats.wall_ms;
+    rec.cells_per_sec = sweep.end_stats.cells_per_sec;
+    report->sweeps.push_back(rec);
+
+    if (rec.evaluated_cells > 0) {
+      // Per-evaluated-cell wall time as a synthetic kernel, so
+      // compare_reports() tracks sweep throughput like any other kernel.
+      KernelStats k;
+      k.name = "journal:" + name + ":sweep" + std::to_string(i);
+      k.layer = "sweep";
+      k.ns_median = static_cast<double>(rec.wall_ms) * 1e6 /
+                    static_cast<double>(rec.evaluated_cells);
+      k.ns_p10 = k.ns_median;
+      k.ns_p90 = k.ns_median;
+      k.reps = rec.evaluated_cells;
+      k.intervals = 1;
+      k.threads = 1;
+      report->kernels.push_back(std::move(k));
+    }
+  }
+}
+
+std::string CompareOutcome::render() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-34s %12s %12s %8s\n", "kernel",
+                "old ns/op", "new ns/op", "ratio");
+  out += line;
+  for (const CompareRow& row : rows) {
+    std::snprintf(line, sizeof(line), "%-34s %12.1f %12.1f %7.3fx%s\n",
+                  row.name.c_str(), row.old_ns, row.new_ns, row.ratio,
+                  row.regression ? "  REGRESSION" : "");
+    out += line;
+  }
+  for (const std::string& name : only_old) {
+    out += "  (only in old report: " + name + ")\n";
+  }
+  for (const std::string& name : only_new) {
+    out += "  (only in new report: " + name + ")\n";
+  }
+  return out;
+}
+
+CompareOutcome compare_reports(const BenchReport& old_report,
+                               const BenchReport& new_report,
+                               double threshold_pct) {
+  CompareOutcome outcome;
+  const double limit = 1.0 + threshold_pct / 100.0;
+  for (const KernelStats& old_k : old_report.kernels) {
+    const KernelStats* new_k = nullptr;
+    for (const KernelStats& k : new_report.kernels) {
+      if (k.name == old_k.name) {
+        new_k = &k;
+        break;
+      }
+    }
+    if (new_k == nullptr) {
+      outcome.only_old.push_back(old_k.name);
+      continue;
+    }
+    CompareRow row;
+    row.name = old_k.name;
+    row.old_ns = old_k.ns_median;
+    row.new_ns = new_k->ns_median;
+    row.ratio = old_k.ns_median > 0.0 ? new_k->ns_median / old_k.ns_median
+                                      : 0.0;
+    row.regression = row.ratio > limit;
+    outcome.regressed = outcome.regressed || row.regression;
+    outcome.rows.push_back(std::move(row));
+  }
+  for (const KernelStats& new_k : new_report.kernels) {
+    bool found = false;
+    for (const KernelStats& k : old_report.kernels) {
+      if (k.name == new_k.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      outcome.only_new.push_back(new_k.name);
+    }
+  }
+  std::sort(outcome.rows.begin(), outcome.rows.end(),
+            [](const CompareRow& a, const CompareRow& b) {
+              return a.ratio > b.ratio;
+            });
+  return outcome;
+}
+
+}  // namespace perf
+}  // namespace rbx

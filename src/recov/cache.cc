@@ -52,6 +52,12 @@ std::vector<std::byte> get_blob(wire::Reader& r) {
   return out;
 }
 
+// On-disk size of one sealed record: frame header + payload + CRC trailer
+// (seal_record's layout).
+std::size_t record_size(const std::vector<std::byte>& payload) {
+  return wire::kFrameHeaderSize + payload.size() + 4;
+}
+
 }  // namespace
 
 std::uint64_t cell_key(const Scenario& scenario, const EvalPlan& plan) {
@@ -73,6 +79,10 @@ ResultCache::ResultCache(const std::string& dir, Options options)
     // the append open fails too.
   }
   const RecordScan scan = scan_records(data.data(), data.size());
+  // Unique record payloads in append order (oldest first): the map
+  // answers lookups; `unique` preserves the age order compaction drops
+  // from.
+  std::vector<const std::vector<std::byte>*> unique;
   for (const wire::Frame& frame : scan.records) {
     if (frame.type != kRecordCacheEntry) {
       throw wire::Error("cache: unexpected record type " +
@@ -89,10 +99,57 @@ ResultCache::ResultCache(const std::string& dir, Options options)
     const Entry* existing = nullptr;
     if (!find_locked(key, entry.scenario_bytes, entry.plan_bytes,
                      &existing)) {
+      unique.push_back(&frame.payload);
       map_[key].push_back(std::move(entry));
       ++count_;
     }
   }
+
+  // Size cap: when the file outgrew max_bytes (duplicates, torn bytes, or
+  // simply too many entries), drop the oldest unique entries until the
+  // rest fit and rewrite the file with exactly the retained records.
+  bool rewritten = false;
+  if (options_.max_bytes > 0 && data.size() > options_.max_bytes) {
+    std::size_t retained_bytes = 0;
+    for (const std::vector<std::byte>* payload : unique) {
+      retained_bytes += record_size(*payload);
+    }
+    std::size_t first = 0;
+    while (retained_bytes > options_.max_bytes && first < unique.size()) {
+      retained_bytes -= record_size(*unique[first]);
+      ++first;
+    }
+    for (std::size_t i = 0; i < first; ++i) {
+      // Evict the dropped entry from the map (key + encodings identify it;
+      // the ResultSet does not need re-decoding).
+      wire::Reader r(*unique[i]);
+      const std::uint64_t key = r.u64();
+      const std::vector<std::byte> scenario_bytes = get_blob(r);
+      const std::vector<std::byte> plan_bytes = get_blob(r);
+      auto it = map_.find(key);
+      for (auto e = it->second.begin(); e != it->second.end(); ++e) {
+        if (e->scenario_bytes == scenario_bytes &&
+            e->plan_bytes == plan_bytes) {
+          it->second.erase(e);
+          break;
+        }
+      }
+      if (it->second.empty()) {
+        map_.erase(it);
+      }
+      --count_;
+    }
+    std::vector<std::byte> compacted;
+    compacted.reserve(retained_bytes);
+    for (std::size_t i = first; i < unique.size(); ++i) {
+      const std::vector<std::byte> record =
+          seal_record(kRecordCacheEntry, *unique[i]);
+      compacted.insert(compacted.end(), record.begin(), record.end());
+    }
+    wire::write_file_atomic(path_, compacted);
+    rewritten = true;
+  }
+
   do {
     fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   } while (fd_ < 0 && errno == EINTR);
@@ -101,7 +158,7 @@ ResultCache::ResultCache(const std::string& dir, Options options)
                       std::strerror(errno) +
                       " (does the --cache-dir directory exist?)");
   }
-  if (scan.torn_tail) {
+  if (scan.torn_tail && !rewritten) {
     // Physically drop the record the kill tore: O_APPEND writes at the end
     // of the file, and a record appended after torn bytes would be
     // unreachable (the next load's scan stops at the tear).

@@ -28,6 +28,18 @@
 // Thread-safe: sweep_workerd serves sessions concurrently, so lookup and
 // insert take an internal mutex (the disk append happens under it too,
 // keeping records whole).
+//
+// Compaction: the file is append-only while the daemon runs, so it only
+// ever grows - including duplicate records from crash overlap and entries
+// nobody will ask for again.  Options::max_bytes (sweep_workerd
+// --cache-max-bytes=N) bounds it: at startup, when the surviving records
+// exceed the cap, the *oldest* entries are dropped until the newest fit
+// and the file is atomically rewritten with exactly the retained records
+// (which also sheds duplicates and the torn tail).  Retained entries
+// still hit afterwards - pinned by tests/recov/cache_compaction_test.cc.
+// Runtime appends are not re-checked against the cap; the bound is
+// enforced at every daemon start, which is when the file is reread
+// anyway.
 #pragma once
 
 #include <cstddef>
@@ -51,6 +63,10 @@ class ResultCache {
  public:
   struct Options {
     std::size_t sync_every = 32;  // entries per fsync batch
+    // Startup size cap in bytes (0 = unlimited): when the cache file's
+    // surviving records exceed this, oldest entries are dropped and the
+    // file is compacted before appending resumes.
+    std::size_t max_bytes = 0;
   };
 
   // Loads DIR/cache.rbxj (tolerating a torn tail) and opens it for

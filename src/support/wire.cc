@@ -10,20 +10,31 @@
 namespace rbx {
 namespace wire {
 
-void Writer::u16(std::uint16_t v) {
-  u8(static_cast<std::uint8_t>(v));
-  u8(static_cast<std::uint8_t>(v >> 8));
+// Multi-byte values land with one resize and direct byte stores instead of
+// chaining through per-byte push_back - the encode paths (Scenario,
+// ResultSet, cell batches) are sequences of these, so the per-call
+// overhead is the wire layer's hot loop.
+namespace {
+
+inline std::byte* grow(std::vector<std::byte>& buf, std::size_t n) {
+  const std::size_t at = buf.size();
+  buf.resize(at + n);
+  return buf.data() + at;
 }
 
-void Writer::u32(std::uint32_t v) {
-  u16(static_cast<std::uint16_t>(v));
-  u16(static_cast<std::uint16_t>(v >> 16));
+inline void store_le(std::byte* p, std::uint64_t v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::byte>(v >> (8 * i));
+  }
 }
 
-void Writer::u64(std::uint64_t v) {
-  u32(static_cast<std::uint32_t>(v));
-  u32(static_cast<std::uint32_t>(v >> 32));
-}
+}  // namespace
+
+void Writer::u16(std::uint16_t v) { store_le(grow(buf_, 2), v, 2); }
+
+void Writer::u32(std::uint32_t v) { store_le(grow(buf_, 4), v, 4); }
+
+void Writer::u64(std::uint64_t v) { store_le(grow(buf_, 8), v, 8); }
 
 void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
@@ -45,9 +56,26 @@ void Writer::f64_vec(const std::vector<double>& v) {
     throw Error("wire: vector too long to encode");
   }
   u32(static_cast<std::uint32_t>(v.size()));
+  std::byte* p = grow(buf_, v.size() * 8);
   for (double x : v) {
-    f64(x);
+    store_le(p, std::bit_cast<std::uint64_t>(x), 8);
+    p += 8;
   }
+}
+
+std::size_t Writer::begin_frame(std::uint16_t type) {
+  u32(kMagic);
+  u16(kVersion);
+  u16(type);
+  u64(0);  // patched by end_frame
+  return buf_.size();
+}
+
+void Writer::end_frame(std::size_t mark) {
+  if (mark < kFrameHeaderSize || mark > buf_.size()) {
+    throw Error("wire: end_frame mark does not match a begin_frame");
+  }
+  store_le(buf_.data() + mark - 8, buf_.size() - mark, 8);
 }
 
 const std::byte* Reader::need(std::size_t n) {
@@ -104,10 +132,14 @@ std::vector<double> Reader::f64_vec() {
     throw Error("wire: truncated vector (claims " + std::to_string(n) +
                 " doubles, " + std::to_string(remaining()) + " bytes left)");
   }
-  std::vector<double> out;
-  out.reserve(n);
+  const std::byte* p = need(std::size_t{n} * 8);
+  std::vector<double> out(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    out.push_back(f64());
+    std::uint64_t v = 0;
+    for (std::size_t b = 8; b-- > 0;) {
+      v = (v << 8) | static_cast<std::uint8_t>(p[i * 8 + b]);
+    }
+    out[i] = std::bit_cast<double>(v);
   }
   return out;
 }
@@ -121,14 +153,12 @@ void Reader::expect_done() const {
 
 std::vector<std::byte> seal_frame(std::uint16_t type,
                                   const std::vector<std::byte>& payload) {
-  Writer header;
-  header.u32(kMagic);
-  header.u16(kVersion);
-  header.u16(type);
-  header.u64(payload.size());
-  std::vector<std::byte> out = header.data();
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
+  Writer w;
+  w.reserve(kFrameHeaderSize + payload.size());
+  const std::size_t mark = w.begin_frame(type);
+  w.bytes(payload.data(), payload.size());
+  w.end_frame(mark);
+  return w.take();
 }
 
 bool parse_frame(const std::byte* data, std::size_t size, Frame* out,

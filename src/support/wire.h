@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rbx {
@@ -59,8 +60,22 @@ class Writer {
   void bytes(const void* data, std::size_t size);
   void f64_vec(const std::vector<double>& v);
 
+  // Pre-sizes the buffer; encode paths that know their payload size call
+  // this once instead of growing through reallocations.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
+  // In-place framing: begin_frame writes a frame header with a zero
+  // payload length and returns a mark; end_frame patches the length to
+  // everything written since.  Byte-identical to seal_frame() around the
+  // same payload, without building the payload in a second buffer.
+  std::size_t begin_frame(std::uint16_t type);
+  void end_frame(std::size_t mark);
+
   const std::vector<std::byte>& data() const { return buf_; }
   std::size_t size() const { return buf_.size(); }
+  // Moves the buffer out (the writer is empty afterwards); spares the
+  // copy when the caller owns the result anyway.
+  std::vector<std::byte> take() { return std::move(buf_); }
 
  private:
   std::vector<std::byte> buf_;

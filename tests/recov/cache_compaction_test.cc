@@ -1,0 +1,185 @@
+// Startup compaction of the worker result cache (Options::max_bytes,
+// sweep_workerd --cache-max-bytes): the append-only file is bounded at
+// load by dropping the oldest entries and rewriting, and every entry that
+// survives still hits with the exact bytes it was inserted with.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/backend.h"
+#include "core/result.h"
+#include "core/scenario.h"
+#include "recov/cache.h"
+#include "recov/journal.h"
+#include "support/wire.h"
+
+namespace rbx {
+namespace recov {
+namespace {
+
+Scenario cell_scenario(std::uint64_t seed) {
+  return Scenario::symmetric(3, 1.0, 1.0).seed(seed).samples(500);
+}
+
+EvalPlan mc_plan() {
+  EvalPlan plan;
+  plan.steps.push_back({"monte-carlo", ""});
+  return plan;
+}
+
+ResultSet make_result(double v) {
+  ResultSet r("monte-carlo", "cached-cell");
+  r.set("mean_interval_x", v, 0.001, 500);
+  return r;
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = testing::TempDir() + name;
+  std::remove((dir + "/cache.rbxj").c_str());
+  ::rmdir(dir.c_str());
+  EXPECT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  return dir;
+}
+
+std::size_t file_size(const std::string& path) {
+  struct stat st {};
+  EXPECT_EQ(::stat(path.c_str(), &st), 0) << path;
+  return static_cast<std::size_t>(st.st_size);
+}
+
+constexpr std::size_t kCells = 12;
+
+// Fill a cache with kCells distinct cells (seed = value = index).
+void populate(const std::string& dir) {
+  ResultCache cache(dir);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    cache.insert(cell_scenario(i), mc_plan(),
+                 make_result(static_cast<double>(i)));
+  }
+  EXPECT_EQ(cache.entries(), kCells);
+}
+
+TEST(CacheCompactionTest, OldestDroppedNewestStillHit) {
+  const std::string dir = fresh_dir("cache_compact_basic");
+  populate(dir);
+  const std::string file = dir + "/cache.rbxj";
+  const std::size_t full = file_size(file);
+
+  ResultCache::Options opts;
+  opts.max_bytes = full / 2;
+  ResultCache cache(dir, opts);
+
+  // The file shrank under the cap and some (but not all) entries remain.
+  EXPECT_LE(file_size(file), opts.max_bytes);
+  EXPECT_GT(cache.entries(), 0u);
+  EXPECT_LT(cache.entries(), kCells);
+
+  // Exactly the newest entries survive: misses form a prefix, hits a
+  // suffix, and every hit returns the inserted bytes.
+  bool hit_seen = false;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    ResultSet out("x", "y");
+    if (cache.lookup(cell_scenario(i), mc_plan(), &out)) {
+      hit_seen = true;
+      ++hits;
+      EXPECT_EQ(out, make_result(static_cast<double>(i))) << "i=" << i;
+    } else {
+      EXPECT_FALSE(hit_seen) << "entry " << i
+                             << " missing after a newer one survived";
+    }
+  }
+  EXPECT_EQ(hits, cache.entries());
+}
+
+TEST(CacheCompactionTest, CapAboveFileSizeIsANoop) {
+  const std::string dir = fresh_dir("cache_compact_noop");
+  populate(dir);
+  const std::string file = dir + "/cache.rbxj";
+  const std::size_t full = file_size(file);
+
+  ResultCache::Options opts;
+  opts.max_bytes = full + 1;
+  ResultCache cache(dir, opts);
+  EXPECT_EQ(cache.entries(), kCells);
+  EXPECT_EQ(file_size(file), full);
+}
+
+TEST(CacheCompactionTest, DuplicateRecordsShedWithoutLosingEntries) {
+  // Crash-overlap can append the same cell twice (two daemons, or a
+  // re-run after fsync loss).  Doubling the file simulates the worst
+  // case; a cap at the original size must recover every unique entry
+  // while shrinking the file back.
+  const std::string dir = fresh_dir("cache_compact_dup");
+  populate(dir);
+  const std::string file = dir + "/cache.rbxj";
+  const auto bytes = read_file_bytes(file, "cache");
+  std::vector<std::byte> doubled(bytes);
+  doubled.insert(doubled.end(), bytes.begin(), bytes.end());
+  wire::write_file_atomic(file, doubled);
+
+  ResultCache::Options opts;
+  opts.max_bytes = bytes.size();
+  ResultCache cache(dir, opts);
+  EXPECT_EQ(cache.entries(), kCells);
+  EXPECT_LE(file_size(file), opts.max_bytes);
+  ResultSet out("x", "y");
+  for (std::size_t i = 0; i < kCells; ++i) {
+    ASSERT_TRUE(cache.lookup(cell_scenario(i), mc_plan(), &out)) << i;
+    EXPECT_EQ(out, make_result(static_cast<double>(i)));
+  }
+}
+
+TEST(CacheCompactionTest, AppendsAfterCompactionSurviveRestart) {
+  const std::string dir = fresh_dir("cache_compact_append");
+  populate(dir);
+  const std::string file = dir + "/cache.rbxj";
+  const std::size_t full = file_size(file);
+
+  ResultCache::Options opts;
+  opts.max_bytes = full / 2;
+  std::size_t retained = 0;
+  {
+    ResultCache cache(dir, opts);
+    retained = cache.entries();
+    cache.insert(cell_scenario(1000), mc_plan(), make_result(1000.0));
+  }
+  // Reload without a cap: the compacted records plus the new append all
+  // replay.
+  ResultCache reloaded(dir);
+  EXPECT_EQ(reloaded.entries(), retained + 1);
+  ResultSet out("x", "y");
+  ASSERT_TRUE(reloaded.lookup(cell_scenario(1000), mc_plan(), &out));
+  EXPECT_EQ(out, make_result(1000.0));
+  ASSERT_TRUE(
+      reloaded.lookup(cell_scenario(kCells - 1), mc_plan(), &out));
+  EXPECT_EQ(out, make_result(static_cast<double>(kCells - 1)));
+}
+
+TEST(CacheCompactionTest, TornTailDroppedDuringCompaction) {
+  const std::string dir = fresh_dir("cache_compact_torn");
+  populate(dir);
+  const std::string file = dir + "/cache.rbxj";
+  const auto bytes = read_file_bytes(file, "cache");
+  ASSERT_EQ(truncate(file.c_str(), static_cast<off_t>(bytes.size() - 7)),
+            0);
+
+  ResultCache::Options opts;
+  opts.max_bytes = bytes.size() / 2;
+  ResultCache cache(dir, opts);
+  EXPECT_GT(cache.entries(), 0u);
+  EXPECT_LE(file_size(file), opts.max_bytes);
+  // The rewritten file is whole records only: an uncapped reload agrees.
+  const std::size_t after = cache.entries();
+  ResultCache reloaded(dir);
+  EXPECT_EQ(reloaded.entries(), after);
+}
+
+}  // namespace
+}  // namespace recov
+}  // namespace rbx

@@ -41,6 +41,10 @@
 //                    answer repeated cells from the cache (bitwise
 //                    identical to evaluating; only faster).  DIR must
 //                    exist.  Coordinators opt out with --no-cache.
+//   --cache-max-bytes=N
+//                    cap the cache file at N bytes: at startup the oldest
+//                    entries are dropped until the rest fit and the file
+//                    is compacted in place (0 = unlimited, the default)
 //   --quiet          no connection notes on stderr
 #include <cstdio>
 #include <cstring>
@@ -57,7 +61,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --serve=PORT [--max-coordinators=N] [--once]\n"
                "       [--fail-after=N] [--delay-ms=N] [--cache-dir=DIR]\n"
-               "       [--quiet]\n",
+               "       [--cache-max-bytes=N] [--quiet]\n",
                prog);
   std::exit(2);
 }
@@ -101,6 +105,12 @@ int main(int argc, char** argv) {
         usage_error(prog, arg, "expected a directory path");
       }
       opts.cache_dir = arg + 12;
+    } else if (std::strncmp(arg, "--cache-max-bytes=", 18) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_strict_u64(arg + 18, &n)) {
+        usage_error(prog, arg, "expected a non-negative byte count");
+      }
+      opts.cache_max_bytes = static_cast<std::size_t>(n);
     } else if (std::strcmp(arg, "--once") == 0) {
       opts.once = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
