@@ -1,0 +1,85 @@
+// Shared scaffolding for the paper benches.
+//
+// Every bench that rides the distribution stack has the same opening
+// movement: parse the strict flags, print the banner, expand a grid of
+// seeded Scenario cells, hand them to SweepRunner with a serializable
+// EvalPlan, and - when this process is a --shard worker that just wrote
+// its partial - exit 0 without rendering.  This header is that movement
+// as one function, so a bench file is reduced to what is actually unique
+// about it: the grid, the plan and the tables.
+//
+//   int main(int argc, char** argv) {
+//     bench::SweepOutcome sweep = bench::run_sweep(
+//         argc, argv, {"FIG6", "Figure 6: ...", /*samples=*/200000,
+//                      /*nmax=*/0},
+//         build_cells, plan_for_cell);
+//     if (!sweep.results) return 0;   // --shard: partial written
+//     render(sweep);
+//   }
+//
+// Keeping this in bench/ (not src/) is deliberate: it is presentation
+// scaffolding over the library's public surface, not library code.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/api.h"
+
+namespace rbx {
+namespace bench {
+
+// The per-bench constants run_sweep needs before the grid exists.
+struct BenchSpec {
+  const char* tag;    // banner tag, e.g. "FIG6"
+  const char* title;  // banner title line
+  std::size_t default_samples;  // --samples default
+  std::size_t default_nmax;     // --nmax default (0 = flag refused)
+};
+
+// What a bench gets back: the parsed options, the expanded grid and -
+// unless this process was a shard that wrote its partial and should exit
+// 0 - one ResultSet per cell, index-aligned with the grid.
+struct SweepOutcome {
+  ExperimentOptions opts;
+  std::vector<Scenario> cells;
+  std::optional<std::vector<ResultSet>> results;
+};
+
+using BuildCellsFn =
+    std::function<std::vector<Scenario>(const ExperimentOptions&)>;
+
+// Parse + banner + expand + run.  The plan function makes the cells
+// cluster-capable (--workers/--connect/--fleet evaluate the same
+// registered backends remotely); default_threads is forwarded to
+// SweepRunner for benches whose cells spawn their own threads.
+inline SweepOutcome run_sweep(int argc, char** argv, const BenchSpec& spec,
+                              const BuildCellsFn& build_cells,
+                              const PlanFn& plan_fn,
+                              std::size_t default_threads = 0) {
+  SweepOutcome out{ExperimentOptions::parse(argc, argv, spec.default_samples,
+                                            spec.default_nmax),
+                   {}, std::nullopt};
+  print_banner(spec.tag, spec.title);
+  out.cells = build_cells(out.opts);
+  SweepRunner runner(out.opts, default_threads);
+  out.results = runner.run(out.cells, plan_fn);
+  return out;
+}
+
+// The common one-plan-for-every-cell case.
+inline SweepOutcome run_sweep(int argc, char** argv, const BenchSpec& spec,
+                              const BuildCellsFn& build_cells,
+                              const EvalPlan& plan,
+                              std::size_t default_threads = 0) {
+  return run_sweep(
+      argc, argv, spec, build_cells,
+      [&plan](const Scenario&, std::size_t) { return plan; },
+      default_threads);
+}
+
+}  // namespace bench
+}  // namespace rbx

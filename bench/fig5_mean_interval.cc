@@ -18,41 +18,44 @@
 #include <iterator>
 #include <vector>
 
-#include "core/api.h"
+#include "bench_main.h"
 
 int main(int argc, char** argv) {
   using namespace rbx;
-  const ExperimentOptions opts =
-      ExperimentOptions::parse(argc, argv, /*samples=*/20000, /*nmax=*/9);
-  print_banner("FIG5", "Figure 5: E[X] vs number of processes n");
 
-  const double rho_levels[] = {0.5, 1.0, 2.0};
-  std::vector<Scenario> cells;
-  for (double rho : rho_levels) {
-    for (std::size_t n = 2; n <= opts.nmax; ++n) {
-      // rho = C(n,2) lambda / n  =>  lambda = 2 rho / (n - 1).
-      const double lambda = 2.0 * rho / (static_cast<double>(n) - 1.0);
-      cells.push_back(Scenario::symmetric(n, 1.0, lambda)
-                          .seed(opts.seed + n)
-                          .samples(std::max<std::size_t>(
-                              1, opts.samples / (n >= 5 ? 4 : 1))));
-    }
-  }
-
-  SweepRunner runner(opts);
+  static const double rho_levels[] = {0.5, 1.0, 2.0};
   // An evaluation plan instead of a closure, so the cells can also run on
-  // remote sweep_workerd daemons (--connect).
-  const auto sweep = runner.run(cells, [](const Scenario& s, std::size_t) {
-    EvalPlan plan{{EvalStep{"analytic", ""}}};
-    if (s.n() <= 6) {
-      plan.steps.push_back(EvalStep{"monte-carlo", "mc_"});
-    }
-    return plan;
-  });
-  if (!sweep) {
+  // remote sweep_workerd daemons (--connect / --fleet).
+  bench::SweepOutcome sweep = bench::run_sweep(
+      argc, argv,
+      {"FIG5", "Figure 5: E[X] vs number of processes n",
+       /*samples=*/20000, /*nmax=*/9},
+      [](const ExperimentOptions& opts) {
+        std::vector<Scenario> cells;
+        for (double rho : rho_levels) {
+          for (std::size_t n = 2; n <= opts.nmax; ++n) {
+            // rho = C(n,2) lambda / n  =>  lambda = 2 rho / (n - 1).
+            const double lambda = 2.0 * rho / (static_cast<double>(n) - 1.0);
+            cells.push_back(Scenario::symmetric(n, 1.0, lambda)
+                                .seed(opts.seed + n)
+                                .samples(std::max<std::size_t>(
+                                    1, opts.samples / (n >= 5 ? 4 : 1))));
+          }
+        }
+        return cells;
+      },
+      [](const Scenario& s, std::size_t) {
+        EvalPlan plan{{EvalStep{"analytic", ""}}};
+        if (s.n() <= 6) {
+          plan.steps.push_back(EvalStep{"monte-carlo", "mc_"});
+        }
+        return plan;
+      });
+  if (!sweep.results) {
     return 0;  // --shard: partial written
   }
-  const std::vector<ResultSet>& results = *sweep;
+  const std::vector<Scenario>& cells = sweep.cells;
+  const std::vector<ResultSet>& results = *sweep.results;
 
   const std::size_t per_rho = cells.size() / std::size(rho_levels);
   for (std::size_t r = 0; r < std::size(rho_levels); ++r) {

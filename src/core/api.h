@@ -51,6 +51,18 @@
 //                sweep is answered from disk without re-evaluating,
 //                bypassed per-sweep by --no-cache and size-capped at
 //                startup by --cache-max-bytes;
+//   FleetRegistry the elastic shared fleet (fleet/registry.h, fleet/lane.h,
+//                fleet_registryd): sweep_workerd daemons join a registry
+//                and heartbeat it (silence past the eviction window drops
+//                them from the pool), coordinators resolve the live
+//                members with --fleet=HOST:PORT instead of naming
+//                endpoints, contending sweeps are leased disjoint
+//                weighted fair shares, a worker lost mid-sweep is
+//                backfilled by any member - including one that joined
+//                after the sweep started - and one pre-shared key
+//                (fleet/auth.h, --auth-key-file) authenticates every
+//                handshake via HMAC-SHA256 challenge/response plus
+//                registry-signed lease tokens;
 //   BenchReport  the perf trajectory (perf/bench.h, perf/report.h): named
 //                micro-kernels spanning every layer below, measured by
 //                the perf_bench tool into BENCH_<label>.json files, with
@@ -124,6 +136,9 @@
 //              core/lane.h)
 //   net/       the TCP lane of the dispatch layer (TcpLane,
 //              ClusterExecutor, WorkerServer)
+//   fleet/     the shared-fleet subsystem: registry + membership
+//              (join/heartbeat/leave), fair-share leasing, pre-shared-key
+//              auth (HMAC-SHA256, signed leases), FleetLane (--fleet)
 //   recov/     crash durability: sweep journal + resume planning +
 //              the worker-side result cache
 //   perf/      the bench harness: kernel registry, interval measurement,
@@ -146,6 +161,11 @@
 #include "des/async_sim.h"             // IWYU pragma: export
 #include "des/prp_sim.h"               // IWYU pragma: export
 #include "des/sync_sim.h"              // IWYU pragma: export
+#include "fleet/auth.h"                // IWYU pragma: export
+#include "fleet/client.h"              // IWYU pragma: export
+#include "fleet/lane.h"                // IWYU pragma: export
+#include "fleet/proto.h"               // IWYU pragma: export
+#include "fleet/registry.h"            // IWYU pragma: export
 #include "model/async_model.h"         // IWYU pragma: export
 #include "model/async_symmetric.h"     // IWYU pragma: export
 #include "model/params.h"              // IWYU pragma: export

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/analytic_backend.h"
+#include "core/density_backend.h"
 #include "core/monte_carlo_backend.h"
 #include "core/runtime_backend.h"
 
@@ -28,8 +29,19 @@ const EvalBackend& runtime_backend() {
   return backend;
 }
 
+const EvalBackend& density_analytic_backend() {
+  static const DensityAnalyticBackend backend;
+  return backend;
+}
+
+const EvalBackend& density_monte_carlo_backend() {
+  static const DensityMonteCarloBackend backend;
+  return backend;
+}
+
 std::vector<const EvalBackend*> all_backends() {
-  return {&analytic_backend(), &monte_carlo_backend(), &runtime_backend()};
+  return {&analytic_backend(), &monte_carlo_backend(), &runtime_backend(),
+          &density_analytic_backend(), &density_monte_carlo_backend()};
 }
 
 const EvalBackend* find_backend(const std::string& name) {

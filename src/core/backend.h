@@ -47,15 +47,20 @@ class EvalBackend {
   virtual ResultSet evaluate(const Scenario& scenario) const = 0;
 };
 
-// The three standard backends (stateless singletons).
+// The standard backends (stateless singletons).
 const EvalBackend& analytic_backend();      // model/ + markov/
 const EvalBackend& monte_carlo_backend();   // des/
 const EvalBackend& runtime_backend();       // runtime/ (real threads)
+// The Figure 6 density grid, analytically and by simulation
+// (core/density_backend.h).
+const EvalBackend& density_analytic_backend();
+const EvalBackend& density_monte_carlo_backend();
 
 // All registered backends, in the order above.
 std::vector<const EvalBackend*> all_backends();
 
-// Lookup by name ("analytic", "monte-carlo", "runtime"); nullptr if unknown.
+// Lookup by name ("analytic", "monte-carlo", "runtime",
+// "density-analytic", "density-mc"); nullptr if unknown.
 const EvalBackend* find_backend(const std::string& name);
 
 // --- evaluation plans ----------------------------------------------------

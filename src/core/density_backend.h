@@ -1,0 +1,52 @@
+// Density backends: the Figure 6 evaluation as registered EvalBackends.
+//
+// Figure 6 plots the interval density f_X(t) on a fixed grid of 21 points
+// over normalized time [0, 2].  Historically the bench called the model
+// and simulator layers directly, which kept it off the Scenario/EvalPlan
+// seam - it could not run on --workers, --connect or --fleet.  These
+// backends put the same two evaluations behind registered names so a
+// density sweep ships to any executor like every other cell:
+//
+//   density-analytic  the phase-type density of the R1-R4 chain sampled
+//                     on the grid ("density_f_0".."density_f_20", plus
+//                     the paper's impulse f_X(0) = sum mu as
+//                     "density_f0" and E[X] as "mean_interval_x")
+//   density-mc        a Monte-Carlo histogram of interval samples on the
+//                     same grid's 20 bins ("density_bin_0".."_19", each
+//                     metric count = the bin count), seeded per cell so
+//                     every execution mode reproduces the bytes
+//
+// The grid is part of the metric contract (names embed the index), so it
+// is fixed here rather than parameterized per scenario.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/backend.h"
+
+namespace rbx {
+
+// The Figure 6 grid: t in [0, kDensityTMax] at kDensityPoints uniform
+// points; the histogram uses the kDensityPoints - 1 bins between them.
+inline constexpr double kDensityTMax = 2.0;
+inline constexpr std::size_t kDensityPoints = 21;
+
+// The grid point t_i = kDensityTMax * i / (kDensityPoints - 1).
+double density_grid_t(std::size_t i);
+
+class DensityAnalyticBackend : public EvalBackend {
+ public:
+  std::string name() const override { return "density-analytic"; }
+  bool supports(const Scenario& scenario) const override;
+  ResultSet evaluate(const Scenario& scenario) const override;
+};
+
+class DensityMonteCarloBackend : public EvalBackend {
+ public:
+  std::string name() const override { return "density-mc"; }
+  bool supports(const Scenario& scenario) const override;
+  ResultSet evaluate(const Scenario& scenario) const override;
+};
+
+}  // namespace rbx

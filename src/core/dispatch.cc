@@ -386,6 +386,28 @@ std::vector<CellOutcome> DispatchCore::run(const std::vector<Scenario>& cells,
             refuse(slot, r.str(), /*revivable=*/false);
             return true;
           }
+          if (ack.type == kFrameAuthChallenge) {
+            // The worker wants proof of the pre-shared key before acking.
+            wire::Reader r(ack.payload);
+            const std::string challenge = r.str();
+            r.expect_done();
+            const std::string mac = slot.worker->auth_response(challenge);
+            if (mac.empty()) {
+              refuse(slot,
+                     "worker demands authentication but this coordinator "
+                     "holds no key (--auth-key-file)",
+                     /*revivable=*/false);
+              return true;
+            }
+            wire::Writer w;
+            w.str(mac);
+            if (!slot.worker->channel()->send(kFrameAuthResponse, w.data())) {
+              refuse(slot, "connection lost during authentication",
+                     /*revivable=*/true);
+              return true;
+            }
+            continue;  // the ack (or a refusal) follows
+          }
           if (ack.type != kFrameHelloAck) {
             refuse(slot, "unexpected frame type " + std::to_string(ack.type),
                    /*revivable=*/false);
@@ -413,8 +435,12 @@ std::vector<CellOutcome> DispatchCore::run(const std::vector<Scenario>& cells,
     };
 
     const auto send_hello = [&](Slot& slot) {
+      // Per-worker amendments: an authenticated worker flags the auth
+      // exchange, a fleet-leased worker attaches its registry grant.
+      Hello worker_hello = hello;
+      slot.worker->prepare_hello(worker_hello);
       wire::Writer w;
-      hello.encode(w);
+      worker_hello.encode(w);
       if (!slot.worker->channel()->send(kFrameHello, w.data())) {
         refuse(slot, "connection lost", /*revivable=*/true);
         return;

@@ -12,6 +12,8 @@
 
 #include "core/dispatch.h"
 #include "core/lane.h"
+#include "fleet/auth.h"
+#include "fleet/lane.h"
 #include "net/cluster.h"
 #include "net/frame.h"
 #include "recov/journal.h"
@@ -27,7 +29,9 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--samples=N] [--nmax=N] [--seed=N]\n"
                "          [--threads=N] [--workers=N]\n"
-               "          [--connect=HOST:PORT,...] [--batch=N] [--steal]\n"
+               "          [--connect=HOST:PORT,... | --fleet=HOST:PORT\n"
+               "           [--fleet-workers=N]] [--auth-key-file=PATH]\n"
+               "          [--batch=N] [--steal]\n"
                "          [--handshake-timeout-ms=N]\n"
                "          [--shard=i/k [--shard-out=FILE | --shard-serve=PORT]]\n"
                "          [--merge=SRC1,SRC2,...]  (SRC: file or HOST:PORT)\n"
@@ -149,6 +153,26 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
         usage_error(prog, arg, "expected a comma-separated host:port list");
       }
       continue;
+    } else if (std::strncmp(arg, "--fleet=", 8) == 0) {
+      std::string why;
+      if (!net::parse_endpoint(arg + 8, &opts.fleet, &why)) {
+        usage_error(prog, arg, why.c_str());
+      }
+      opts.fleet_given = true;
+      continue;
+    } else if (std::strncmp(arg, "--fleet-workers=", 16) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_strict_u64(arg + 16, &n) || n == 0) {
+        usage_error(prog, arg, "expected a positive worker count");
+      }
+      opts.fleet_workers = static_cast<std::size_t>(n);
+      continue;
+    } else if (std::strncmp(arg, "--auth-key-file=", 16) == 0) {
+      if (arg[16] == '\0') {
+        usage_error(prog, arg, "expected a key file path");
+      }
+      opts.auth_key_file = arg + 16;
+      continue;
     } else if (std::strcmp(arg, "--steal") == 0) {
       opts.steal = true;
       continue;
@@ -250,24 +274,45 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
     usage_error(prog, "--connect",
                 "--merge evaluates nothing, so --connect is meaningless");
   }
+  if (opts.fleet_given && !opts.connect.empty()) {
+    usage_error(prog, "--fleet",
+                "--fleet resolves its daemons from the registry; naming "
+                "them with --connect too is contradictory - pick one");
+  }
+  if (opts.fleet_given && !opts.merge_inputs.empty()) {
+    usage_error(prog, "--fleet",
+                "--merge evaluates nothing, so --fleet is meaningless");
+  }
+  if (opts.fleet_workers != 0 && !opts.fleet_given) {
+    usage_error(prog, "--fleet-workers",
+                "--fleet-workers only applies to --fleet runs");
+  }
+  if (!opts.auth_key_file.empty() && opts.connect.empty() &&
+      !opts.fleet_given) {
+    usage_error(prog, "--auth-key-file",
+                "--auth-key-file only applies to --connect or --fleet "
+                "runs (only remote daemons authenticate)");
+  }
   // --batch and --steal are properties of the shared dispatch core, legal
   // under any worker lane (forked or remote) and any hybrid mix of them -
   // but meaningless on a pure --threads run, where they would silently do
   // nothing (threads take single cells and cannot usefully straggle).
-  if (batch_given && opts.workers == 0 && opts.connect.empty()) {
+  const bool remote_lane = !opts.connect.empty() || opts.fleet_given;
+  if (batch_given && opts.workers == 0 && !remote_lane) {
     usage_error(prog, "--batch",
-                "--batch only applies to runs with a --workers or "
-                "--connect lane");
+                "--batch only applies to runs with a --workers, --connect "
+                "or --fleet lane");
   }
-  if (opts.steal && opts.workers == 0 && opts.connect.empty()) {
+  if (opts.steal && opts.workers == 0 && !remote_lane) {
     usage_error(prog, "--steal",
-                "--steal only applies to runs with a --workers or "
-                "--connect lane (a pure --threads run has no stragglers "
+                "--steal only applies to runs with a --workers, --connect "
+                "or --fleet lane (a pure --threads run has no stragglers "
                 "worth stealing from)");
   }
-  if (handshake_timeout_given && opts.connect.empty()) {
+  if (handshake_timeout_given && !remote_lane) {
     usage_error(prog, "--handshake-timeout-ms",
-                "--handshake-timeout-ms only applies to --connect runs");
+                "--handshake-timeout-ms only applies to --connect or "
+                "--fleet runs");
   }
   if (!opts.journal.empty() && !opts.resume.empty()) {
     usage_error(prog, "--journal",
@@ -286,10 +331,10 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
                 "unsharded run (or re-run the lost shard - partials are "
                 "cheap) instead of combining it with --shard");
   }
-  if (opts.no_cache && opts.connect.empty()) {
+  if (opts.no_cache && !remote_lane) {
     usage_error(prog, "--no-cache",
-                "--no-cache only applies to --connect runs (only remote "
-                "daemons keep a result cache)");
+                "--no-cache only applies to --connect or --fleet runs "
+                "(only remote daemons keep a result cache)");
   }
   if (shard_out_given && !shard_given) {
     usage_error(prog, "--shard-out", "--shard-out requires --shard");
@@ -405,13 +450,25 @@ SweepRunner::SweepRunner(const ExperimentOptions& opts,
   // Compose the execution lanes.  One executor serves the whole bench
   // run: its lanes (and a TCP lane's worker connections, including the
   // knowledge of which workers died) persist across sweeps.
+  // The pre-shared fleet key (--auth-key-file); an unreadable or empty
+  // key file is an environment failure, reported before any lane dials.
+  std::string auth_key;
+  if (!opts_.auth_key_file.empty()) {
+    try {
+      auth_key = fleet::load_auth_key(opts_.auth_key_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep: %s\n", e.what());
+      std::exit(1);
+    }
+  }
   std::vector<std::unique_ptr<Lane>> lanes;
   if (opts_.workers > 0) {
     // Fork lane first: raising children before the thread lane spawns
     // threads keeps each sweep's forks cheap and predictable.
     lanes.push_back(std::make_unique<ForkLane>(opts_.workers));
   }
-  if (opts_.threads_given || (opts_.workers == 0 && opts_.connect.empty())) {
+  if (opts_.threads_given ||
+      (opts_.workers == 0 && opts_.connect.empty() && !opts_.fleet_given)) {
     lanes.push_back(std::make_unique<ThreadLane>(opts_.threads));
   }
   if (!opts_.connect.empty()) {
@@ -420,7 +477,17 @@ SweepRunner::SweepRunner(const ExperimentOptions& opts,
     // With local lanes present, an unreachable pool degrades the sweep
     // instead of killing it; a --connect-only run still fails loudly.
     tcp.required = lanes.empty();
+    tcp.auth_key = auth_key;
     lanes.push_back(std::make_unique<net::TcpLane>(std::move(tcp)));
+    remote_lanes_ = true;
+  }
+  if (opts_.fleet_given) {
+    fleet::FleetLaneOptions flt;
+    flt.registry = opts_.fleet;
+    flt.auth_key = auth_key;
+    flt.max_workers = static_cast<std::uint32_t>(opts_.fleet_workers);
+    flt.required = lanes.empty();
+    lanes.push_back(std::make_unique<fleet::FleetLane>(std::move(flt)));
     remote_lanes_ = true;
   }
   DispatchOptions dispatch;

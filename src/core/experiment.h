@@ -18,6 +18,24 @@
 //                  a lane of remote sweep_workerd daemons over TCP; a
 //                  lost daemon is re-admitted mid-sweep when it comes
 //                  back (reconnect + re-handshake on a backoff timer)
+//   --fleet=HOST:PORT
+//                  like --connect, but the daemons are resolved from a
+//                  fleet registry (tools/fleet_registryd) at sweep start:
+//                  the coordinator is granted a fair share of the live
+//                  members (heartbeat-expired daemons are never granted)
+//                  and a daemon lost mid-sweep is backfilled by any other
+//                  registry member - including one that joined after the
+//                  sweep began.  Mutually exclusive with --connect; output
+//                  is byte-identical to the equivalent --connect list
+//   --fleet-workers=N
+//                  with --fleet: cap the grant at N members (default: the
+//                  registry's fair share)
+//   --auth-key-file=PATH
+//                  pre-shared key for authenticated fleets: the Hello
+//                  handshake to every daemon (and the registry) carries an
+//                  HMAC challenge/response proving key possession.  Works
+//                  with --fleet and with plain --connect against daemons
+//                  running --auth-key-file
 //   --batch=N      cells per worker batch frame (0 = adaptive, the
 //                  default); needs a --workers or --connect lane
 //   --steal        once the queue is empty, re-dispatch a straggler's
@@ -111,6 +129,10 @@ struct ExperimentOptions {
   std::size_t workers = 0;   // forked-worker lane size; 0 = no fork lane
   std::size_t batch = 0;     // cells per worker batch; 0 = adaptive
   std::vector<net::Endpoint> connect;  // non-empty = TCP lane
+  bool fleet_given = false;  // --fleet named: registry-resolved TCP lane
+  net::Endpoint fleet;       // the registry endpoint
+  std::size_t fleet_workers = 0;  // --fleet-workers: grant cap; 0 = share
+  std::string auth_key_file;  // --auth-key-file: pre-shared key path
   bool steal = false;        // steal stragglers' tails (multi-lane runs)
   std::size_t handshake_timeout_ms = 10000;  // --connect: Hello deadline
   bool shard_mode = false;   // --shard given (covers the 0/1 degenerate)

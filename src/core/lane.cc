@@ -26,6 +26,8 @@ void Hello::encode(wire::Writer& w) const {
   w.u64(fingerprint);
   w.u64(total_cells);
   w.u32(flags);
+  w.u64(lease_token);
+  w.u64(lease_sig);
 }
 
 Hello Hello::decode(wire::Reader& r) {
@@ -35,6 +37,13 @@ Hello Hello::decode(wire::Reader& r) {
   out.fingerprint = r.u64();
   out.total_cells = r.u64();
   out.flags = r.u32();
+  // The lease fields are v3 additions; decoding them only when the peer
+  // claims v3 lets an older peer's Hello reach the version check and be
+  // refused with the clear mismatch message, not a framing error.
+  if (out.protocol >= 3) {
+    out.lease_token = r.u64();
+    out.lease_sig = r.u64();
+  }
   return out;
 }
 

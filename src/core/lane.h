@@ -45,16 +45,26 @@ namespace rbx {
 inline constexpr std::uint16_t kFrameHello = 16;
 inline constexpr std::uint16_t kFrameHelloAck = 17;
 inline constexpr std::uint16_t kFrameError = 18;
+// Authentication exchange inside the handshake (fleet/auth.h): a keyed
+// worker answers an auth-flagged Hello with a challenge nonce; the
+// coordinator proves key possession with an HMAC response before the ack.
+inline constexpr std::uint16_t kFrameAuthChallenge = 19;
+inline constexpr std::uint16_t kFrameAuthResponse = 20;
 
 // Version of the cluster conversation itself (handshake, batching rules).
 // Bump on incompatible protocol changes; both sides refuse a mismatch.
-// v2 added the flags word to Hello.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+// v2 added the flags word to Hello; v3 the auth/lease fields.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 // Hello.flags bits.
 inline constexpr std::uint32_t kHelloFlagNoCache = 1;  // bypass the worker's
                                                        // result cache for
                                                        // this session
+inline constexpr std::uint32_t kHelloFlagAuth = 2;   // coordinator holds the
+                                                     // pre-shared key; send a
+                                                     // challenge before acking
+inline constexpr std::uint32_t kHelloFlagLease = 4;  // lease_token/lease_sig
+                                                     // carry a registry grant
 
 struct Hello {
   std::uint32_t protocol = kProtocolVersion;
@@ -62,6 +72,11 @@ struct Hello {
   std::uint64_t fingerprint = 0;  // grid_fingerprint of the sweep
   std::uint64_t total_cells = 0;
   std::uint32_t flags = 0;        // kHelloFlag* bits
+  // Fleet lease (kHelloFlagLease): the registry-issued token and its HMAC
+  // signature (fleet/auth.h), which the worker verifies against the
+  // pre-shared key without talking to the registry.  Zero otherwise.
+  std::uint64_t lease_token = 0;
+  std::uint64_t lease_sig = 0;
 
   void encode(wire::Writer& w) const;
   static Hello decode(wire::Reader& r);
@@ -139,6 +154,20 @@ class LaneWorker {
   // worker (remote daemons validate protocol/wire versions and the grid
   // fingerprint; in-process workers share the build and skip it).
   virtual bool needs_handshake() const { return false; }
+
+  // Lets a worker amend the sweep's Hello before it is sent - an
+  // authenticated worker sets kHelloFlagAuth, a fleet-leased worker adds
+  // its lease token and signature.  Default: the Hello goes out as-is.
+  virtual void prepare_hello(Hello& hello) const { (void)hello; }
+
+  // Answers a kFrameAuthChallenge received during the handshake: the
+  // HMAC over `challenge` under the worker's pre-shared key (fleet/auth.h).
+  // Empty = this worker holds no key (the dispatch loop refuses the
+  // handshake rather than answering with garbage).
+  virtual std::string auth_response(const std::string& challenge) const {
+    (void)challenge;
+    return {};
+  }
 
   // Drops the channel (and hangs up on whatever is behind it).
   virtual void retire() = 0;

@@ -1,0 +1,219 @@
+#include "fleet/auth.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+
+namespace rbx {
+namespace fleet {
+
+namespace {
+
+// FIPS 180-4 section 4.2.2 round constants.
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+struct Sha256 {
+  std::uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  std::uint8_t block[64];
+  std::size_t block_len = 0;
+  std::uint64_t total_len = 0;
+
+  void compress(const std::uint8_t* p) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (std::uint32_t(p[4 * i]) << 24) |
+             (std::uint32_t(p[4 * i + 1]) << 16) |
+             (std::uint32_t(p[4 * i + 2]) << 8) | std::uint32_t(p[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    std::uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = hh + S1 + ch + kK[i] + w[i];
+      const std::uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = S0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+
+  void update(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    total_len += size;
+    while (size > 0) {
+      if (block_len == 0 && size >= 64) {
+        compress(p);
+        p += 64;
+        size -= 64;
+        continue;
+      }
+      const std::size_t take = std::min<std::size_t>(64 - block_len, size);
+      std::memcpy(block + block_len, p, take);
+      block_len += take;
+      p += take;
+      size -= take;
+      if (block_len == 64) {
+        compress(block);
+        block_len = 0;
+      }
+    }
+  }
+
+  std::array<std::uint8_t, 32> finish() {
+    const std::uint64_t bits = total_len * 8;
+    const std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    const std::uint8_t zero = 0;
+    while (block_len != 56) update(&zero, 1);
+    std::uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i) {
+      len_be[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+    }
+    update(len_be, 8);
+    std::array<std::uint8_t, 32> out;
+    for (int i = 0; i < 8; ++i) {
+      out[4 * i] = static_cast<std::uint8_t>(h[i] >> 24);
+      out[4 * i + 1] = static_cast<std::uint8_t>(h[i] >> 16);
+      out[4 * i + 2] = static_cast<std::uint8_t>(h[i] >> 8);
+      out[4 * i + 3] = static_cast<std::uint8_t>(h[i]);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::array<std::uint8_t, 32> sha256(const void* data, std::size_t size) {
+  Sha256 s;
+  s.update(data, size);
+  return s.finish();
+}
+
+std::array<std::uint8_t, 32> hmac_sha256(const std::string& key,
+                                         const std::string& message) {
+  std::uint8_t k[64] = {0};
+  if (key.size() > 64) {
+    const auto digest = sha256(key.data(), key.size());
+    std::memcpy(k, digest.data(), digest.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+  std::uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad, 64);
+  inner.update(message.data(), message.size());
+  const auto inner_digest = inner.finish();
+  Sha256 outer;
+  outer.update(opad, 64);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+std::string auth_mac(const std::string& key, const std::string& challenge) {
+  const auto mac = hmac_sha256(key, challenge);
+  return std::string(reinterpret_cast<const char*>(mac.data()), mac.size());
+}
+
+bool mac_equal(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<unsigned char>(a[i]) ^ static_cast<unsigned char>(b[i]);
+  }
+  return diff == 0;
+}
+
+std::uint64_t lease_sig(const std::string& key, std::uint64_t token) {
+  if (key.empty()) return 0;
+  std::string msg = "rbx-fleet-lease";
+  for (int i = 0; i < 8; ++i) {
+    msg.push_back(static_cast<char>(token >> (8 * i)));
+  }
+  const auto mac = hmac_sha256(key, msg);
+  std::uint64_t sig = 0;
+  for (int i = 0; i < 8; ++i) {
+    sig |= std::uint64_t(mac[i]) << (8 * i);
+  }
+  return sig;
+}
+
+std::string load_auth_key(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    throw std::runtime_error("cannot read auth key file: " + path);
+  }
+  std::string key;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    key.append(buf, n);
+  }
+  std::fclose(f);
+  if (!key.empty() && key.back() == '\n') key.pop_back();
+  if (!key.empty() && key.back() == '\r') key.pop_back();
+  if (key.empty()) {
+    throw std::runtime_error("auth key file is empty: " + path);
+  }
+  return key;
+}
+
+std::string make_challenge() {
+  std::random_device rd;
+  std::string nonce;
+  nonce.reserve(16);
+  for (int i = 0; i < 4; ++i) {
+    const std::uint32_t r = rd();
+    for (int j = 0; j < 4; ++j) {
+      nonce.push_back(static_cast<char>(r >> (8 * j)));
+    }
+  }
+  return nonce;
+}
+
+}  // namespace fleet
+}  // namespace rbx

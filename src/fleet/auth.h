@@ -1,0 +1,66 @@
+// Pre-shared-key authentication for the worker fleet.
+//
+// A fleet that sits on an untrusted network must not hand cells to - or
+// take answers from - a peer that merely knows the port number.  The
+// trust anchor is one pre-shared key file (--auth-key-file on the
+// registry, every daemon and every coordinator); possession is proven
+// with an HMAC-SHA256 challenge/response folded into the Hello handshake
+// (core/lane.h):
+//
+//   coordinator -> worker   Hello with the kHelloFlagAuth bit set
+//   worker -> coordinator   kFrameAuthChallenge  fresh random nonce
+//   coordinator -> worker   kFrameAuthResponse   HMAC(key, nonce)
+//   worker -> coordinator   kFrameHelloAck (or kFrameError, loudly)
+//
+// A Hello without the auth bit against a keyed worker is refused with an
+// error frame immediately - never a silent hang - and a wrong response is
+// refused the same way.  The registry runs the identical exchange for its
+// sessions, and additionally *signs* the lease tokens it grants
+// (lease_sig, an HMAC-SHA256 truncated to 64 bits over the token), so a
+// worker can verify that a coordinator's lease really came from the
+// registry without talking to it.
+//
+// SHA-256 is implemented here (FIPS 180-4, ~60 lines) because the
+// container must not grow a crypto dependency; it is used only for
+// authentication MACs, never on a per-cell hot path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rbx {
+namespace fleet {
+
+// FIPS 180-4 SHA-256 of `size` bytes at `data`.
+std::array<std::uint8_t, 32> sha256(const void* data, std::size_t size);
+
+// RFC 2104 HMAC-SHA256; key and message are arbitrary byte strings.
+std::array<std::uint8_t, 32> hmac_sha256(const std::string& key,
+                                         const std::string& message);
+
+// The challenge/response MAC as raw bytes (what kFrameAuthResponse
+// carries): HMAC(key, challenge).
+std::string auth_mac(const std::string& key, const std::string& challenge);
+
+// Constant-time equality so a response check cannot leak a prefix match
+// through timing.  False for mismatched lengths.
+bool mac_equal(const std::string& a, const std::string& b);
+
+// Lease signature: the first 8 bytes (little-endian) of
+// HMAC(key, "rbx-fleet-lease" || token_le) - small enough to ride in the
+// Hello flags extension, strong enough that a coordinator cannot forge a
+// grant it never received.  0 when key is empty (open fleet).
+std::uint64_t lease_sig(const std::string& key, std::uint64_t token);
+
+// Loads a pre-shared key file: the whole file with one trailing newline
+// (if any) stripped.  Throws std::runtime_error on an unreadable or empty
+// file - an empty key would silently authenticate everyone.
+std::string load_auth_key(const std::string& path);
+
+// A fresh random challenge nonce (16 bytes from std::random_device).
+std::string make_challenge();
+
+}  // namespace fleet
+}  // namespace rbx

@@ -1,0 +1,71 @@
+#include "fleet/proto.h"
+
+namespace rbx {
+namespace fleet {
+
+std::string JoinInfo::endpoint() const {
+  return host + ":" + std::to_string(port);
+}
+
+void JoinInfo::encode(wire::Writer& w) const {
+  w.str(host);
+  w.u16(port);
+  w.u32(weight);
+}
+
+JoinInfo JoinInfo::decode(wire::Reader& r) {
+  JoinInfo info;
+  info.host = r.str();
+  info.port = r.u16();
+  info.weight = r.u32();
+  if (info.weight == 0) {
+    throw wire::Error("fleet join: weight must be positive");
+  }
+  return info;
+}
+
+void ResolveRequest::encode(wire::Writer& w) const {
+  w.u64(coordinator_id);
+  w.u32(max_workers);
+}
+
+ResolveRequest ResolveRequest::decode(wire::Reader& r) {
+  ResolveRequest req;
+  req.coordinator_id = r.u64();
+  req.max_workers = r.u32();
+  return req;
+}
+
+std::string GrantedMember::endpoint() const {
+  return host + ":" + std::to_string(port);
+}
+
+void GrantResponse::encode(wire::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const GrantedMember& m : members) {
+    w.str(m.host);
+    w.u16(m.port);
+    w.u64(m.lease_token);
+    w.u64(m.lease_sig);
+  }
+  w.u32(live_members);
+}
+
+GrantResponse GrantResponse::decode(wire::Reader& r) {
+  GrantResponse resp;
+  const std::uint32_t count = r.u32();
+  resp.members.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    GrantedMember m;
+    m.host = r.str();
+    m.port = r.u16();
+    m.lease_token = r.u64();
+    m.lease_sig = r.u64();
+    resp.members.push_back(std::move(m));
+  }
+  resp.live_members = r.u32();
+  return resp;
+}
+
+}  // namespace fleet
+}  // namespace rbx

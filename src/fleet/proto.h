@@ -1,0 +1,89 @@
+// Fleet membership frames: the registry conversation.
+//
+// A registry session opens with the same versioned Hello/HelloAck
+// handshake a sweep session does (fingerprint and total_cells are 0 -
+// there is no grid yet), then speaks these frames:
+//
+//   daemon      -> registry   kFrameFleetJoin       advertise host:port
+//   daemon      -> registry   kFrameFleetHeartbeat  still alive (periodic)
+//   daemon      -> registry   kFrameFleetLeave      orderly departure
+//   registry    -> daemon     kFrameFleetOk         ack (join/heartbeat)
+//   coordinator -> registry   kFrameFleetResolve    request the live set
+//   registry    -> coordinator kFrameFleetGrant     leased members
+//
+// Membership is soft state in the style of a failure detector: a daemon
+// that stops heartbeating is evicted after `evict_after_ms` and a Resolve
+// never returns it - a dead daemon disappears from the pool without
+// operator action.  A Grant carries one signed lease per member
+// (token + HMAC signature, fleet/auth.h) so the workers themselves can
+// check that a coordinator was really admitted by the registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/wire.h"
+
+namespace rbx {
+namespace fleet {
+
+// Frame type tags (16/17/18 are the Hello handshake in core/lane.h,
+// 19/20 the auth challenge/response, 32..35 the recovery journal).
+inline constexpr std::uint16_t kFrameFleetJoin = 48;
+inline constexpr std::uint16_t kFrameFleetHeartbeat = 49;
+inline constexpr std::uint16_t kFrameFleetOk = 50;
+inline constexpr std::uint16_t kFrameFleetLeave = 51;
+inline constexpr std::uint16_t kFrameFleetResolve = 52;
+inline constexpr std::uint16_t kFrameFleetGrant = 53;
+
+// Join / Heartbeat / Leave all carry the daemon's advertised endpoint.
+// Weight biases fair scheduling: a daemon advertising weight 2 counts as
+// two single-weight daemons when member shares are computed.
+struct JoinInfo {
+  std::string host;
+  std::uint16_t port = 0;
+  std::uint32_t weight = 1;
+
+  std::string endpoint() const;
+
+  void encode(wire::Writer& w) const;
+  static JoinInfo decode(wire::Reader& r);
+};
+
+// Resolve: a coordinator asks for up to `max_workers` members (0 = no
+// cap).  coordinator_id distinguishes contending coordinators for the
+// fair-share accounting; a re-resolve with the same id supersedes the
+// coordinator's previous leases instead of double-counting it.
+struct ResolveRequest {
+  std::uint64_t coordinator_id = 0;
+  std::uint32_t max_workers = 0;
+
+  void encode(wire::Writer& w) const;
+  static ResolveRequest decode(wire::Reader& r);
+};
+
+// One granted member: where to connect plus the signed lease the worker
+// will verify in the Hello handshake.
+struct GrantedMember {
+  std::string host;
+  std::uint16_t port = 0;
+  std::uint64_t lease_token = 0;
+  std::uint64_t lease_sig = 0;
+
+  std::string endpoint() const;
+};
+
+// Grant: the registry's answer to a Resolve.  live_members is the total
+// live population (before the fair-share cap) so a coordinator can report
+// how contended the fleet is.
+struct GrantResponse {
+  std::vector<GrantedMember> members;
+  std::uint32_t live_members = 0;
+
+  void encode(wire::Writer& w) const;
+  static GrantResponse decode(wire::Reader& r);
+};
+
+}  // namespace fleet
+}  // namespace rbx

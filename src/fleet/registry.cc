@@ -1,0 +1,388 @@
+#include "fleet/registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "fleet/auth.h"
+
+namespace rbx {
+namespace fleet {
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- MemberTable -----------------------------------------------------------
+
+void MemberTable::evict_expired(std::int64_t now_ms) {
+  // Lazy eviction on every query: an expired member must be invisible to
+  // the very next resolve, not to the one after a maintenance tick.
+  for (auto it = members_.begin(); it != members_.end();) {
+    if (now_ms - it->second.last_seen_ms >= opt_.evict_after_ms) {
+      it = members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = coordinators_.begin(); it != coordinators_.end();) {
+    if (now_ms - it->second.issued_ms >= opt_.lease_ttl_ms) {
+      for (const std::string& ep : it->second.endpoints) {
+        auto m = members_.find(ep);
+        if (m != members_.end() && m->second.leases > 0) {
+          --m->second.leases;
+        }
+      }
+      it = coordinators_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MemberTable::join(const JoinInfo& info, std::int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  evict_expired(now_ms);
+  auto it = members_.find(info.endpoint());
+  if (it == members_.end()) {
+    Member m;
+    m.info = info;
+    m.last_seen_ms = now_ms;
+    m.joined_seq = next_seq_++;
+    members_.emplace(info.endpoint(), std::move(m));
+  } else {
+    // Register-or-refresh: a restarted daemon re-joining its endpoint
+    // refreshes the entry (and may change its weight) instead of
+    // duplicating it; leases held on it stay attached.
+    it->second.info = info;
+    it->second.last_seen_ms = now_ms;
+  }
+}
+
+void MemberTable::leave(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  members_.erase(endpoint);
+}
+
+void MemberTable::release_leases(std::uint64_t coordinator_id) {
+  auto it = coordinators_.find(coordinator_id);
+  if (it == coordinators_.end()) {
+    return;
+  }
+  for (const std::string& ep : it->second.endpoints) {
+    auto m = members_.find(ep);
+    if (m != members_.end() && m->second.leases > 0) {
+      --m->second.leases;
+    }
+  }
+  coordinators_.erase(it);
+}
+
+std::size_t MemberTable::live(std::int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  evict_expired(now_ms);
+  return members_.size();
+}
+
+GrantResponse MemberTable::resolve(const ResolveRequest& req,
+                                   std::int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  evict_expired(now_ms);
+  // A re-resolve supersedes this coordinator's previous leases - the
+  // coordinator is asking for the pool as it stands now (e.g. hunting a
+  // backfill candidate), not for more of it.
+  release_leases(req.coordinator_id);
+
+  GrantResponse resp;
+  resp.live_members = static_cast<std::uint32_t>(members_.size());
+  if (members_.empty()) {
+    return resp;
+  }
+
+  // Fair share: the live weighted capacity split evenly among the
+  // coordinators holding unexpired leases, this one included.  Every
+  // coordinator gets at least one member - a fleet smaller than its
+  // audience is shared, not rationed to zero.
+  std::uint64_t total_weight = 0;
+  for (const auto& entry : members_) {
+    total_weight += entry.second.info.weight;
+  }
+  const std::uint64_t contenders = coordinators_.size() + 1;
+  const std::uint64_t share_weight =
+      std::max<std::uint64_t>(1, total_weight / contenders);
+
+  // Least-leased members first, join order breaking ties, so contending
+  // coordinators spread across the fleet before anyone doubles up.
+  std::vector<Member*> order;
+  order.reserve(members_.size());
+  for (auto& entry : members_) {
+    order.push_back(&entry.second);
+  }
+  std::sort(order.begin(), order.end(), [](const Member* a, const Member* b) {
+    if (a->leases != b->leases) {
+      return a->leases < b->leases;
+    }
+    return a->joined_seq < b->joined_seq;
+  });
+
+  CoordinatorLeases leases;
+  leases.issued_ms = now_ms;
+  std::uint64_t granted_weight = 0;
+  for (Member* m : order) {
+    if (!resp.members.empty() && granted_weight >= share_weight) {
+      break;
+    }
+    if (req.max_workers != 0 && resp.members.size() >= req.max_workers) {
+      break;
+    }
+    GrantedMember g;
+    g.host = m->info.host;
+    g.port = m->info.port;
+    g.lease_token = next_token_++;
+    g.lease_sig = fleet::lease_sig(opt_.auth_key, g.lease_token);
+    resp.members.push_back(std::move(g));
+    leases.endpoints.push_back(m->info.endpoint());
+    ++m->leases;
+    granted_weight += m->info.weight;
+  }
+  coordinators_.emplace(req.coordinator_id, std::move(leases));
+  return resp;
+}
+
+// --- RegistryServer --------------------------------------------------------
+
+namespace {
+
+bool send_error(net::FrameConn& conn, const std::string& message) {
+  wire::Writer w;
+  w.str(message);
+  return conn.send(kFrameError, w.data());
+}
+
+}  // namespace
+
+RegistryServer::RegistryServer(const RegistryOptions& options)
+    : options_(options), listener_(options.port), table_(options.table) {}
+
+RegistryServer::~RegistryServer() {
+  stop();
+  reap_sessions(/*all=*/true);
+}
+
+void RegistryServer::stop() {
+  stopping_.store(true);
+  listener_.abort();
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  for (auto& session : sessions_) {
+    session->conn.abort();
+  }
+}
+
+void RegistryServer::reap_sessions(bool all) {
+  std::vector<std::unique_ptr<Session>> taken;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (all || (*it)->done.load()) {
+        taken.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& session : taken) {
+    if (all) {
+      session->conn.abort();
+    }
+    if (session->thread.joinable()) {
+      session->thread.join();
+    }
+  }
+}
+
+bool RegistryServer::serve() {
+  for (;;) {
+    net::Socket client;
+    try {
+      client = listener_.accept_client();
+    } catch (const net::Error&) {
+      if (stopping_.load()) {
+        break;
+      }
+      reap_sessions(/*all=*/true);
+      throw;
+    }
+    if (stopping_.load()) {
+      break;
+    }
+    reap_sessions(/*all=*/false);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      std::size_t active = 0;
+      for (const auto& session : sessions_) {
+        if (!session->done.load()) {
+          ++active;
+        }
+      }
+      if (active >= options_.max_sessions) {
+        // Membership traffic is tiny; a full registry means something is
+        // leaking sessions.  Refuse loudly rather than backlogging.
+        net::FrameConn conn(std::move(client));
+        send_error(conn, "registry is serving " + std::to_string(active) +
+                             " sessions (max " +
+                             std::to_string(options_.max_sessions) + ")");
+        continue;
+      }
+    }
+    auto session = std::make_unique<Session>(std::move(client));
+    Session* raw = session.get();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.push_back(std::move(session));
+    }
+    raw->thread = std::thread([this, raw]() {
+      serve_connection(raw->conn);
+      raw->conn.abort();
+      raw->done.store(true);
+    });
+  }
+  reap_sessions(/*all=*/true);
+  return true;
+}
+
+bool RegistryServer::serve_connection(net::FrameConn& conn) {
+  bool handshaken = false;
+  for (;;) {
+    wire::Frame frame;
+    bool got = false;
+    try {
+      got = conn.recv(&frame);
+    } catch (const wire::Error& e) {
+      send_error(conn,
+                 std::string("registry: corrupt request stream: ") + e.what());
+      return true;
+    }
+    if (!got) {
+      return true;  // peer closed; soft state ages out via heartbeats
+    }
+    try {
+      if (frame.type == net::kFrameHello) {
+        wire::Reader r(frame.payload);
+        const net::Hello hello = net::Hello::decode(r);
+        r.expect_done();
+        if (hello.protocol != net::kProtocolVersion) {
+          send_error(conn, "registry speaks cluster protocol " +
+                               std::to_string(net::kProtocolVersion) +
+                               ", peer sent " +
+                               std::to_string(hello.protocol));
+          return true;
+        }
+        if (hello.wire_version != wire::kVersion) {
+          send_error(conn, "registry encodes wire version " +
+                               std::to_string(wire::kVersion) + ", peer sent " +
+                               std::to_string(hello.wire_version));
+          return true;
+        }
+        if (!options_.table.auth_key.empty()) {
+          if ((hello.flags & kHelloFlagAuth) == 0) {
+            send_error(conn,
+                       "registry requires authentication (--auth-key-file); "
+                       "peer presented no key");
+            return true;
+          }
+          const std::string challenge = make_challenge();
+          wire::Writer cw;
+          cw.str(challenge);
+          if (!conn.send(kFrameAuthChallenge, cw.data())) {
+            return true;
+          }
+          wire::Frame reply;
+          if (!conn.recv(&reply) || reply.type != kFrameAuthResponse) {
+            send_error(conn, "registry: expected an auth response");
+            return true;
+          }
+          wire::Reader rr(reply.payload);
+          const std::string mac = rr.str();
+          rr.expect_done();
+          if (!mac_equal(mac, auth_mac(options_.table.auth_key, challenge))) {
+            send_error(conn,
+                       "registry: authentication failed (wrong --auth-key-"
+                       "file?)");
+            return true;
+          }
+        }
+        wire::Writer w;
+        hello.encode(w);
+        if (!conn.send(net::kFrameHelloAck, w.data())) {
+          return true;
+        }
+        handshaken = true;
+      } else if (!handshaken) {
+        send_error(conn,
+                   "registry: frame before the Hello handshake (refusing "
+                   "unversioned traffic)");
+        return true;
+      } else if (frame.type == kFrameFleetJoin ||
+                 frame.type == kFrameFleetHeartbeat) {
+        wire::Reader r(frame.payload);
+        const JoinInfo info = JoinInfo::decode(r);
+        r.expect_done();
+        table_.join(info, steady_now_ms());
+        if (frame.type == kFrameFleetJoin && !options_.quiet) {
+          std::fprintf(stderr,
+                       "fleet_registryd: member %s joined (weight %u)\n",
+                       info.endpoint().c_str(),
+                       static_cast<unsigned>(info.weight));
+        }
+        if (!conn.send(kFrameFleetOk, {})) {
+          return true;
+        }
+      } else if (frame.type == kFrameFleetLeave) {
+        wire::Reader r(frame.payload);
+        const JoinInfo info = JoinInfo::decode(r);
+        r.expect_done();
+        table_.leave(info.endpoint());
+        if (!options_.quiet) {
+          std::fprintf(stderr, "fleet_registryd: member %s left\n",
+                       info.endpoint().c_str());
+        }
+        if (!conn.send(kFrameFleetOk, {})) {
+          return true;
+        }
+      } else if (frame.type == kFrameFleetResolve) {
+        wire::Reader r(frame.payload);
+        const ResolveRequest req = ResolveRequest::decode(r);
+        r.expect_done();
+        const GrantResponse resp = table_.resolve(req, steady_now_ms());
+        if (!options_.quiet) {
+          std::fprintf(stderr,
+                       "fleet_registryd: granted %zu of %u live member(s) "
+                       "to coordinator %llu\n",
+                       resp.members.size(),
+                       static_cast<unsigned>(resp.live_members),
+                       static_cast<unsigned long long>(req.coordinator_id));
+        }
+        wire::Writer w;
+        resp.encode(w);
+        if (!conn.send(kFrameFleetGrant, w.data())) {
+          return true;
+        }
+      } else {
+        send_error(conn, "registry: unexpected frame type " +
+                             std::to_string(frame.type));
+        return true;
+      }
+    } catch (const wire::Error& e) {
+      send_error(conn,
+                 std::string("registry: malformed payload: ") + e.what());
+      return true;
+    }
+  }
+}
+
+}  // namespace fleet
+}  // namespace rbx

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "fleet/auth.h"
+
 namespace rbx {
 namespace net {
 
@@ -17,6 +19,18 @@ struct TcpLane::Remote final : LaneWorker {
   bool needs_plan() const override { return true; }
   bool needs_handshake() const override { return true; }
   void retire() override { channel_.close(); }
+
+  void prepare_hello(Hello& hello) const override {
+    if (!lane_->options_.auth_key.empty()) {
+      hello.flags |= kHelloFlagAuth;
+    }
+  }
+  std::string auth_response(const std::string& challenge) const override {
+    if (lane_->options_.auth_key.empty()) {
+      return {};
+    }
+    return fleet::auth_mac(lane_->options_.auth_key, challenge);
+  }
 
   // Re-admission: only an endpoint that has spoken to us before is worth
   // the backoff timer - one that was never reachable keeps its one
@@ -118,6 +132,7 @@ TcpLaneOptions lane_options(const ClusterOptions& options) {
   out.quiet = options.quiet;
   out.required = true;
   out.readmit_delay_ms = options.readmit_delay_ms;
+  out.auth_key = options.auth_key;
   return out;
 }
 

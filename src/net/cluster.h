@@ -54,6 +54,10 @@ struct TcpLaneOptions {
   // Base backoff before re-admitting a lost endpoint; doubled per
   // consecutive failed attempt by the dispatch loop.
   int readmit_delay_ms = 500;
+  // Pre-shared key for daemons running with --auth-key-file: the Hello
+  // goes out auth-flagged and the workers' HMAC challenges are answered
+  // (fleet/auth.h).  Empty = unauthenticated handshake.
+  std::string auth_key;
 };
 
 // Remote sweep_workerd daemons as dispatch workers.
@@ -103,6 +107,8 @@ struct ClusterOptions {
   bool readmit = true;
   int readmit_delay_ms = 500;
   int readmit_max_attempts = 5;
+  // Pre-shared key for authenticated daemons (see TcpLaneOptions).
+  std::string auth_key;
 };
 
 // The --connect lane configuration: one TcpLane over a DispatchCore.

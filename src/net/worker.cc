@@ -12,6 +12,7 @@
 
 #include "core/backend.h"
 #include "core/executor.h"
+#include "fleet/auth.h"
 #include "support/io.h"
 
 namespace rbx {
@@ -313,6 +314,48 @@ bool WorkerServer::serve_connection(FrameConn& conn) {
                                std::to_string(wire::kVersion) +
                                ", coordinator sent " +
                                std::to_string(hello.wire_version));
+          return true;
+        }
+        if (!options_.auth_key.empty()) {
+          // Key possession first: the refusal must be a loud error frame
+          // (the dispatch loop prints it and gives up), never a hang.
+          if ((hello.flags & kHelloFlagAuth) == 0) {
+            send_error(conn,
+                       "worker requires authentication (--auth-key-file); "
+                       "coordinator presented no key");
+            return true;
+          }
+          const std::string challenge = fleet::make_challenge();
+          wire::Writer cw;
+          cw.str(challenge);
+          if (!conn.send(kFrameAuthChallenge, cw.data())) {
+            return true;
+          }
+          wire::Frame reply;
+          if (!conn.recv(&reply) || reply.type != kFrameAuthResponse) {
+            send_error(conn, "worker: expected an auth response");
+            return true;
+          }
+          wire::Reader rr(reply.payload);
+          const std::string mac = rr.str();
+          rr.expect_done();
+          if (!fleet::mac_equal(
+                  mac, fleet::auth_mac(options_.auth_key, challenge))) {
+            send_error(conn,
+                       "worker: authentication failed (wrong "
+                       "--auth-key-file?)");
+            return true;
+          }
+        }
+        if ((hello.flags & kHelloFlagLease) != 0 &&
+            hello.lease_sig !=
+                fleet::lease_sig(options_.auth_key, hello.lease_token)) {
+          // A forged (or mis-keyed) registry grant: refuse even though the
+          // coordinator holds the transport key - admission is the
+          // registry's call, and its signature is the proof.
+          send_error(conn,
+                     "worker: fleet lease signature is invalid (not issued "
+                     "by this fleet's registry?)");
           return true;
         }
         wire::Writer w;

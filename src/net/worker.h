@@ -69,6 +69,13 @@ struct WorkerOptions {
   std::size_t cache_max_bytes = 0;  // startup size cap for the cache file
                                     // (oldest entries dropped, file
                                     // compacted); 0 = unlimited
+  std::string auth_key;        // non-empty: every session must prove key
+                               // possession in an HMAC challenge/response
+                               // during the Hello handshake, and any lease
+                               // it presents must carry a valid signature
+                               // under the same key (fleet/auth.h); a
+                               // keyless or wrong-keyed coordinator is
+                               // refused with a kFrameError, never hung
 };
 
 class WorkerServer {

@@ -10,13 +10,18 @@
 //   wire      encode/decode of Scenario and ResultSet, seal/parse of a
 //             plan-carrying CellBatch frame - the bytes every worker
 //             round-trip moves
+//   fleet     the registry conversation: Join/Grant codecs, the
+//             fair-share resolve over a populated member table, and the
+//             HMAC lease signature every keyed handshake computes
 //
 // Setup (matrix assembly, scenario construction) happens in make() and is
 // excluded from timing; closures reuse their captured state across reps
 // exactly like the production call sites do (e.g. one simulator instance
 // across replications, one scratch vector across SpMV calls).
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -28,6 +33,9 @@
 #include "des/async_sim.h"
 #include "des/prp_sim.h"
 #include "des/sync_sim.h"
+#include "fleet/auth.h"
+#include "fleet/proto.h"
+#include "fleet/registry.h"
 #include "markov/ctmc.h"
 #include "numerics/lu.h"
 #include "numerics/matrix.h"
@@ -134,6 +142,40 @@ ResultSet wire_result_set() {
           1e-3, 1000 + i);
   }
   return r;
+}
+
+// A realistic fleet population: spread hosts, mixed weights.
+fleet::JoinInfo fleet_member(std::size_t i) {
+  fleet::JoinInfo info;
+  info.host = "10.0.0." + std::to_string(i % 250 + 1);
+  info.port = static_cast<std::uint16_t>(9000 + i);
+  info.weight = static_cast<std::uint32_t>(i % 3 + 1);
+  return info;
+}
+
+fleet::GrantResponse fleet_grant(std::size_t members) {
+  fleet::GrantResponse g;
+  g.live_members = static_cast<std::uint32_t>(members);
+  for (std::size_t i = 0; i < members; ++i) {
+    const fleet::JoinInfo info = fleet_member(i);
+    fleet::GrantedMember m;
+    m.host = info.host;
+    m.port = info.port;
+    m.lease_token = i + 1;
+    m.lease_sig = fleet::lease_sig("bench-key", i + 1);
+    g.members.push_back(m);
+  }
+  return g;
+}
+
+std::shared_ptr<fleet::MemberTable> fleet_table(std::size_t members) {
+  fleet::MemberTableOptions opt;
+  opt.auth_key = "bench-key";
+  auto table = std::make_shared<fleet::MemberTable>(opt);
+  for (std::size_t i = 0; i < members; ++i) {
+    table->join(fleet_member(i), 0);
+  }
+  return table;
 }
 
 CellBatch wire_cell_batch() {
@@ -338,6 +380,80 @@ void register_default_kernels(KernelRegistry& registry) {
                     wire::Reader r(parsed.payload);
                     const CellBatch batch = CellBatch::decode(r);
                     return static_cast<double>(batch.cells.size());
+                  };
+                }});
+
+  // --- fleet ------------------------------------------------------------
+  registry.add({"fleet_encode_join", "fleet", [] {
+                  const fleet::JoinInfo info = fleet_member(7);
+                  return [info]() -> double {
+                    wire::Writer w;
+                    info.encode(w);
+                    return static_cast<double>(w.size());
+                  };
+                }});
+
+  registry.add({"fleet_decode_join", "fleet", [] {
+                  wire::Writer w;
+                  fleet_member(7).encode(w);
+                  const std::vector<std::byte> bytes = w.data();
+                  return [bytes]() -> double {
+                    wire::Reader r(bytes);
+                    const fleet::JoinInfo info = fleet::JoinInfo::decode(r);
+                    return static_cast<double>(info.port);
+                  };
+                }});
+
+  registry.add({"fleet_encode_grant", "fleet", [] {
+                  const fleet::GrantResponse g = fleet_grant(16);
+                  return [g]() -> double {
+                    wire::Writer w;
+                    g.encode(w);
+                    return static_cast<double>(w.size());
+                  };
+                }});
+
+  registry.add({"fleet_decode_grant", "fleet", [] {
+                  wire::Writer w;
+                  fleet_grant(16).encode(w);
+                  const std::vector<std::byte> bytes = w.data();
+                  return [bytes]() -> double {
+                    wire::Reader r(bytes);
+                    const fleet::GrantResponse g =
+                        fleet::GrantResponse::decode(r);
+                    return static_cast<double>(g.members.size());
+                  };
+                }});
+
+  registry.add({"fleet_heartbeat_refresh", "fleet", [] {
+                  auto table = fleet_table(32);
+                  const fleet::JoinInfo info = fleet_member(5);
+                  return [table, info]() -> double {
+                    // Fixed now: every rep takes the register-or-refresh
+                    // path, never the eviction cliff.
+                    table->heartbeat(info, 1);
+                    return static_cast<double>(table->live(1));
+                  };
+                }});
+
+  registry.add({"fleet_resolve_fair_share", "fleet", [] {
+                  auto table = fleet_table(32);
+                  fleet::ResolveRequest req;
+                  req.coordinator_id = 1;
+                  return [table, req]() -> double {
+                    // A re-resolve supersedes the previous leases, so each
+                    // rep runs the full release + fair-share + HMAC-signed
+                    // grant path over all 32 members.
+                    const fleet::GrantResponse g = table->resolve(req, 1);
+                    return static_cast<double>(g.members.size());
+                  };
+                }});
+
+  registry.add({"fleet_lease_hmac", "fleet", [] {
+                  std::uint64_t token = 1;
+                  return [token]() mutable -> double {
+                    return static_cast<double>(
+                        fleet::lease_sig("bench-key", token++));
                   };
                 }});
 }

@@ -16,10 +16,12 @@ TEST(BackendRegistry, NamesAndLookup) {
   EXPECT_EQ(analytic_backend().name(), "analytic");
   EXPECT_EQ(monte_carlo_backend().name(), "monte-carlo");
   EXPECT_EQ(runtime_backend().name(), "runtime");
-  EXPECT_EQ(all_backends().size(), 3u);
+  EXPECT_EQ(all_backends().size(), 5u);
   EXPECT_EQ(find_backend("analytic"), &analytic_backend());
   EXPECT_EQ(find_backend("monte-carlo"), &monte_carlo_backend());
   EXPECT_EQ(find_backend("runtime"), &runtime_backend());
+  EXPECT_EQ(find_backend("density-analytic"), &density_analytic_backend());
+  EXPECT_EQ(find_backend("density-mc"), &density_monte_carlo_backend());
   EXPECT_EQ(find_backend("no-such-backend"), nullptr);
 }
 

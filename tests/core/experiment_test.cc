@@ -413,7 +413,7 @@ TEST(ExperimentOptions, NoCacheRequiresConnect) {
   char a1[] = "--no-cache";
   char* argv[] = {prog, a1};
   EXPECT_EXIT(ExperimentOptions::parse(2, argv, 100, 2),
-              ::testing::ExitedWithCode(2), "--connect runs");
+              ::testing::ExitedWithCode(2), "--connect or --fleet runs");
 }
 
 TEST(ExperimentOptions, EmptyJournalPathRefused) {

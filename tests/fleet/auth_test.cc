@@ -1,0 +1,136 @@
+// The fleet's trust anchor: the self-contained SHA-256/HMAC pinned to
+// the published test vectors (a home-grown digest that silently diverges
+// from FIPS 180-4 would "authenticate" nothing), plus the key-file
+// loader and lease-signature contracts the handshake builds on.
+#include "fleet/auth.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rbx {
+namespace fleet {
+namespace {
+
+std::string hex(const std::array<std::uint8_t, 32>& digest) {
+  std::string out;
+  char buf[3];
+  for (std::uint8_t byte : digest) {
+    std::snprintf(buf, sizeof buf, "%02x", byte);
+    out += buf;
+  }
+  return out;
+}
+
+TEST(Sha256Test, MatchesFips180Vectors) {
+  // FIPS 180-4 / NIST CAVP single-block and empty-message vectors.
+  EXPECT_EQ(hex(sha256("", 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex(sha256("abc", 3)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  const std::string two_blocks =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(hex(sha256(two_blocks.data(), two_blocks.size())),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // 55/56/64 bytes straddle the length-field padding edge where naive
+  // implementations break.
+  const std::string a(55, 'a');
+  const std::string b(56, 'a');
+  const std::string c(64, 'a');
+  EXPECT_EQ(hex(sha256(a.data(), a.size())),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(hex(sha256(b.data(), b.size())),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+  EXPECT_EQ(hex(sha256(c.data(), c.size())),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(HmacSha256Test, MatchesRfc4231Vectors) {
+  // RFC 4231 test case 2: short key, short data.
+  EXPECT_EQ(hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // RFC 4231 test case 1: 20 bytes of 0x0b.
+  EXPECT_EQ(hex(hmac_sha256(std::string(20, '\x0b'), "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // RFC 4231 test case 6: a key longer than one block must be hashed
+  // first - the branch a short-key-only HMAC never exercises.
+  EXPECT_EQ(hex(hmac_sha256(std::string(131, '\xaa'),
+                            "Test Using Larger Than Block-Size Key - Hash "
+                            "Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(AuthMacTest, BindsKeyAndChallenge) {
+  const std::string mac = auth_mac("fleet-key", "nonce-1");
+  EXPECT_EQ(mac.size(), 32u);
+  EXPECT_EQ(mac, auth_mac("fleet-key", "nonce-1"));
+  EXPECT_NE(mac, auth_mac("fleet-key", "nonce-2"));
+  EXPECT_NE(mac, auth_mac("other-key", "nonce-1"));
+}
+
+TEST(MacEqualTest, EqualityAndLengthMismatch) {
+  EXPECT_TRUE(mac_equal("", ""));
+  EXPECT_TRUE(mac_equal("abcd", "abcd"));
+  EXPECT_FALSE(mac_equal("abcd", "abce"));
+  EXPECT_FALSE(mac_equal("abcd", "abc"));
+  EXPECT_FALSE(mac_equal("", "a"));
+}
+
+TEST(LeaseSigTest, SignsTokensUnderKey) {
+  const std::uint64_t sig = lease_sig("fleet-key", 42);
+  EXPECT_NE(sig, 0u);
+  EXPECT_EQ(sig, lease_sig("fleet-key", 42));  // deterministic
+  EXPECT_NE(sig, lease_sig("fleet-key", 43));  // binds the token
+  EXPECT_NE(sig, lease_sig("other-key", 42));  // binds the key
+  // Open fleet: no key, no signature - both sides compute 0 and agree.
+  EXPECT_EQ(lease_sig("", 42), 0u);
+}
+
+TEST(MakeChallengeTest, FreshSixteenByteNonces) {
+  const std::string a = make_challenge();
+  const std::string b = make_challenge();
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_NE(a, b);
+}
+
+TEST(LoadAuthKeyTest, StripsOneTrailingNewline) {
+  const std::string path = ::testing::TempDir() + "/rbx_fleet_key";
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "s3kr1t\n";
+  }
+  EXPECT_EQ(load_auth_key(path), "s3kr1t");
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "s3kr1t\r\n";  // an editor on the other platform
+  }
+  EXPECT_EQ(load_auth_key(path), "s3kr1t");
+  std::remove(path.c_str());
+}
+
+TEST(LoadAuthKeyTest, RefusesMissingAndEmptyFiles) {
+  EXPECT_THROW(load_auth_key("/no/such/key/file"), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/rbx_fleet_key_empty";
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  }
+  // An empty key would authenticate everyone - refuse it loudly.
+  EXPECT_THROW(load_auth_key(path), std::runtime_error);
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "\n";  // newline-only is still an empty key
+  }
+  EXPECT_THROW(load_auth_key(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fleet
+}  // namespace rbx

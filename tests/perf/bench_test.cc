@@ -36,7 +36,9 @@ TEST(BenchTest, DefaultRegistrySpansLayers) {
   EXPECT_TRUE(layers.count("numerics"));
   EXPECT_TRUE(layers.count("des"));
   EXPECT_TRUE(layers.count("wire"));
+  EXPECT_TRUE(layers.count("fleet"));
   EXPECT_NE(registry.find("sparse_spmv_left"), nullptr);
+  EXPECT_NE(registry.find("fleet_resolve_fair_share"), nullptr);
   EXPECT_EQ(registry.find("no_such_kernel"), nullptr);
 }
 

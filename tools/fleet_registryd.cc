@@ -1,0 +1,111 @@
+// fleet_registryd - the membership registry of an elastic worker fleet.
+//
+// Run one per fleet; daemons join it and coordinators resolve it:
+//
+//   head  $ fleet_registryd --serve=4700
+//   hostA $ sweep_workerd --serve=4701 --fleet=head:4700 --advertise=hostA
+//   hostB $ sweep_workerd --serve=4701 --fleet=head:4700 --advertise=hostB
+//   user  $ fig5_mean_interval --fleet=head:4700
+//
+// The registry holds soft membership state: daemons heartbeat it
+// (sweep_workerd --heartbeat-ms) and anything silent for
+// --evict-after-ms is evicted, so a killed daemon disappears from the
+// pool without operator action - and a coordinator resolving mid-sweep
+// is handed whatever is live *now*, which is how a fresh daemon joined
+// seconds ago can backfill a dead worker in a running sweep.  When
+// several coordinators contend, each resolve() is granted a fair
+// weighted share of the fleet, signed as per-member lease tokens the
+// daemons themselves verify.
+//
+// Flags (strict; anything malformed exits 2, like the bench flags):
+//   --serve=PORT       listen on PORT (required; 0 = ephemeral, printed)
+//   --evict-after-ms=N evict a member after N ms without a heartbeat
+//                      (default 10000)
+//   --lease-ttl-ms=N   how long a coordinator's grant counts toward the
+//                      fair-share split (default 60000)
+//   --auth-key-file=PATH
+//                      pre-shared fleet key: joins and resolves must pass
+//                      the HMAC challenge/response, and granted leases
+//                      are signed under this key
+//   --quiet            no membership notes on stderr
+#include <cstdio>
+#include <cstring>
+
+#include "core/experiment.h"
+#include "fleet/auth.h"
+#include "fleet/registry.h"
+#include "support/wire.h"
+
+namespace {
+
+[[noreturn]] void usage_error(const char* prog, const char* arg,
+                              const char* why) {
+  std::fprintf(stderr, "%s: bad argument '%s' (%s)\n", prog, arg, why);
+  std::fprintf(stderr,
+               "usage: %s --serve=PORT [--evict-after-ms=N]\n"
+               "       [--lease-ttl-ms=N] [--auth-key-file=PATH] [--quiet]\n",
+               prog);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rbx;
+  fleet::RegistryOptions opts;
+  const char* prog = argc > 0 ? argv[0] : "fleet_registryd";
+  bool serve_given = false;
+  std::string auth_key_file;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--serve=", 8) == 0) {
+      std::uint64_t port = 0;
+      if (!parse_strict_u64(arg + 8, &port) || port > 65535) {
+        usage_error(prog, arg, "expected a port in 0..65535");
+      }
+      opts.port = static_cast<std::uint16_t>(port);
+      serve_given = true;
+    } else if (std::strncmp(arg, "--evict-after-ms=", 17) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_strict_u64(arg + 17, &n) || n == 0 || n > 2147483647ull) {
+        usage_error(prog, arg, "expected a positive millisecond count");
+      }
+      opts.table.evict_after_ms = static_cast<std::int64_t>(n);
+    } else if (std::strncmp(arg, "--lease-ttl-ms=", 15) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_strict_u64(arg + 15, &n) || n == 0 || n > 2147483647ull) {
+        usage_error(prog, arg, "expected a positive millisecond count");
+      }
+      opts.table.lease_ttl_ms = static_cast<std::int64_t>(n);
+    } else if (std::strncmp(arg, "--auth-key-file=", 16) == 0) {
+      if (arg[16] == '\0') {
+        usage_error(prog, arg, "expected a key file path");
+      }
+      auth_key_file = arg + 16;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      opts.quiet = true;
+    } else {
+      usage_error(prog, arg, "unknown flag");
+    }
+  }
+  if (!serve_given) {
+    usage_error(prog, "--serve", "required flag missing");
+  }
+  try {
+    if (!auth_key_file.empty()) {
+      opts.table.auth_key = fleet::load_auth_key(auth_key_file);
+    }
+    fleet::RegistryServer server(opts);
+    std::printf("fleet_registryd: listening on port %u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    return server.serve() ? 0 : 1;
+  } catch (const net::Error& e) {
+    std::fprintf(stderr, "fleet_registryd: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // An unreadable --auth-key-file.
+    std::fprintf(stderr, "fleet_registryd: %s\n", e.what());
+    return 1;
+  }
+}

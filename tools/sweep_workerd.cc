@@ -45,11 +45,34 @@
 //                    cap the cache file at N bytes: at startup the oldest
 //                    entries are dropped until the rest fit and the file
 //                    is compacted in place (0 = unlimited, the default)
+//   --fleet=HOST:PORT
+//                    join this fleet registry (tools/fleet_registryd) at
+//                    startup and heartbeat it so coordinators can resolve
+//                    this daemon with --fleet instead of naming it on a
+//                    --connect list; leave on orderly shutdown.  A daemon
+//                    that dies (or is killed) simply stops heartbeating
+//                    and is evicted by the registry's timeout
+//   --advertise=HOST the host coordinators should dial for this daemon
+//                    (default 127.0.0.1; on a real fleet, this host's
+//                    reachable name)
+//   --weight=N       fair-share weight in the registry's scheduling
+//                    (default 1; a daemon on a 2x machine advertises 2)
+//   --heartbeat-ms=N heartbeat period (default 2000; keep it well under
+//                    the registry's --evict-after-ms)
+//   --auth-key-file=PATH
+//                    pre-shared fleet key: every coordinator session must
+//                    prove key possession in an HMAC challenge/response
+//                    during the Hello handshake (a keyless or wrong-keyed
+//                    coordinator is refused with an error frame), and the
+//                    registry join authenticates with the same key
 //   --quiet          no connection notes on stderr
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "core/experiment.h"
+#include "fleet/auth.h"
+#include "fleet/client.h"
 #include "net/worker.h"
 #include "support/wire.h"
 
@@ -61,7 +84,9 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --serve=PORT [--max-coordinators=N] [--once]\n"
                "       [--fail-after=N] [--delay-ms=N] [--cache-dir=DIR]\n"
-               "       [--cache-max-bytes=N] [--quiet]\n",
+               "       [--cache-max-bytes=N] [--fleet=HOST:PORT]\n"
+               "       [--advertise=HOST] [--weight=N] [--heartbeat-ms=N]\n"
+               "       [--auth-key-file=PATH] [--quiet]\n",
                prog);
   std::exit(2);
 }
@@ -73,6 +98,12 @@ int main(int argc, char** argv) {
   net::WorkerOptions opts;
   const char* prog = argc > 0 ? argv[0] : "sweep_workerd";
   bool serve_given = false;
+  bool fleet_given = false;
+  net::Endpoint fleet_registry;
+  std::string advertise = "127.0.0.1";
+  std::uint32_t weight = 1;
+  int heartbeat_ms = 2000;
+  std::string auth_key_file;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--serve=", 8) == 0) {
@@ -111,6 +142,34 @@ int main(int argc, char** argv) {
         usage_error(prog, arg, "expected a non-negative byte count");
       }
       opts.cache_max_bytes = static_cast<std::size_t>(n);
+    } else if (std::strncmp(arg, "--fleet=", 8) == 0) {
+      std::string why;
+      if (!net::parse_endpoint(arg + 8, &fleet_registry, &why)) {
+        usage_error(prog, arg, why.c_str());
+      }
+      fleet_given = true;
+    } else if (std::strncmp(arg, "--advertise=", 12) == 0) {
+      if (arg[12] == '\0') {
+        usage_error(prog, arg, "expected a host name");
+      }
+      advertise = arg + 12;
+    } else if (std::strncmp(arg, "--weight=", 9) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_strict_u64(arg + 9, &n) || n == 0 || n > 0xffffffffull) {
+        usage_error(prog, arg, "expected a positive 32-bit weight");
+      }
+      weight = static_cast<std::uint32_t>(n);
+    } else if (std::strncmp(arg, "--heartbeat-ms=", 15) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_strict_u64(arg + 15, &n) || n == 0 || n > 2147483647ull) {
+        usage_error(prog, arg, "expected a positive millisecond count");
+      }
+      heartbeat_ms = static_cast<int>(n);
+    } else if (std::strncmp(arg, "--auth-key-file=", 16) == 0) {
+      if (arg[16] == '\0') {
+        usage_error(prog, arg, "expected a key file path");
+      }
+      auth_key_file = arg + 16;
     } else if (std::strcmp(arg, "--once") == 0) {
       opts.once = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -123,16 +182,49 @@ int main(int argc, char** argv) {
     usage_error(prog, "--serve", "required flag missing");
   }
   try {
+    if (!auth_key_file.empty()) {
+      opts.auth_key = fleet::load_auth_key(auth_key_file);
+    }
     net::WorkerServer server(opts);
     std::printf("sweep_workerd: listening on port %u\n",
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
-    return server.serve() ? 0 : 1;
+    // Registry membership starts after the listener is up (the advertised
+    // port must be dialable - and with --serve=0, known - before any
+    // coordinator can be granted it).
+    std::unique_ptr<fleet::FleetMembership> membership;
+    if (fleet_given) {
+      fleet::MembershipOptions mopts;
+      mopts.registry = fleet_registry;
+      mopts.self = fleet::JoinInfo{advertise, server.port(), weight};
+      mopts.auth_key = opts.auth_key;
+      mopts.heartbeat_ms = heartbeat_ms;
+      mopts.quiet = opts.quiet;
+      membership = std::make_unique<fleet::FleetMembership>(mopts);
+      membership->start();  // throws if the registry is unreachable or
+                            // refuses the key: fail loudly at startup
+    }
+    const bool ok = server.serve();
+    if (membership != nullptr) {
+      if (ok) {
+        membership->stop();  // orderly departure: Leave the registry
+      } else {
+        // Simulated kill (--fail-after): no Leave, no heartbeats - the
+        // registry must evict this daemon by timeout, exactly as after a
+        // real SIGKILL.
+        membership->abandon();
+      }
+    }
+    return ok ? 0 : 1;
   } catch (const net::Error& e) {
     std::fprintf(stderr, "sweep_workerd: %s\n", e.what());
     return 1;
   } catch (const wire::Error& e) {
     // A bad --cache-dir (missing directory, unreadable cache file).
+    std::fprintf(stderr, "sweep_workerd: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // An unreadable --auth-key-file, or a refused registry join.
     std::fprintf(stderr, "sweep_workerd: %s\n", e.what());
     return 1;
   }
