@@ -9,53 +9,75 @@
 // cost (CL per sync, Section 3), alongside the stationary line age of the
 // pure asynchronous scheme (renewal formula E[X^2]/2E[X]) - the quantity a
 // designer would trade off.
+//
+// Each Delta is one sweep cell evaluated through the registered "hybrid"
+// backend (core/ablation_backend.h), so the sweep runs under every
+// execution mode - --threads, --workers, --connect, --fleet, --shard +
+// --merge, --journal - with byte-identical output.
 #include <cstdio>
 
-#include "core/api.h"
+#include "bench_main.h"
 
 int main(int argc, char** argv) {
   using namespace rbx;
-  const ExperimentOptions opts =
-      ExperimentOptions::parse(argc, argv, /*samples=*/2500, /*nmax=*/0);
-  print_banner("ABL-HYBRID",
-               "PRP + periodic synchronization (Section 5's combination)");
 
-  // A hot configuration where pure PRP occasionally rolls deep.
-  const auto params = ProcessSetParams::symmetric(3, 0.4, 3.0);
-  AsyncRbModel async(params);
-  SyncRbModel sync(params.mu());
-  PrpModel prp(params, 1e-4);
+  static const double periods[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+  bench::SweepOutcome sweep = bench::run_sweep(
+      argc, argv,
+      {"ABL-HYBRID",
+       "PRP + periodic synchronization (Section 5's combination)",
+       /*samples=*/2500, /*nmax=*/0},
+      [](const ExperimentOptions& opts) {
+        std::vector<Scenario> cells;
+        for (double period : periods) {
+          // A hot configuration where pure PRP occasionally rolls deep.
+          cells.push_back(Scenario::symmetric(3, 0.4, 3.0)
+                              .scheme(SchemeKind::kPseudoRecoveryPoints)
+                              .t_record(1e-4)
+                              .error_rate(0.25)
+                              .prp_sync_period(period)
+                              .seed(opts.seed)
+                              .samples(opts.samples));
+        }
+        return cells;
+      },
+      EvalPlan{{EvalStep{"hybrid", ""}}});
+  if (!sweep.results) {
+    return 0;  // --shard: partial written
+  }
+  const std::vector<ResultSet>& results = *sweep.results;
 
-  std::printf("configuration: %s\n", params.describe().c_str());
+  // The analytic header quantities are scheme constants (every cell
+  // shares the rates), reported by the backend alongside the sweep.
+  const ResultSet& head = results[0];
+  std::printf("configuration: %s\n",
+              sweep.cells[0].params().describe().c_str());
   std::printf("pure async    : E[X] = %.3f, stationary line age = %.3f\n",
-              async.mean_interval(), async.mean_line_age());
-  std::printf("pure PRP bound: E[sup y] = %.3f\n", prp.mean_rollback_bound());
+              head.value("async_mean_interval"),
+              head.value("async_mean_line_age"));
+  std::printf("pure PRP bound: E[sup y] = %.3f\n",
+              head.value("prp_mean_rollback_bound"));
   std::printf("sync commit   : CL = %.3f per synchronization\n\n",
-              sync.mean_loss());
+              head.value("sync_commit_loss"));
 
   TextTable table({"sync period", "hybrid dist (mean)", "hybrid p95",
                    "hybrid max", "sync-line restores", "sync loss rate",
                    "pure PRP dist (mean)", "pure PRP max"});
-  for (double period : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-    PrpSimParams sp;
-    sp.error_rate = 0.25;
-    sp.sync_period = period;
-    PrpSimulator sim(params, sp, opts.seed);
-    const PrpSimResult r = sim.run(opts.samples);
-    const double loss_rate =
-        static_cast<double>(r.sync_lines_established) / r.horizon *
-        sync.mean_loss();
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const ResultSet& res = results[k];
+    const Metric& hybrid = res.metric("hybrid_distance");
     char restores[32];
     std::snprintf(restores, sizeof(restores), "%zu/%zu",
-                  r.hybrid_sync_restores, r.failures);
-    table.add_row({TextTable::fmt(period, 1),
-                   fmt_ci(r.hybrid_distance.mean(),
-                          r.hybrid_distance.ci_half_width(), 3),
-                   TextTable::fmt(r.hybrid_distance.quantile(0.95), 3),
-                   TextTable::fmt(r.hybrid_distance.max(), 3), restores,
-                   TextTable::fmt(loss_rate, 4),
-                   TextTable::fmt(r.prp_distance.mean(), 3),
-                   TextTable::fmt(r.prp_distance.max(), 3)});
+                  static_cast<std::size_t>(res.value("hybrid_sync_restores")),
+                  static_cast<std::size_t>(res.value("failures")));
+    table.add_row({TextTable::fmt(periods[k], 1),
+                   fmt_ci(hybrid.value, hybrid.half_width, 3),
+                   TextTable::fmt(res.value("hybrid_distance_p95"), 3),
+                   TextTable::fmt(res.value("hybrid_distance_max"), 3),
+                   restores,
+                   TextTable::fmt(res.value("hybrid_sync_loss_rate"), 4),
+                   TextTable::fmt(res.value("prp_distance"), 3),
+                   TextTable::fmt(res.value("prp_distance_max"), 3)});
   }
   std::printf("%s\n",
               table

@@ -12,43 +12,61 @@
 //   any-advance  mean interval between advancements of the true maximal
 //                line (any component moves)
 //   full-refresh mean interval until every component is strictly newer
+//
+// Each (n, rho) point is one sweep cell evaluated through the registered
+// "line-exact" backend (core/ablation_backend.h), seeded exactly as the
+// original sequential loop, so the table is byte-identical under every
+// execution mode.
+#include <cstdint>
 #include <cstdio>
+#include <iterator>
 
-#include "core/api.h"
+#include "bench_main.h"
 
 int main(int argc, char** argv) {
   using namespace rbx;
-  const ExperimentOptions opts =
-      ExperimentOptions::parse(argc, argv, /*samples=*/60000, /*nmax=*/4);
-  print_banner("ABL-LINE",
-               "Model's all-ones criterion vs exact pairwise recovery lines");
+
+  static const double rho_levels[] = {0.5, 1.0, 2.0};
+  bench::SweepOutcome sweep = bench::run_sweep(
+      argc, argv,
+      {"ABL-LINE",
+       "Model's all-ones criterion vs exact pairwise recovery lines",
+       /*samples=*/60000, /*nmax=*/4},
+      [](const ExperimentOptions& opts) {
+        std::vector<Scenario> cells;
+        for (std::size_t n = 2; n <= opts.nmax; ++n) {
+          for (double rho : rho_levels) {
+            cells.push_back(
+                Scenario::symmetric(n, 1.0, bench::lambda_for_rho(n, rho))
+                    .seed(opts.seed + n * 31 +
+                          static_cast<std::uint64_t>(rho * 8))
+                    .samples(opts.samples));
+          }
+        }
+        return cells;
+      },
+      EvalPlan{{EvalStep{"line-exact", ""}}});
+  if (!sweep.results) {
+    return 0;  // --shard: partial written
+  }
+  const std::vector<ResultSet>& results = *sweep.results;
 
   TextTable table({"n", "rho", "E[X] model (analytic)", "model (mc)",
                    "exact any-advance", "conservatism", "full-refresh"});
-  for (std::size_t n = 2; n <= opts.nmax; ++n) {
-    for (double rho : {0.5, 1.0, 2.0}) {
-      const double nd = static_cast<double>(n);
-      const double lambda = 2.0 * rho / (nd - 1.0);
-      const auto params = ProcessSetParams::symmetric(n, 1.0, lambda);
-      SymmetricAsyncModel model(n, 1.0, lambda);
-
-      AsyncRbSimulator sim(params, opts.seed + n * 31 +
-                                       static_cast<std::uint64_t>(rho * 8));
-      const ExactLineResult r = sim.run_exact(opts.samples);
-      const double ratio = r.any_advance.count() > 0
-                               ? r.model_interval.mean() /
-                                     r.any_advance.mean()
-                               : 0.0;
-      table.add_row(
-          {TextTable::fmt_int(static_cast<long long>(n)),
-           TextTable::fmt(rho, 2),
-           TextTable::fmt(model.mean_interval(), 4),
-           fmt_ci(r.model_interval.mean(),
-                  r.model_interval.ci_half_width()),
-           fmt_ci(r.any_advance.mean(), r.any_advance.ci_half_width()),
-           TextTable::fmt(ratio, 3),
-           fmt_ci(r.full_refresh.mean(), r.full_refresh.ci_half_width())});
-    }
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const Scenario& s = sweep.cells[k];
+    const ResultSet& res = results[k];
+    const Metric& model_mc = res.metric("model_interval");
+    const Metric& any = res.metric("any_advance");
+    const Metric& refresh = res.metric("full_refresh");
+    table.add_row(
+        {TextTable::fmt_int(static_cast<long long>(s.n())),
+         TextTable::fmt(rho_levels[k % std::size(rho_levels)], 2),
+         TextTable::fmt(res.value("model_interval_analytic"), 4),
+         fmt_ci(model_mc.value, model_mc.half_width),
+         fmt_ci(any.value, any.half_width),
+         TextTable::fmt(res.value("line_conservatism"), 3),
+         fmt_ci(refresh.value, refresh.half_width)});
   }
   std::printf("%s\n",
               table.render("Recovery-line criteria on shared event streams")

@@ -11,60 +11,74 @@
 // bench matches the three strategies on mean line spacing, then compares
 // loss rate, rollback distance (errors injected at a fixed rate) and
 // states saved per line.
+//
+// Each strategy is one sweep cell: a synchronized-scheme Scenario whose
+// SyncPolicy selects the strategy, evaluated through the registered
+// "monte-carlo" backend, so the comparison runs under every execution
+// mode with byte-identical output.
 #include <cstdio>
 
-#include "core/api.h"
+#include "bench_main.h"
 
 int main(int argc, char** argv) {
   using namespace rbx;
-  const ExperimentOptions opts =
-      ExperimentOptions::parse(argc, argv, /*samples=*/30000, /*nmax=*/0);
-  print_banner("ABL-SYNC", "Section 3 synchronization strategies compared");
 
-  const std::vector<double> mu = {1.5, 1.0, 0.5};
-  SyncRbModel model(mu);
-  const double ez = model.mean_max_wait();
-  // Target mean spacing between lines.
-  const double target = 4.0;
+  static const char* labels[] = {"1: constant interval", "2: elapsed time",
+                                 "3: saved states"};
+  bench::SweepOutcome sweep = bench::run_sweep(
+      argc, argv,
+      {"ABL-SYNC", "Section 3 synchronization strategies compared",
+       /*samples=*/30000, /*nmax=*/0},
+      [](const ExperimentOptions& opts) {
+        const std::vector<double> mu = {1.5, 1.0, 0.5};
+        // E[Z], the commit wait every strategy pays per line; exact
+        // inclusion-exclusion (model/sync_model.h).
+        const double ez = expected_max_exponential(mu);
+        // Target mean spacing between lines.
+        const double target = 4.0;
 
-  struct Variant {
-    const char* label;
-    SyncSimParams params;
-  };
-  std::vector<Variant> variants;
-  {
-    SyncSimParams p;
-    p.mu = mu;
-    p.error_rate = 0.5;
-    p.strategy = SyncStrategy::kConstantInterval;
-    p.interval = target;  // grid period == target spacing
-    variants.push_back({"1: constant interval", p});
-    p.strategy = SyncStrategy::kElapsedTime;
-    p.elapsed_threshold = target - ez;  // spacing = threshold + E[Z]
-    variants.push_back({"2: elapsed time", p});
-    p.strategy = SyncStrategy::kSavedStates;
-    // Spacing = threshold/total_mu + E[Z]; total_mu = 3.
-    p.saved_threshold =
-        static_cast<std::size_t>((target - ez) * 3.0 + 0.5);
-    variants.push_back({"3: saved states", p});
+        const Scenario base = Scenario::from_mu(mu)
+                                  .scheme(SchemeKind::kSynchronized)
+                                  .error_rate(0.5)
+                                  .seed(opts.seed)
+                                  .samples(opts.samples);
+        SyncPolicy p;
+        std::vector<Scenario> cells;
+        p.strategy = SyncStrategy::kConstantInterval;
+        p.interval = target;  // grid period == target spacing
+        cells.push_back(Scenario(base).sync_policy(p));
+        p.strategy = SyncStrategy::kElapsedTime;
+        p.elapsed_threshold = target - ez;  // spacing = threshold + E[Z]
+        cells.push_back(Scenario(base).sync_policy(p));
+        p.strategy = SyncStrategy::kSavedStates;
+        // Spacing = threshold/total_mu + E[Z]; total_mu = 3.
+        p.saved_threshold =
+            static_cast<std::size_t>((target - ez) * 3.0 + 0.5);
+        cells.push_back(Scenario(base).sync_policy(p));
+        return cells;
+      },
+      EvalPlan{{EvalStep{"monte-carlo", ""}}});
+  if (!sweep.results) {
+    return 0;  // --shard: partial written
   }
+  const std::vector<ResultSet>& results = *sweep.results;
 
   TextTable table({"strategy", "line spacing", "loss rate", "loss/sync",
                    "rollback dist", "rollback p95", "states/line",
                    "states/line sd"});
-  for (const Variant& v : variants) {
-    SyncRbSimulator sim(v.params, opts.seed);
-    const SyncSimResult r = sim.run(opts.samples);
-    table.add_row({v.label,
-                   fmt_ci(r.line_spacing.mean(),
-                          r.line_spacing.ci_half_width(), 3),
-                   TextTable::fmt(r.loss_rate, 4),
-                   TextTable::fmt(r.loss.mean(), 4),
-                   fmt_ci(r.rollback_distance.mean(),
-                          r.rollback_distance.ci_half_width(), 3),
-                   TextTable::fmt(r.rollback_distance.quantile(0.95), 3),
-                   TextTable::fmt(r.states_per_line.mean(), 2),
-                   TextTable::fmt(r.states_per_line.stddev(), 2)});
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const ResultSet& res = results[k];
+    const Metric& spacing = res.metric("sync_line_spacing");
+    const Metric& rollback = res.metric("sync_rollback_distance");
+    table.add_row({labels[k], fmt_ci(spacing.value, spacing.half_width, 3),
+                   TextTable::fmt(res.value("sync_loss_rate"), 4),
+                   TextTable::fmt(res.value("sync_mean_loss"), 4),
+                   fmt_ci(rollback.value, rollback.half_width, 3),
+                   TextTable::fmt(res.value("sync_rollback_distance_p95"),
+                                  3),
+                   TextTable::fmt(res.value("sync_states_per_line"), 2),
+                   TextTable::fmt(res.value("sync_states_per_line_sd"),
+                                  2)});
   }
   std::printf("%s\n",
               table

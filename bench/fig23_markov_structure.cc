@@ -6,76 +6,64 @@
 // numbering, OCR-garbled in the source; DESIGN.md decision #1); the lumped
 // chain has n + 2.  Lumping exactness is a test invariant; here the
 // structures themselves are printed for inspection.
+//
+// Each n is one sweep cell evaluated through the registered
+// "markov-structure" backend (core/structure_backend.h); the DOT dumps
+// come from the same header's emitters (which also write torn-proof .dot
+// files via wire::write_file_atomic when asked).  Purely analytic, so
+// every execution mode prints identical bytes.
 #include <cstdio>
-#include <string>
 
-#include "core/api.h"
+#include "bench_main.h"
+#include "core/structure_backend.h"
 
 int main(int argc, char** argv) {
   using namespace rbx;
-  const ExperimentOptions opts =
-      ExperimentOptions::parse(argc, argv, /*samples=*/0, /*nmax=*/8);
-  print_banner("FIG2/3", "Markov chain structure regeneration");
+
+  bench::SweepOutcome sweep = bench::run_sweep(
+      argc, argv,
+      {"FIG2/3", "Markov chain structure regeneration", /*samples=*/0,
+       /*nmax=*/8},
+      [](const ExperimentOptions& opts) {
+        std::vector<Scenario> cells;
+        for (std::size_t n = 2; n <= opts.nmax && n <= 7; ++n) {
+          cells.push_back(Scenario::symmetric(n, 1.0, 1.0).seed(opts.seed));
+        }
+        return cells;
+      },
+      EvalPlan{{EvalStep{"markov-structure", ""}}});
+  if (!sweep.results) {
+    return 0;  // --shard: partial written
+  }
+  const std::vector<ResultSet>& results = *sweep.results;
 
   TextTable table({"n", "full states (2^n+1)", "full transitions",
                    "lumped states (n+2)", "lumped transitions",
                    "E[X] full", "E[X] lumped"});
-  for (std::size_t n = 2; n <= opts.nmax && n <= 7; ++n) {
-    AsyncRbModel full(ProcessSetParams::symmetric(n, 1.0, 1.0));
-    SymmetricAsyncModel lumped(n, 1.0, 1.0);
-    std::size_t lumped_transitions =
-        lumped.chain().generator().nonzeros() - (lumped.num_states() - 1);
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const ResultSet& res = results[k];
     table.add_row(
-        {TextTable::fmt_int(static_cast<long long>(n)),
-         TextTable::fmt_int(static_cast<long long>(full.num_states())),
-         TextTable::fmt_int(static_cast<long long>(full.transition_count())),
-         TextTable::fmt_int(static_cast<long long>(lumped.num_states())),
-         TextTable::fmt_int(static_cast<long long>(lumped_transitions)),
-         TextTable::fmt(full.mean_interval(), 6),
-         TextTable::fmt(lumped.mean_interval(), 6)});
+        {TextTable::fmt_int(static_cast<long long>(sweep.cells[k].n())),
+         TextTable::fmt_int(
+             static_cast<long long>(res.value("full_states"))),
+         TextTable::fmt_int(
+             static_cast<long long>(res.value("full_transitions"))),
+         TextTable::fmt_int(
+             static_cast<long long>(res.value("lumped_states"))),
+         TextTable::fmt_int(
+             static_cast<long long>(res.value("lumped_transitions"))),
+         TextTable::fmt(res.value("mean_interval_full"), 6),
+         TextTable::fmt(res.value("mean_interval_lumped"), 6)});
   }
   std::printf("%s\n", table.render("Chain inventories (mu = lambda = 1)")
                            .c_str());
 
   // Figure 3: the simplified chain for n = 3, printed in full (small).
-  SymmetricAsyncModel m3(3, 1.0, 1.0);
-  const std::string fig3 = ctmc_to_dot(
-      m3.chain(),
-      [&m3](std::size_t s) {
-        if (s == m3.entry_state()) {
-          return std::string("S_r");
-        }
-        if (s == m3.absorbing_state()) {
-          return std::string("S_r+1");
-        }
-        return "S~" + std::to_string(s - 1);
-      },
-      "figure3_simplified_n3");
   std::printf("Figure 3 (simplified chain, n = 3) as DOT:\n%s\n",
-              fig3.c_str());
+              simplified_chain_dot(3, 1.0, 1.0).c_str());
 
   // Figure 2: the full chain for n = 3 - states named by their bit vector.
-  AsyncRbModel full3(ProcessSetParams::symmetric(3, 1.0, 1.0));
-  const std::string fig2 = ctmc_to_dot(
-      full3.chain(),
-      [&full3](std::size_t s) {
-        if (s == full3.entry_state()) {
-          return std::string("S_r");
-        }
-        if (s == full3.absorbing_state()) {
-          return std::string("S_r+1");
-        }
-        const std::size_t mask = full3.mask_of_state(s);
-        std::string name = "(";
-        for (std::size_t i = 0; i < 3; ++i) {
-          name += (mask >> i) & 1 ? '1' : '0';
-          if (i + 1 < 3) {
-            name += ',';
-          }
-        }
-        return name + ")";
-      },
-      "figure2_full_n3");
-  std::printf("Figure 2 (full chain, n = 3) as DOT:\n%s\n", fig2.c_str());
+  std::printf("Figure 2 (full chain, n = 3) as DOT:\n%s\n",
+              full_chain_dot(3, 1.0, 1.0).c_str());
   return 0;
 }

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
         for (double rho : rho_levels) {
           for (std::size_t n = 2; n <= opts.nmax; ++n) {
             // rho = C(n,2) lambda / n  =>  lambda = 2 rho / (n - 1).
-            const double lambda = 2.0 * rho / (static_cast<double>(n) - 1.0);
+            const double lambda = bench::lambda_for_rho(n, rho);
             cells.push_back(Scenario::symmetric(n, 1.0, lambda)
                                 .seed(opts.seed + n)
                                 .samples(std::max<std::size_t>(

@@ -10,19 +10,22 @@
 //
 // Rows are sweep cells (analytic + Monte-Carlo backends per cell); the
 // per-row seeds match the original loop so --threads/--workers/--shard
-// only change the wall-clock, not the printed values.
+// only change the wall-clock, not the printed values.  Two grids, one
+// bench::Bench: its SweepRunner persists across both sweeps so --shard
+// writes one partial section per grid.
 #include <cstddef>
 #include <cstdio>
 #include <vector>
 
-#include "core/api.h"
+#include "bench_main.h"
 
 int main(int argc, char** argv) {
   using namespace rbx;
-  const ExperimentOptions opts =
-      ExperimentOptions::parse(argc, argv, /*samples=*/30000, /*nmax=*/10);
-  print_banner("SEC3-CL",
-               "Section 3: computation-power loss of synchronized RBs");
+  bench::Bench bench(
+      argc, argv,
+      {"SEC3-CL", "Section 3: computation-power loss of synchronized RBs",
+       /*samples=*/30000, /*nmax=*/10});
+  const ExperimentOptions& opts = bench.opts();
 
   std::vector<Scenario> cells;
   for (std::size_t n = 1; n <= opts.nmax; ++n) {
@@ -32,9 +35,8 @@ int main(int argc, char** argv) {
                         .samples(opts.samples));
   }
 
-  SweepRunner runner(opts);
   const auto homo_sweep =
-      runner.run(cells, [](const Scenario& s, std::size_t) {
+      bench.run(cells, [](const Scenario& s, std::size_t) {
         // n = 1 never synchronizes, so there is nothing to simulate.
         EvalPlan plan{{EvalStep{"analytic", ""}}};
         if (s.n() >= 2) {
@@ -59,7 +61,7 @@ int main(int argc, char** argv) {
     het_cells.push_back(
         Scenario::from_mu(c.mu).scheme(SchemeKind::kSynchronized));
   }
-  const auto het_sweep = runner.run(het_cells, analytic_backend());
+  const auto het_sweep = bench.run(het_cells, analytic_backend());
   if (!homo_sweep) {
     return 0;  // --shard: partials for both sweeps written
   }

@@ -12,21 +12,23 @@
 //
 // The Monte-Carlo cases run concurrently with the seeds of the original
 // sequential loop; printed values are invariant under --threads,
-// --workers and --shard splits.
+// --workers and --shard splits.  Two grids, one bench::Bench: its
+// SweepRunner persists across both sweeps so --shard writes one partial
+// section per grid.
 #include <algorithm>
 #include <cstdio>
 #include <iterator>
 #include <vector>
 
-#include "core/api.h"
+#include "bench_main.h"
 
 int main(int argc, char** argv) {
   using namespace rbx;
-  const ExperimentOptions opts =
-      ExperimentOptions::parse(argc, argv, /*samples=*/2000, /*nmax=*/8);
-  print_banner("SEC4-PRP", "Section 4: pseudo recovery point overheads");
-
-  SweepRunner runner(opts);
+  bench::Bench bench(
+      argc, argv,
+      {"SEC4-PRP", "Section 4: pseudo recovery point overheads",
+       /*samples=*/2000, /*nmax=*/8});
+  const ExperimentOptions& opts = bench.opts();
 
   // --- analytic overhead vs process count ---
   constexpr double kRecordTime = 0.01;
@@ -36,7 +38,7 @@ int main(int argc, char** argv) {
                                  .scheme(SchemeKind::kPseudoRecoveryPoints)
                                  .t_record(kRecordTime));
   }
-  const auto overhead_sweep = runner.run(overhead_cells, analytic_backend());
+  const auto overhead_sweep = bench.run(overhead_cells, analytic_backend());
 
   // --- paired rollback-distance comparison on the Table 1 cases ---
   struct Case {
@@ -68,7 +70,7 @@ int main(int argc, char** argv) {
                          .seed(opts.seed + 1)
                          .samples(std::max<std::size_t>(1, opts.samples / 2)));
   const auto mc_sweep =
-      runner.run(mc_cells, [&cases](const Scenario&, std::size_t i) {
+      bench.run(mc_cells, [&cases](const Scenario&, std::size_t i) {
         // Only the comparison cases read exact_* metrics; the trailing
         // storage cell needs none.  The plan varies along the grid, which
         // is why plans are per-cell.

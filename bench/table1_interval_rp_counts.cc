@@ -21,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "core/api.h"
+#include "bench_main.h"
 
 namespace {
 
@@ -47,38 +47,35 @@ const Table1Case kCases[] = {
 
 int main(int argc, char** argv) {
   using namespace rbx;
-  const ExperimentOptions opts =
-      ExperimentOptions::parse(argc, argv, /*samples=*/150000, /*nmax=*/0);
-  print_banner("TAB1",
-               "Table 1: E[X] and E[L_i] for five rate cases at rho = 1");
-
-  // A distinct stream per case keeps the Monte-Carlo columns
-  // statistically independent across rows.
-  std::vector<Scenario> cells;
-  std::uint64_t case_seed = opts.seed;
-  for (const Table1Case& c : kCases) {
-    cells.push_back(
-        Scenario(ProcessSetParams::three(c.mu1, c.mu2, c.mu3, c.l12, c.l23,
-                                         c.l13))
-            .seed(case_seed += 0x9e3779b9)
-            .samples(opts.samples));
-  }
-
-  SweepRunner runner(opts);
   // Plan instead of closure: every case evaluates the exact chain, then
   // merges the Monte-Carlo run - locally or on --connect workers.
-  const auto sweep = runner.run(cells, [](const Scenario&, std::size_t) {
-    return EvalPlan{
-        {EvalStep{"analytic", ""}, EvalStep{"monte-carlo", "mc_"}}};
-  });
-  if (!sweep) {
+  bench::SweepOutcome sweep = bench::run_sweep(
+      argc, argv,
+      {"TAB1", "Table 1: E[X] and E[L_i] for five rate cases at rho = 1",
+       /*samples=*/150000, /*nmax=*/0},
+      [](const ExperimentOptions& opts) {
+        // A distinct stream per case keeps the Monte-Carlo columns
+        // statistically independent across rows.
+        std::vector<Scenario> cells;
+        std::uint64_t case_seed = opts.seed;
+        for (const Table1Case& c : kCases) {
+          cells.push_back(
+              Scenario(ProcessSetParams::three(c.mu1, c.mu2, c.mu3, c.l12,
+                                               c.l23, c.l13))
+                  .seed(case_seed += 0x9e3779b9)
+                  .samples(opts.samples));
+        }
+        return cells;
+      },
+      EvalPlan{{EvalStep{"analytic", ""}, EvalStep{"monte-carlo", "mc_"}}});
+  if (!sweep.results) {
     return 0;  // --shard: partial written
   }
-  const std::vector<ResultSet>& results = *sweep;
+  const std::vector<ResultSet>& results = *sweep.results;
 
   TextTable table({"case", "quantity", "paper", "analytic", "monte-carlo",
                    "mc-dev"});
-  for (std::size_t k = 0; k < cells.size(); ++k) {
+  for (std::size_t k = 0; k < results.size(); ++k) {
     const Table1Case& c = kCases[k];
     const ResultSet& res = results[k];
     const Metric& mc_x = res.metric("mc_mean_interval_x");

@@ -3,6 +3,14 @@
 // density of X - the machinery behind Figures 2, 3, 5 and 6, exposed as a
 // small interactive tool.
 //
+// This example is INTENTIONALLY low-level.  Its subject is the model
+// layer itself - per-state structure, per-process absorption
+// probabilities, the pdf pointwise - not a named-metric summary, so it
+// constructs AsyncRbModel/SymmetricAsyncModel directly rather than going
+// through Scenario/EvalBackend.  A ResultSet flattens exactly the detail
+// this tool exists to expose (the sweepable surface of the same chains is
+// the "markov-structure" backend and the fig23_markov_structure bench).
+//
 //   $ ./markov_explorer [n=3] [mu=1.0] [lambda=1.0] [--dot]
 #include <cmath>
 #include <cstdio>

@@ -100,20 +100,32 @@ int main() {
               prop.rollback_distance, prop.iterations);
 
   // ---- Act 3: the statistics behind the anecdote ----
+  // The same comparison phrased as one Scenario cell evaluated through
+  // the registered backends - the shape every bench sweep multiplies,
+  // and a serializable EvalPlan could ship this exact cell to a
+  // sweep_workerd daemon.  The Monte-Carlo backend drives the PRP
+  // simulator over the paired failure histories; the analytic backend
+  // merges in under "model_" with the E[sup y] bound of Section 4.
   const auto params = ProcessSetParams::three(0.5, 0.5, 0.5, 1.5, 1.5, 0.0);
-  PrpSimParams sp;
-  sp.error_rate = 0.2;
-  PrpSimulator sim(params, sp, 7);
-  const PrpSimResult mc = sim.run(2000);
+  const Scenario cell = Scenario(params)
+                            .scheme(SchemeKind::kPseudoRecoveryPoints)
+                            .t_record(1e-4)
+                            .error_rate(0.2)
+                            .seed(7)
+                            .samples(2000);
+  const EvalPlan plan{
+      {EvalStep{"monte-carlo", ""}, EvalStep{"analytic", "model_"}}};
+  const ResultSet mc = evaluate_plan(plan, cell);
   std::printf("Monte-Carlo over the pipeline rates (%s):\n",
               params.describe().c_str());
   std::printf("  async rollback: mean %.2f, p95 %.2f, dominoes %zu/%zu\n",
-              mc.async_distance.mean(), mc.async_distance.quantile(0.95),
-              mc.async_domino_count, mc.failures);
+              mc.value("async_distance"), mc.value("async_distance_p95"),
+              static_cast<std::size_t>(mc.value("async_domino_count")),
+              static_cast<std::size_t>(mc.value("failures")));
   std::printf("  PRP rollback  : mean %.2f, p95 %.2f (bound E[sup y] = "
               "%.2f)\n",
-              mc.prp_distance.mean(), mc.prp_distance.quantile(0.95),
-              PrpModel(params, 0.0).mean_rollback_bound());
+              mc.value("prp_distance"), mc.value("prp_distance_p95"),
+              mc.value("model_prp_mean_rollback_bound"));
 
   // Export the history diagram for inspection with GraphViz.
   std::printf("\nDOT of the asynchronous history (paper Figure 1 shape):\n%s",

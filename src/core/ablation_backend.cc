@@ -1,0 +1,105 @@
+#include "core/ablation_backend.h"
+
+#include <string>
+
+#include "des/async_sim.h"
+#include "des/prp_sim.h"
+#include "model/async_model.h"
+#include "model/async_symmetric.h"
+#include "model/prp_model.h"
+#include "model/sync_model.h"
+#include "support/check.h"
+#include "support/stats.h"
+
+namespace rbx {
+
+namespace {
+
+void set_sample(ResultSet& out, const std::string& name, const SampleSet& s) {
+  out.set(name, s.mean(), s.ci_half_width(), s.count());
+}
+
+}  // namespace
+
+bool ExactLineBackend::supports(const Scenario& scenario) const {
+  // The exact observer is defined on the asynchronous event stream; the
+  // paired analytic column needs the lumped chain, hence homogeneous
+  // rates.
+  return scenario.scheme() == SchemeKind::kAsynchronous &&
+         scenario.params().is_symmetric_rates() && scenario.n() >= 2;
+}
+
+ResultSet ExactLineBackend::evaluate(const Scenario& scenario) const {
+  RBX_CHECK_MSG(supports(scenario),
+                "line-exact needs an asynchronous scenario with "
+                "homogeneous rates and n >= 2");
+  ResultSet out(name(), scenario.label());
+  const ProcessSetParams& p = scenario.params();
+
+  // The lumped chain is the model whose all-ones criterion the exact
+  // observer is compared against; its E[X] is computed here (not promoted
+  // from the analytic backend) so the paired column uses exactly the
+  // lumped solve even where the full chain would be available.
+  SymmetricAsyncModel model(p.n(), p.mu(0), p.lambda(0, 1));
+  out.set("model_interval_analytic", model.mean_interval());
+
+  AsyncRbSimulator sim(p, scenario.seed());
+  const ExactLineResult r = sim.run_exact(scenario.samples());
+  set_sample(out, "model_interval", r.model_interval);
+  set_sample(out, "any_advance", r.any_advance);
+  set_sample(out, "full_refresh", r.full_refresh);
+  const double ratio =
+      r.any_advance.count() > 0
+          ? r.model_interval.mean() / r.any_advance.mean()
+          : 0.0;
+  out.set("line_conservatism", ratio);
+  return out;
+}
+
+bool HybridSchemeBackend::supports(const Scenario& scenario) const {
+  // The hybrid cap only exists with a sync period; the PRP simulator runs
+  // until a failure count is reached, so errors must be injected.
+  return scenario.scheme() == SchemeKind::kPseudoRecoveryPoints &&
+         scenario.prp_sync_period() > 0.0 && scenario.error_rate() > 0.0;
+}
+
+ResultSet HybridSchemeBackend::evaluate(const Scenario& scenario) const {
+  RBX_CHECK_MSG(supports(scenario),
+                "hybrid needs a PRP scenario with prp_sync_period > 0 and "
+                "a positive error rate");
+  ResultSet out(name(), scenario.label());
+  const ProcessSetParams& p = scenario.params();
+
+  // The analytic header quantities of the trade-off: what pure async,
+  // pure PRP and pure synchronization would each cost at these rates.
+  AsyncRbModel async(p);
+  SyncRbModel sync(p.mu());
+  PrpModel prp(p, scenario.t_record());
+  out.set("async_mean_interval", async.mean_interval());
+  out.set("async_mean_line_age", async.mean_line_age());
+  out.set("prp_mean_rollback_bound", prp.mean_rollback_bound());
+  out.set("sync_commit_loss", sync.mean_loss());
+
+  PrpSimulator sim(p, scenario.prp_sim_params(), scenario.seed());
+  const PrpSimResult r = sim.run(scenario.samples());
+  set_sample(out, "hybrid_distance", r.hybrid_distance);
+  out.set("hybrid_distance_p95", r.hybrid_distance.quantile(0.95));
+  out.set("hybrid_distance_max", r.hybrid_distance.max());
+  out.set("hybrid_sync_restores",
+          static_cast<double>(r.hybrid_sync_restores));
+  out.set("failures", static_cast<double>(r.failures));
+  out.set("sync_lines_established",
+          static_cast<double>(r.sync_lines_established));
+  // Steady-state loss of the periodic synchronization component: lines
+  // established per unit time, each costing CL in computation power.
+  const double loss_rate =
+      static_cast<double>(r.sync_lines_established) / r.horizon *
+      sync.mean_loss();
+  out.set("hybrid_sync_loss_rate", loss_rate);
+  set_sample(out, "prp_distance", r.prp_distance);
+  out.set("prp_distance_max", r.prp_distance.max());
+  out.set("horizon", r.horizon);
+  return out;
+}
+
+}  // namespace rbx

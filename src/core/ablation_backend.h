@@ -1,0 +1,53 @@
+// Ablation backends: the ABL-LINE and ABL-HYBRID evaluations as
+// registered EvalBackends.
+//
+// The two ablation benches historically called the simulator and model
+// layers directly, which kept them off the Scenario/EvalPlan seam - they
+// could not run on --workers, --connect or --fleet.  These backends put
+// the same evaluations behind registered names so an ablation sweep ships
+// to any executor (including a sweep_workerd daemon that never saw the
+// bench binary) like every other cell:
+//
+//   line-exact  the paired recovery-line criterion comparison of
+//               AsyncRbSimulator::run_exact on `samples` events: the
+//               model's all-ones criterion ("model_interval"), the exact
+//               pairwise any-advance interval ("any_advance"), the
+//               full-refresh interval ("full_refresh"), the conservatism
+//               ratio model/any-advance ("line_conservatism"), and the
+//               lumped analytic E[X] of the same rates
+//               ("model_interval_analytic") for the paired table column
+//   hybrid      the PRP + periodic-synchronization combination (paper
+//               Section 5), keyed off Scenario::prp_sync_period: the
+//               hybrid recovery-distance distribution (mean/p95/max),
+//               sync-line restore and loss-rate accounting
+//               ("hybrid_sync_loss_rate" = lines established per unit
+//               time x CL), the pure-PRP comparison columns, and the
+//               analytic header quantities (async E[X] and stationary
+//               line age, E[sup y], CL per synchronization)
+//
+// Both are deterministic in the scenario seed, so every execution mode
+// reproduces the bytes - the property the ported benches' golden-diff
+// and cross-mode CI pins rely on.
+#pragma once
+
+#include <string>
+
+#include "core/backend.h"
+
+namespace rbx {
+
+class ExactLineBackend : public EvalBackend {
+ public:
+  std::string name() const override { return "line-exact"; }
+  bool supports(const Scenario& scenario) const override;
+  ResultSet evaluate(const Scenario& scenario) const override;
+};
+
+class HybridSchemeBackend : public EvalBackend {
+ public:
+  std::string name() const override { return "hybrid"; }
+  bool supports(const Scenario& scenario) const override;
+  ResultSet evaluate(const Scenario& scenario) const override;
+};
+
+}  // namespace rbx

@@ -7,10 +7,18 @@
 //   Scenario     one experiment definition: process-set rates, recovery
 //                scheme, fault injection, workload shape and seed
 //                (core/scenario.h);
-//   EvalBackend  an evaluation semantics for a Scenario - analytic Markov
-//                models, Monte-Carlo simulation, or the real thread
-//                runtime - returning a ResultSet of named metrics
-//                (core/backend.h, core/result.h);
+//   EvalBackend  an evaluation semantics for a Scenario, returning a
+//                ResultSet of named metrics (core/backend.h,
+//                core/result.h).  Nine registered singletons: "analytic"
+//                (Markov/closed-form), "monte-carlo" (DES), "runtime"
+//                (real threads), "density-analytic"/"density-mc" (the
+//                Figure 6 density grid, core/density_backend.h),
+//                "line-exact" (exact pairwise recovery-line detection)
+//                and "hybrid" (PRP + periodic sync, both
+//                core/ablation_backend.h), "markov-structure" (chain
+//                inventories, core/structure_backend.h), and
+//                "micro-markov" (Markov-engine timing kernels,
+//                perf/micro_backend.h);
 //   SweepEngine  parameter-grid expansion and parallel evaluation of
 //                scenario batches with deterministic per-cell seeding
 //                (core/sweep.h);
@@ -133,7 +141,8 @@
 //   runtime/   thread-based processes with real checkpoint/rollback
 //   core/      Scenario + EvalBackend + SweepEngine + Executor/ShardSpec,
 //              DispatchCore + ThreadLane/ForkLane (core/dispatch.h,
-//              core/lane.h)
+//              core/lane.h); the specialized backends (density, ablation,
+//              structure) live here too
 //   net/       the TCP lane of the dispatch layer (TcpLane,
 //              ClusterExecutor, WorkerServer)
 //   fleet/     the shared-fleet subsystem: registry + membership
@@ -142,7 +151,9 @@
 //   recov/     crash durability: sweep journal + resume planning +
 //              the worker-side result cache
 //   perf/      the bench harness: kernel registry, interval measurement,
-//              BENCH_*.json reports and regression compare (perf_bench)
+//              BENCH_*.json reports and regression compare (perf_bench);
+//              also the registered "micro-markov" timing backend
+//              (perf/micro_backend.h)
 //
 // The per-layer entry points (AsyncRbModel, SyncRbSimulator,
 // RecoverySystem, ...) remain public for code that needs one layer only;

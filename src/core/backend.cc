@@ -2,10 +2,13 @@
 
 #include <stdexcept>
 
+#include "core/ablation_backend.h"
 #include "core/analytic_backend.h"
 #include "core/density_backend.h"
 #include "core/monte_carlo_backend.h"
 #include "core/runtime_backend.h"
+#include "core/structure_backend.h"
+#include "perf/micro_backend.h"
 
 namespace rbx {
 
@@ -39,9 +42,32 @@ const EvalBackend& density_monte_carlo_backend() {
   return backend;
 }
 
+const EvalBackend& exact_line_backend() {
+  static const ExactLineBackend backend;
+  return backend;
+}
+
+const EvalBackend& hybrid_scheme_backend() {
+  static const HybridSchemeBackend backend;
+  return backend;
+}
+
+const EvalBackend& markov_structure_backend() {
+  static const MarkovStructureBackend backend;
+  return backend;
+}
+
+const EvalBackend& markov_micro_backend() {
+  static const MarkovMicroBackend backend;
+  return backend;
+}
+
 std::vector<const EvalBackend*> all_backends() {
-  return {&analytic_backend(), &monte_carlo_backend(), &runtime_backend(),
-          &density_analytic_backend(), &density_monte_carlo_backend()};
+  return {&analytic_backend(),         &monte_carlo_backend(),
+          &runtime_backend(),          &density_analytic_backend(),
+          &density_monte_carlo_backend(), &exact_line_backend(),
+          &hybrid_scheme_backend(),    &markov_structure_backend(),
+          &markov_micro_backend()};
 }
 
 const EvalBackend* find_backend(const std::string& name) {

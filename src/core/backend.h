@@ -55,12 +55,21 @@ const EvalBackend& runtime_backend();       // runtime/ (real threads)
 // (core/density_backend.h).
 const EvalBackend& density_analytic_backend();
 const EvalBackend& density_monte_carlo_backend();
+// The ablation evaluations (core/ablation_backend.h): the exact pairwise
+// recovery-line comparison and the hybrid PRP + periodic-sync scheme.
+const EvalBackend& exact_line_backend();
+const EvalBackend& hybrid_scheme_backend();
+// Markov chain-structure inventories (core/structure_backend.h).
+const EvalBackend& markov_structure_backend();
+// The Markov-engine timing kernels (perf/micro_backend.h).
+const EvalBackend& markov_micro_backend();
 
 // All registered backends, in the order above.
 std::vector<const EvalBackend*> all_backends();
 
 // Lookup by name ("analytic", "monte-carlo", "runtime",
-// "density-analytic", "density-mc"); nullptr if unknown.
+// "density-analytic", "density-mc", "line-exact", "hybrid",
+// "markov-structure", "micro-markov"); nullptr if unknown.
 const EvalBackend* find_backend(const std::string& name);
 
 // --- evaluation plans ----------------------------------------------------

@@ -43,9 +43,12 @@ void evaluate_sync(const Scenario& s, ResultSet& out) {
   set_sample(out, "sync_mean_loss", r.loss);
   set_sample(out, "sync_line_spacing", r.line_spacing);
   set_sample(out, "sync_states_per_line", r.states_per_line);
+  out.set("sync_states_per_line_sd", r.states_per_line.stddev());
   out.set("sync_loss_rate", r.loss_rate);
   if (s.error_rate() > 0.0) {
     set_sample(out, "sync_rollback_distance", r.rollback_distance);
+    out.set("sync_rollback_distance_p95",
+            r.rollback_distance.quantile(0.95));
   }
 }
 

@@ -7,8 +7,8 @@
 //    three counting conventions, and "line_age" when errors are injected.
 //  * kSynchronized - SyncRbSimulator under the scenario's SyncPolicy:
 //    "sync_mean_max_wait", "sync_mean_loss", "sync_loss_rate",
-//    "sync_line_spacing", "sync_states_per_line", and
-//    "sync_rollback_distance" when errors are injected.
+//    "sync_line_spacing", "sync_states_per_line" (+ its "_sd" spread),
+//    and "sync_rollback_distance" (+ p95) when errors are injected.
 //  * kPseudoRecoveryPoints - PrpSimulator until `samples` failures:
 //    "prp_distance" (+ p95), the paired "async_distance" (+ p95),
 //    affected-set sizes, domino counts, storage accounting, and the

@@ -1,0 +1,97 @@
+#include "core/structure_backend.h"
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "model/async_model.h"
+#include "model/async_symmetric.h"
+#include "support/check.h"
+#include "support/wire.h"
+#include "trace/dot.h"
+
+namespace rbx {
+
+// The full chain has 2^n + 1 states; beyond n = 7 the inventory stops
+// being printable (the legacy bench capped its loop there too).
+static constexpr std::size_t kStructureMaxN = 7;
+
+bool MarkovStructureBackend::supports(const Scenario& scenario) const {
+  return scenario.scheme() == SchemeKind::kAsynchronous &&
+         scenario.params().is_symmetric_rates() && scenario.n() >= 2 &&
+         scenario.n() <= kStructureMaxN;
+}
+
+ResultSet MarkovStructureBackend::evaluate(const Scenario& scenario) const {
+  RBX_CHECK_MSG(supports(scenario),
+                "markov-structure needs an asynchronous scenario with "
+                "homogeneous rates and 2 <= n <= 7");
+  ResultSet out(name(), scenario.label());
+  const ProcessSetParams& p = scenario.params();
+  AsyncRbModel full(p);
+  SymmetricAsyncModel lumped(p.n(), p.mu(0), p.lambda(0, 1));
+  // Off-diagonal generator entries: the generator stores one diagonal
+  // entry per non-absorbing state alongside the transitions.
+  const std::size_t lumped_transitions =
+      lumped.chain().generator().nonzeros() - (lumped.num_states() - 1);
+  out.set("full_states", static_cast<double>(full.num_states()));
+  out.set("full_transitions", static_cast<double>(full.transition_count()));
+  out.set("lumped_states", static_cast<double>(lumped.num_states()));
+  out.set("lumped_transitions", static_cast<double>(lumped_transitions));
+  // Lumping exactness, printable side by side (pinned exactly in
+  // tests/model/async_symmetric_test.cc).
+  out.set("mean_interval_full", full.mean_interval());
+  out.set("mean_interval_lumped", lumped.mean_interval());
+  return out;
+}
+
+std::string simplified_chain_dot(std::size_t n, double mu, double lambda) {
+  SymmetricAsyncModel model(n, mu, lambda);
+  return ctmc_to_dot(
+      model.chain(),
+      [&model](std::size_t s) {
+        if (s == model.entry_state()) {
+          return std::string("S_r");
+        }
+        if (s == model.absorbing_state()) {
+          return std::string("S_r+1");
+        }
+        return "S~" + std::to_string(s - 1);
+      },
+      "figure3_simplified_n" + std::to_string(n));
+}
+
+std::string full_chain_dot(std::size_t n, double mu, double lambda) {
+  AsyncRbModel model(ProcessSetParams::symmetric(n, mu, lambda));
+  return ctmc_to_dot(
+      model.chain(),
+      [&model, n](std::size_t s) {
+        if (s == model.entry_state()) {
+          return std::string("S_r");
+        }
+        if (s == model.absorbing_state()) {
+          return std::string("S_r+1");
+        }
+        const std::size_t mask = model.mask_of_state(s);
+        std::string name = "(";
+        for (std::size_t i = 0; i < n; ++i) {
+          name += (mask >> i) & 1 ? '1' : '0';
+          if (i + 1 < n) {
+            name += ',';
+          }
+        }
+        return name + ")";
+      },
+      "figure2_full_n" + std::to_string(n));
+}
+
+void write_chain_dot(const std::string& path, const std::string& dot) {
+  std::vector<std::byte> bytes(dot.size());
+  if (!dot.empty()) {
+    std::memcpy(bytes.data(), dot.data(), dot.size());
+  }
+  wire::write_file_atomic(path, bytes);
+}
+
+}  // namespace rbx

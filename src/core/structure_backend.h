@@ -1,0 +1,48 @@
+// Markov chain-structure inventories as a registered EvalBackend, plus the
+// Figure 2/3 DOT regeneration helpers.
+//
+// FIG2/3 historically built the full and lumped chains in its main() to
+// count states and transitions; this backend exposes the same inventory as
+// named metrics so the sweep ships to any executor:
+//
+//   markov-structure  per scenario (asynchronous, homogeneous rates,
+//                     n <= 7): "full_states" (2^n + 1),
+//                     "full_transitions", "lumped_states" (n + 2),
+//                     "lumped_transitions" (off-diagonal generator
+//                     entries), and the lumping-exactness pair
+//                     "mean_interval_full" / "mean_interval_lumped"
+//
+// The DOT emitters regenerate the paper's Figure 3 (simplified chain) and
+// Figure 2 (full chain, states named by their last-action bit vector) for
+// any n, using the legacy benches' exact labels; write_chain_dot routes a
+// dump through wire::write_file_atomic so a crash mid-write never leaves a
+// torn .dot file.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/backend.h"
+
+namespace rbx {
+
+class MarkovStructureBackend : public EvalBackend {
+ public:
+  std::string name() const override { return "markov-structure"; }
+  bool supports(const Scenario& scenario) const override;
+  ResultSet evaluate(const Scenario& scenario) const override;
+};
+
+// Figure 3: the simplified (lumped) chain for n homogeneous processes as
+// GraphViz DOT - entry "S_r", absorbing "S_r+1", intermediates "S~k".
+std::string simplified_chain_dot(std::size_t n, double mu, double lambda);
+
+// Figure 2: the full 2^n + 1 state chain, states labelled by their
+// last-action bit vector "(b,b,...,b)".
+std::string full_chain_dot(std::size_t n, double mu, double lambda);
+
+// Atomic DOT dump: tmp + fsync + rename via wire::write_file_atomic.
+// Throws wire::Error on I/O failure.
+void write_chain_dot(const std::string& path, const std::string& dot);
+
+}  // namespace rbx

@@ -4,9 +4,12 @@
 //   numerics  sparse builder freeze, CSR SpMV (both directions), dense LU
 //             factor+solve, RK4 transient integration
 //   markov    uniformization transient, first-passage moment solves
-//   core      one full analytic cell evaluation (async and sync schemes) -
-//             the unit every sweep, shard and cluster run multiplies
-//   des       the three simulators' inner event loops
+//   core      one full analytic cell evaluation (async and sync schemes)
+//             and one hybrid PRP+sync cell through the registered
+//             "hybrid" backend - the units every sweep, shard and
+//             cluster run multiplies
+//   des       the three simulators' inner event loops, plus the exact
+//             pairwise recovery-line observer behind ABL-LINE
 //   wire      encode/decode of Scenario and ResultSet, seal/parse of a
 //             plan-carrying CellBatch frame - the bytes every worker
 //             round-trip moves
@@ -37,6 +40,7 @@
 #include "fleet/proto.h"
 #include "fleet/registry.h"
 #include "markov/ctmc.h"
+#include "model/async_model.h"
 #include "numerics/lu.h"
 #include "numerics/matrix.h"
 #include "numerics/sparse.h"
@@ -246,6 +250,19 @@ void register_default_kernels(KernelRegistry& registry) {
                 }});
 
   // --- markov -----------------------------------------------------------
+  registry.add({"markov_full_chain_n7", "markov", [] {
+                  // The 2^7 + 1 state asynchronous-RB chain: build plus
+                  // the absorption solve, the dominant cost of every
+                  // full-chain analytic cell the structure and ablation
+                  // sweeps evaluate at their size cap.
+                  const ProcessSetParams p =
+                      ProcessSetParams::symmetric(7, 1.0, 0.5);
+                  return [p]() -> double {
+                    AsyncRbModel model(p);
+                    return model.mean_interval();
+                  };
+                }});
+
   registry.add({"ctmc_uniformization", "markov", [] {
                   const Ctmc chain = banded_chain(256);
                   const std::vector<double> pi0 = uniform_distribution(256);
@@ -283,6 +300,26 @@ void register_default_kernels(KernelRegistry& registry) {
                   };
                 }});
 
+  registry.add({"hybrid_cell", "core", [] {
+                  // One ABL-HYBRID cell at a small failure budget: three
+                  // analytic models plus a PRP simulation through the
+                  // registered "hybrid" backend, exactly the unit a
+                  // hybrid-scheme sweep ships per grid point.
+                  const Scenario s =
+                      Scenario::symmetric(3, 0.4, 3.0)
+                          .scheme(SchemeKind::kPseudoRecoveryPoints)
+                          .t_record(1e-4)
+                          .error_rate(0.25)
+                          .prp_sync_period(2.0)
+                          .seed(0x5eed)
+                          .samples(8);
+                  const EvalPlan plan{{EvalStep{"hybrid", ""}}};
+                  return [s, plan]() -> double {
+                    const ResultSet r = evaluate_plan(plan, s);
+                    return r.value("hybrid_distance");
+                  };
+                }});
+
   // --- des --------------------------------------------------------------
   registry.add({"des_async_lines", "des", [] {
                   auto sim = std::make_shared<AsyncRbSimulator>(
@@ -304,6 +341,18 @@ void register_default_kernels(KernelRegistry& registry) {
                   return [sim]() -> double {
                     const SyncSimResult r = sim->run(64);
                     return r.loss_rate;
+                  };
+                }});
+
+  registry.add({"des_exact_lines", "des", [] {
+                  // The exact pairwise recovery-line observer (ABL-LINE's
+                  // inner loop): per-event interaction tracking plus the
+                  // any-advance / full-refresh line tests.
+                  auto sim = std::make_shared<AsyncRbSimulator>(
+                      ProcessSetParams::symmetric(4, 1.0, 1.0), 0x5eed);
+                  return [sim]() -> double {
+                    const ExactLineResult r = sim->run_exact(16);
+                    return r.any_advance.mean();
                   };
                 }});
 

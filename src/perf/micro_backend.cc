@@ -1,0 +1,98 @@
+#include "perf/micro_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "des/async_sim.h"
+#include "model/async_model.h"
+#include "model/async_symmetric.h"
+#include "support/check.h"
+
+namespace rbx {
+
+namespace {
+
+volatile double g_sink = 0.0;
+
+}  // namespace
+
+double micro_time_ns(std::size_t reps, const std::function<double()>& fn) {
+  g_sink = g_sink + fn();
+  const auto t0 = std::chrono::steady_clock::now();
+  double acc = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    acc += fn();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  g_sink = g_sink + acc;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         static_cast<double>(reps);
+}
+
+bool MarkovMicroBackend::supports(const Scenario& scenario) const {
+  // The full model holds 2^n + 1 states; past 9 the dense solves stop
+  // being "micro".
+  return scenario.n() >= 2 && scenario.n() <= 9;
+}
+
+ResultSet MarkovMicroBackend::evaluate(const Scenario& scenario) const {
+  RBX_CHECK_MSG(supports(scenario), "micro-markov needs 2 <= n <= 9");
+  const std::size_t n = scenario.n();
+  ResultSet out(name(), scenario.label());
+  const auto set_ns = [&out](const char* metric, std::size_t reps,
+                             const std::function<double()>& fn) {
+    out.set(metric, micro_time_ns(reps, fn), 0.0, reps);
+  };
+  // Budgets shrink with the state count so every n finishes promptly.
+  const std::size_t budget = scenario.samples();
+  const std::size_t heavy =
+      std::max<std::size_t>(1, budget >> std::min<std::size_t>(n, 12));
+
+  set_ns("build_full_ns", heavy, [n] {
+    AsyncRbModel model(ProcessSetParams::symmetric(n, 1.0, 0.5));
+    return model.mean_interval();
+  });
+  {
+    // Hold rho at 0.05 so E[X] stays well-conditioned at every size.
+    const double lambda = 2.0 * 0.05 / (static_cast<double>(n) - 1.0);
+    set_ns("build_lumped_ns", std::max<std::size_t>(1, budget / 4),
+           [n, lambda] {
+             SymmetricAsyncModel model(n, 1.0, lambda);
+             return model.mean_interval();
+           });
+  }
+  if (n <= 8) {
+    AsyncRbModel model(ProcessSetParams::symmetric(n, 1.0, 1.0));
+    std::vector<double> pi0(model.num_states(), 0.0);
+    pi0[0] = 1.0;
+    set_ns("transient_uniformization_ns", heavy,
+           [&model, &pi0] { return model.chain().transient(pi0, 1.0)[0]; });
+    set_ns("transient_rk4_ns", heavy, [&model, &pi0] {
+      return model.chain().transient_rk4(pi0, 1.0, 500)[0];
+    });
+  }
+  if (n <= 7) {
+    AsyncRbModel model(ProcessSetParams::symmetric(n, 1.0, 1.0));
+    double t = 0.1;
+    set_ns("phase_pdf_ns", heavy, [&model, &t] {
+      const double v = model.interval_pdf(t);
+      t = t < 2.0 ? t + 0.1 : 0.1;
+      return v;
+    });
+    set_ns("expected_visits_ns", heavy, [&model] {
+      return model.expected_rp_count_split_chain(0);
+    });
+  }
+  {
+    AsyncRbSimulator sim(ProcessSetParams::symmetric(n, 1.0, 1.0),
+                         scenario.seed());
+    set_ns("mc_lines_ns", std::max<std::size_t>(1, budget / 256),
+           [&sim] { return sim.run_lines(100).interval.mean(); });
+  }
+  return out;
+}
+
+}  // namespace rbx

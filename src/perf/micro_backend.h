@@ -1,0 +1,36 @@
+// The Markov-engine microbenchmark as a registered EvalBackend.
+//
+// MICRO-MARKOV historically defined this backend inside its bench TU,
+// which meant the timing cells could not ship to --connect/--fleet worker
+// daemons (an unregistered backend has no name a plan can carry).  Moved
+// here and registered as "micro-markov", the kernels run wherever any
+// other cell runs: scenario.n() picks the chain size, scenario.samples()
+// the repetition budget, and every kernel valid at that size reports one
+// "<kernel>_ns" metric (value = ns/op, count = repetitions timed).
+//
+// Timing numbers are wall-clock and so *not* deterministic across runs or
+// hosts - this backend is for trajectory tracking (perf/bench.h), not for
+// the bitwise cross-mode pins the science backends carry.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "core/backend.h"
+
+namespace rbx {
+
+// ns/op of fn over a repetition budget (one untimed warm-up call); the
+// result of every call is folded into a volatile sink so the optimizer
+// cannot elide the kernel.
+double micro_time_ns(std::size_t reps, const std::function<double()>& fn);
+
+class MarkovMicroBackend : public EvalBackend {
+ public:
+  std::string name() const override { return "micro-markov"; }
+  bool supports(const Scenario& scenario) const override;
+  ResultSet evaluate(const Scenario& scenario) const override;
+};
+
+}  // namespace rbx

@@ -1,0 +1,132 @@
+#include "core/ablation_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "core/backend.h"
+#include "des/async_sim.h"
+#include "des/prp_sim.h"
+#include "model/async_model.h"
+#include "model/async_symmetric.h"
+#include "model/prp_model.h"
+#include "model/sync_model.h"
+
+namespace rbx {
+namespace {
+
+Scenario line_scenario() {
+  return Scenario::symmetric(3, 1.0, 1.0).seed(42).samples(400);
+}
+
+Scenario hybrid_scenario() {
+  return Scenario::symmetric(3, 0.4, 3.0)
+      .scheme(SchemeKind::kPseudoRecoveryPoints)
+      .t_record(1e-4)
+      .error_rate(0.25)
+      .prp_sync_period(2.0)
+      .seed(11)
+      .samples(60);
+}
+
+TEST(ExactLineBackendTest, SupportsGating) {
+  const EvalBackend& b = exact_line_backend();
+  EXPECT_TRUE(b.supports(line_scenario()));
+  // Wrong scheme: the exact observer is defined on the async event stream.
+  EXPECT_FALSE(
+      b.supports(Scenario(line_scenario()).scheme(SchemeKind::kSynchronized)));
+  // Heterogeneous rates: the paired analytic column needs the lumped chain.
+  EXPECT_FALSE(b.supports(Scenario::from_mu({1.5, 1.0, 0.5})));
+  // A single process has no recovery lines to detect.
+  EXPECT_FALSE(b.supports(Scenario::symmetric(1, 1.0, 1.0)));
+}
+
+TEST(ExactLineBackendTest, MatchesDirectSimulatorBitwise) {
+  const Scenario s = line_scenario();
+  const ResultSet r = exact_line_backend().evaluate(s);
+
+  // The paired analytic column is the LUMPED chain's E[X] even at sizes
+  // where the full chain exists (the analytic backend would promote the
+  // full-chain number at n = 3, which is close but not the comparison the
+  // ablation makes).
+  SymmetricAsyncModel model(3, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.value("model_interval_analytic"), model.mean_interval());
+
+  AsyncRbSimulator sim(s.params(), s.seed());
+  const ExactLineResult direct = sim.run_exact(s.samples());
+  EXPECT_DOUBLE_EQ(r.value("model_interval"), direct.model_interval.mean());
+  EXPECT_DOUBLE_EQ(r.value("any_advance"), direct.any_advance.mean());
+  EXPECT_DOUBLE_EQ(r.value("full_refresh"), direct.full_refresh.mean());
+  EXPECT_EQ(r.metric("any_advance").count, direct.any_advance.count());
+  EXPECT_DOUBLE_EQ(
+      r.value("line_conservatism"),
+      direct.model_interval.mean() / direct.any_advance.mean());
+
+  // All-ones absorption waits for every process; any pairwise advance can
+  // only come sooner, so the conservatism ratio is >= 1.
+  EXPECT_GE(r.value("line_conservatism"), 1.0);
+  EXPECT_EQ(exact_line_backend().evaluate(s), r);
+}
+
+TEST(HybridSchemeBackendTest, SupportsGating) {
+  const EvalBackend& b = hybrid_scheme_backend();
+  EXPECT_TRUE(b.supports(hybrid_scenario()));
+  // No sync period -> no hybrid cap to measure.
+  EXPECT_FALSE(b.supports(Scenario(hybrid_scenario()).prp_sync_period(0.0)));
+  // The PRP simulator runs to a failure count; errors must be injected.
+  EXPECT_FALSE(b.supports(Scenario(hybrid_scenario()).error_rate(0.0)));
+  EXPECT_FALSE(
+      b.supports(Scenario(hybrid_scenario()).scheme(SchemeKind::kAsynchronous)));
+}
+
+TEST(HybridSchemeBackendTest, MatchesDirectModelsAndSimulatorBitwise) {
+  const Scenario s = hybrid_scenario();
+  const ResultSet r = hybrid_scheme_backend().evaluate(s);
+
+  AsyncRbModel async(s.params());
+  SyncRbModel sync(s.params().mu());
+  PrpModel prp(s.params(), s.t_record());
+  EXPECT_DOUBLE_EQ(r.value("async_mean_interval"), async.mean_interval());
+  EXPECT_DOUBLE_EQ(r.value("async_mean_line_age"), async.mean_line_age());
+  EXPECT_DOUBLE_EQ(r.value("prp_mean_rollback_bound"),
+                   prp.mean_rollback_bound());
+  EXPECT_DOUBLE_EQ(r.value("sync_commit_loss"), sync.mean_loss());
+
+  PrpSimulator sim(s.params(), s.prp_sim_params(), s.seed());
+  const PrpSimResult direct = sim.run(s.samples());
+  EXPECT_DOUBLE_EQ(r.value("hybrid_distance"), direct.hybrid_distance.mean());
+  EXPECT_DOUBLE_EQ(r.value("hybrid_distance_p95"),
+                   direct.hybrid_distance.quantile(0.95));
+  EXPECT_DOUBLE_EQ(r.value("hybrid_distance_max"),
+                   direct.hybrid_distance.max());
+  EXPECT_EQ(r.value("failures"), static_cast<double>(direct.failures));
+  EXPECT_EQ(r.value("hybrid_sync_restores"),
+            static_cast<double>(direct.hybrid_sync_restores));
+  EXPECT_EQ(r.value("sync_lines_established"),
+            static_cast<double>(direct.sync_lines_established));
+  EXPECT_DOUBLE_EQ(r.value("hybrid_sync_loss_rate"),
+                   static_cast<double>(direct.sync_lines_established) /
+                       direct.horizon * sync.mean_loss());
+  EXPECT_DOUBLE_EQ(r.value("prp_distance"), direct.prp_distance.mean());
+  EXPECT_DOUBLE_EQ(r.value("horizon"), direct.horizon);
+
+  // The sync cap can only shorten rollback relative to pure PRP chasing.
+  EXPECT_LE(r.value("hybrid_distance"), r.value("prp_distance"));
+  EXPECT_EQ(hybrid_scheme_backend().evaluate(s), r);
+}
+
+TEST(AblationBackendsTest, RunThroughEvalPlans) {
+  // The whole point of registering them: a serialized plan can carry the
+  // ablation evaluations to a worker with no access to bench closures.
+  wire::Writer w;
+  plan_for(exact_line_backend()).encode(w);
+  wire::Reader rd(w.data());
+  const EvalPlan plan = EvalPlan::decode(rd);
+  const ResultSet via_plan = evaluate_plan(plan, line_scenario());
+  EXPECT_EQ(via_plan, exact_line_backend().evaluate(line_scenario()));
+
+  const ResultSet hybrid = evaluate_plan(
+      EvalPlan{{EvalStep{"hybrid", ""}}}, hybrid_scenario());
+  EXPECT_TRUE(hybrid.has("hybrid_distance"));
+}
+
+}  // namespace
+}  // namespace rbx

@@ -1,0 +1,84 @@
+#include "core/structure_backend.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/backend.h"
+#include "model/async_model.h"
+#include "model/async_symmetric.h"
+
+namespace rbx {
+namespace {
+
+TEST(MarkovStructureBackendTest, SupportsGating) {
+  const EvalBackend& b = markov_structure_backend();
+  EXPECT_TRUE(b.supports(Scenario::symmetric(2, 1.0, 1.0)));
+  EXPECT_TRUE(b.supports(Scenario::symmetric(7, 1.0, 1.0)));
+  // The full chain is 2^n + 1 states; the inventory caps at n = 7.
+  EXPECT_FALSE(b.supports(Scenario::symmetric(8, 1.0, 1.0)));
+  EXPECT_FALSE(b.supports(Scenario::symmetric(1, 1.0, 1.0)));
+  EXPECT_FALSE(b.supports(Scenario::from_mu({1.5, 1.0, 0.5})));
+  EXPECT_FALSE(b.supports(
+      Scenario::symmetric(3, 1.0, 1.0).scheme(SchemeKind::kSynchronized)));
+}
+
+TEST(MarkovStructureBackendTest, InventoryMatchesModels) {
+  const Scenario s = Scenario::symmetric(4, 1.0, 0.5);
+  const ResultSet r = markov_structure_backend().evaluate(s);
+
+  AsyncRbModel full(s.params());
+  SymmetricAsyncModel lumped(4, 1.0, 0.5);
+  EXPECT_EQ(r.value("full_states"), static_cast<double>(full.num_states()));
+  EXPECT_EQ(r.value("full_transitions"),
+            static_cast<double>(full.transition_count()));
+  EXPECT_EQ(r.value("lumped_states"),
+            static_cast<double>(lumped.num_states()));
+  EXPECT_EQ(r.value("lumped_transitions"),
+            static_cast<double>(lumped.chain().generator().nonzeros() -
+                                (lumped.num_states() - 1)));
+  // 2^4 + 1 vs n + 2: the state-count collapse Figure 3 is about.
+  EXPECT_EQ(r.value("full_states"), 17.0);
+  EXPECT_EQ(r.value("lumped_states"), 6.0);
+  EXPECT_DOUBLE_EQ(r.value("mean_interval_full"), full.mean_interval());
+  EXPECT_DOUBLE_EQ(r.value("mean_interval_lumped"), lumped.mean_interval());
+  // Lumping is exact for homogeneous rates.
+  EXPECT_NEAR(r.value("mean_interval_full"), r.value("mean_interval_lumped"),
+              1e-9 * r.value("mean_interval_full"));
+}
+
+TEST(MarkovStructureDotTest, LabelsAndDeterminism) {
+  const std::string simplified = simplified_chain_dot(3, 1.0, 1.0);
+  EXPECT_NE(simplified.find("figure3_simplified_n3"), std::string::npos);
+  EXPECT_NE(simplified.find("S_r"), std::string::npos);
+  EXPECT_NE(simplified.find("S_r+1"), std::string::npos);
+  EXPECT_NE(simplified.find("S~1"), std::string::npos);
+
+  const std::string full = full_chain_dot(3, 1.0, 1.0);
+  EXPECT_NE(full.find("figure2_full_n3"), std::string::npos);
+  EXPECT_NE(full.find("(0,0,0)"), std::string::npos);
+  EXPECT_NE(full.find("(1,1,0)"), std::string::npos);
+  EXPECT_NE(full.find("S_r+1"), std::string::npos);
+
+  // Pure functions of (n, mu, lambda): regenerating is byte-identical,
+  // which is what lets CI diff the emitted DOT against the golden file.
+  EXPECT_EQ(simplified, simplified_chain_dot(3, 1.0, 1.0));
+  EXPECT_EQ(full, full_chain_dot(3, 1.0, 1.0));
+}
+
+TEST(MarkovStructureDotTest, WriteChainDotRoundTrips) {
+  const std::string path = testing::TempDir() + "structure_backend_test.dot";
+  const std::string dot = simplified_chain_dot(4, 1.0, 2.0);
+  write_chain_dot(path, dot);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream read_back;
+  read_back << in.rdbuf();
+  EXPECT_EQ(read_back.str(), dot);
+}
+
+}  // namespace
+}  // namespace rbx
