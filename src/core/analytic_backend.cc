@@ -1,6 +1,7 @@
 #include "core/analytic_backend.h"
 
 #include <cmath>
+#include <functional>
 #include <string>
 
 #include "model/async_model.h"
@@ -136,6 +137,11 @@ bool AnalyticBackend::supports(const Scenario& scenario) const {
   return true;
 }
 
+AnalyticBackend::CacheShard& AnalyticBackend::shard_for(
+    const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kCacheShards];
+}
+
 ResultSet AnalyticBackend::evaluate(const Scenario& scenario) const {
   if (!cache_models_) {
     ResultSet out(name(), scenario.label());
@@ -144,10 +150,11 @@ ResultSet AnalyticBackend::evaluate(const Scenario& scenario) const {
   }
 
   const std::string key = model_cache_key(scenario);
+  CacheShard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
       // Replay in insertion order with the doubles untouched: bitwise
       // identical to the evaluation that populated the entry.
       ResultSet out(name(), scenario.label());
@@ -163,18 +170,22 @@ ResultSet AnalyticBackend::evaluate(const Scenario& scenario) const {
   ResultSet out(name(), scenario.label());
   evaluate_scheme(scenario, out);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (cache_.size() >= kMaxCachedModels) {
-      cache_.clear();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.entries.size() >= kMaxCachedModels / kCacheShards) {
+      shard.entries.clear();
     }
-    cache_.emplace(key, out.metrics());
+    shard.entries.emplace(key, out.metrics());
   }
   return out;
 }
 
 std::size_t AnalyticBackend::cached_models() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.size();
+  std::size_t total = 0;
+  for (CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 }  // namespace rbx

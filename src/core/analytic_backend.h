@@ -27,10 +27,13 @@
 // parameter point once.  A hit replays the metrics in insertion order with
 // the doubles bit-preserved, so cached and fresh evaluations are bitwise
 // identical (pinned by tests/perf/analytic_cache_test.cc).  The cache is
-// mutex-guarded (sweep threads share the backend singleton) and resets
-// when it reaches kMaxCachedModels, which bounds memory on adversarial
-// grids.  Construct with cache_models=false to force every evaluation to
-// solve from scratch.
+// striped across kCacheShards independently-locked shards selected by the
+// key's hash (sweep threads share the backend singleton; a single mutex
+// serialized every lookup and showed up as contention in the threaded
+// perf kernels - see perf kernel analytic_cache_hits_t8).  Each shard
+// resets independently when it reaches its share of kMaxCachedModels,
+// which bounds memory on adversarial grids.  Construct with
+// cache_models=false to force every evaluation to solve from scratch.
 #pragma once
 
 #include <cstddef>
@@ -46,6 +49,9 @@ namespace rbx {
 class AnalyticBackend : public EvalBackend {
  public:
   static constexpr std::size_t kMaxCachedModels = 4096;
+  // Power of two well above any realistic sweep thread count: two threads
+  // only contend when their keys collide mod 16.
+  static constexpr std::size_t kCacheShards = 16;
 
   AnalyticBackend() : AnalyticBackend(true) {}
   explicit AnalyticBackend(bool cache_models)
@@ -55,13 +61,19 @@ class AnalyticBackend : public EvalBackend {
   bool supports(const Scenario& scenario) const override;
   ResultSet evaluate(const Scenario& scenario) const override;
 
-  // Cache observability (tests and perf tooling).
+  // Cache observability (tests and perf tooling): total entries across
+  // all shards.
   std::size_t cached_models() const;
 
  private:
+  struct CacheShard {
+    std::mutex mutex;
+    std::unordered_map<std::string, std::vector<Metric>> entries;
+  };
+  CacheShard& shard_for(const std::string& key) const;
+
   bool cache_models_;
-  mutable std::mutex mutex_;
-  mutable std::unordered_map<std::string, std::vector<Metric>> cache_;
+  mutable CacheShard shards_[kCacheShards];
 };
 
 }  // namespace rbx

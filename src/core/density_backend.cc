@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "core/monte_carlo_backend.h"
 #include "des/async_sim.h"
 #include "model/async_model.h"
 #include "support/check.h"
@@ -55,9 +56,11 @@ ResultSet DensityMonteCarloBackend::evaluate(const Scenario& scenario) const {
   RBX_CHECK_MSG(supports(scenario),
                 "density-mc needs an asynchronous scenario");
   ResultSet out(name(), scenario.label());
-  AsyncRbSimulator sim(scenario.params(), scenario.seed());
-  const AsyncSimResult r =
-      sim.run_lines(scenario.samples(), scenario.error_rate());
+  // Stream-aware (Scenario::streams); with streams > 1 the merged
+  // interval carries every stream's samples in fixed stream order, so
+  // the histogram - itself order-independent - is thread-count
+  // invariant just like the scalar metrics.
+  const AsyncSimResult r = run_async_monte_carlo(scenario);
   Histogram h(0.0, kDensityTMax, kDensityPoints - 1);
   for (double x : r.interval.samples()) {
     h.add(x);

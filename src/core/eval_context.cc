@@ -1,0 +1,18 @@
+#include "core/eval_context.h"
+
+namespace rbx {
+
+namespace {
+thread_local EvalContext g_eval_context;  // defaults to thread_budget = 1
+}  // namespace
+
+const EvalContext& current_eval_context() { return g_eval_context; }
+
+EvalContextScope::EvalContextScope(EvalContext ctx)
+    : previous_(g_eval_context) {
+  g_eval_context = ctx;
+}
+
+EvalContextScope::~EvalContextScope() { g_eval_context = previous_; }
+
+}  // namespace rbx

@@ -1,0 +1,47 @@
+// Ambient per-thread evaluation context.
+//
+// Backends are stateless singletons (core/backend.h), so an execution
+// knob like "how many intra-cell threads may this evaluation use" cannot
+// live on the backend, and threading it through every evaluate() call
+// would churn the EvalBackend interface for what is purely a runtime
+// resource hint.  Instead the dispatch layer installs an EvalContext on
+// the worker thread before invoking the backend, and the backend reads
+// it ambiently.
+//
+// The context is a *budget*, never semantics: a backend must produce
+// bitwise-identical results for any thread_budget (the Monte-Carlo
+// backend partitions work by RNG sub-stream, not by thread; see
+// core/monte_carlo_backend.cc).  The default context has a budget of 1,
+// so code that never installs a scope gets sequential evaluation.
+#pragma once
+
+#include <cstddef>
+
+namespace rbx {
+
+struct EvalContext {
+  // Maximum number of threads one cell evaluation may use.  1 means
+  // fully sequential; the Monte-Carlo backend spawns at most
+  // min(streams, thread_budget) workers.
+  std::size_t thread_budget = 1;
+};
+
+// The context installed on the calling thread (default-constructed if no
+// EvalContextScope is active).
+const EvalContext& current_eval_context();
+
+// RAII installer: replaces the calling thread's context for the scope's
+// lifetime and restores the previous one on destruction.  Scopes nest.
+class EvalContextScope {
+ public:
+  explicit EvalContextScope(EvalContext ctx);
+  ~EvalContextScope();
+
+  EvalContextScope(const EvalContextScope&) = delete;
+  EvalContextScope& operator=(const EvalContextScope&) = delete;
+
+ private:
+  EvalContext previous_;
+};
+
+}  // namespace rbx

@@ -27,7 +27,7 @@ namespace {
                               const char* why) {
   std::fprintf(stderr, "%s: bad argument '%s' (%s)\n", prog, arg, why);
   std::fprintf(stderr,
-               "usage: %s [--samples=N] [--nmax=N] [--seed=N]\n"
+               "usage: %s [--samples=N] [--streams=K] [--nmax=N] [--seed=N]\n"
                "          [--threads=N] [--workers=N]\n"
                "          [--connect=HOST:PORT,... | --fleet=HOST:PORT\n"
                "           [--fleet-workers=N]] [--auth-key-file=PATH]\n"
@@ -108,6 +108,9 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
     if (std::strncmp(arg, "--samples=", 10) == 0) {
       value = arg + 10;
       size_target = &opts.samples;
+    } else if (std::strncmp(arg, "--streams=", 10) == 0) {
+      value = arg + 10;
+      size_target = &opts.streams;
     } else if (std::strncmp(arg, "--nmax=", 7) == 0) {
       value = arg + 7;
       size_target = &opts.nmax;
@@ -257,6 +260,9 @@ ExperimentOptions ExperimentOptions::parse(int argc, char** argv,
     }
     if (size_target == &opts.threads && parsed == 0) {
       usage_error(prog, arg, "thread count must be >= 1");
+    }
+    if (size_target == &opts.streams && parsed == 0) {
+      usage_error(prog, arg, "stream count must be >= 1");
     }
     if (size_target == &opts.workers && parsed == 0) {
       usage_error(prog, arg, "worker count must be >= 1");
@@ -601,8 +607,21 @@ std::optional<std::vector<ResultSet>> SweepRunner::run(
 }
 
 std::optional<std::vector<ResultSet>> SweepRunner::run_impl(
-    const std::vector<Scenario>& cells, const CellFn& cell_fn,
+    const std::vector<Scenario>& cells_in, const CellFn& cell_fn,
     const PlanFn* plan_fn) {
+  // --streams=K applies here, the one choke point every bench's sweeps
+  // pass through, so the stream axis reaches the grid fingerprint, the
+  // shard/merge/journal paths and the evaluated cells uniformly.  K=1
+  // leaves the cells untouched (bitwise-identical grids to older runs).
+  std::vector<Scenario> streamed;
+  if (opts_.streams > 1) {
+    streamed.reserve(cells_in.size());
+    for (const Scenario& cell : cells_in) {
+      streamed.push_back(Scenario(cell).streams(opts_.streams));
+    }
+  }
+  const std::vector<Scenario>& cells =
+      opts_.streams > 1 ? streamed : cells_in;
   const std::size_t section = sweep_index_++;
   if (!merge_sources_.empty()) {
     // Merge mode: take section `section` from every source, applying each
@@ -759,9 +778,11 @@ std::optional<std::vector<ResultSet>> SweepRunner::run_impl(
                    cells.size() - precommitted);
     }
     char digest[96];
-    std::snprintf(digest, sizeof(digest), "samples=%zu nmax=%zu seed=%llu",
+    std::snprintf(digest, sizeof(digest),
+                  "samples=%zu nmax=%zu seed=%llu streams=%zu",
                   opts_.samples, opts_.nmax,
-                  static_cast<unsigned long long>(opts_.seed));
+                  static_cast<unsigned long long>(opts_.seed),
+                  opts_.streams);
     try {
       journal_->sweep_begin(section, fingerprint, cells.size(), digest);
     } catch (const wire::Error& e) {

@@ -7,6 +7,14 @@
 // --workers and --connect runs as one sweep over the shared dispatch core
 // (core/dispatch.h), byte-identical to a single-threaded run.
 //   --samples=N    Monte-Carlo sample count (lines / failures / commits)
+//   --streams=K    partition every cell's Monte-Carlo budget into K
+//                  deterministic RNG sub-streams (Scenario::streams),
+//                  evaluated sample-parallel on each worker's intra-cell
+//                  thread budget and merged in fixed stream order.  For a
+//                  given K the output is bitwise identical on any lane and
+//                  any thread count; K=1 (the default) is bitwise
+//                  identical to earlier releases.  Different K are
+//                  different (equally valid) sample partitions
 //   --nmax=N       largest process count in sweeps
 //   --seed=N       master RNG seed
 //   --threads=N    a lane of N in-process worker threads (the default
@@ -81,7 +89,7 @@
 //                  way)
 //
 // Parsing is strict: an unknown flag, a malformed number, a negative value,
-// --threads=0, --shard=3/2, --connect=host (no port), --steal without a
+// --threads=0, --streams=0, --shard=3/2, --connect=host (no port), --steal without a
 // worker lane, --journal together with --resume, either with --shard or
 // --merge (they evaluate elsewhere or not at all), or --no-cache without a
 // --connect lane prints a usage message to stderr and exits with status 2
@@ -121,6 +129,7 @@ bool parse_strict_u64(const char* text, std::uint64_t* out);
 
 struct ExperimentOptions {
   std::size_t samples = 20000;
+  std::size_t streams = 1;   // RNG sub-streams per cell (--streams=K)
   std::size_t nmax = 0;      // 0 = bench default
   std::uint64_t seed = 20260610;
   std::size_t threads = 0;   // 0 = hardware concurrency

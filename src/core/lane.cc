@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/eval_context.h"
 #include "support/io.h"
 
 namespace rbx {
@@ -135,9 +136,14 @@ namespace {
 // the batch, evaluate every cell through cell_fn, answer with one
 // kFrameResultBatch.  Exactly this loop runs inside a ThreadLane worker
 // thread and inside a ForkLane child process - from the dispatch loop's
-// point of view the two are indistinguishable.  Returns true on clean EOF,
-// false on a corrupt or out-of-protocol request stream.
-bool serve_cells(FrameChannel& ch, const CellFn& cell_fn) {
+// point of view the two are indistinguishable.  eval_threads is installed
+// as the worker's ambient EvalContext for the whole session, so every
+// cell_fn invocation sees the lane's intra-cell thread budget.  Returns
+// true on clean EOF, false on a corrupt or out-of-protocol request
+// stream.
+bool serve_cells(FrameChannel& ch, const CellFn& cell_fn,
+                 std::size_t eval_threads) {
+  EvalContextScope scope(EvalContext{std::max<std::size_t>(eval_threads, 1)});
   for (;;) {
     wire::Frame frame;
     try {
@@ -177,6 +183,20 @@ std::size_t clamp_workers(std::size_t configured, std::size_t cell_count) {
   return std::min(configured, std::max<std::size_t>(cell_count, 1));
 }
 
+// The per-worker intra-cell thread budget.  requested != 0 is an explicit
+// budget passed through verbatim; 0 is adaptive - redistribute the lane's
+// configured parallelism over the workers actually raised, so clamping
+// the worker count to a small cell count hands the freed threads to the
+// surviving workers' stream pools instead of idling them.
+std::size_t worker_eval_threads(std::size_t requested, std::size_t configured,
+                                std::size_t raised) {
+  if (requested != 0) {
+    return requested;
+  }
+  return std::max<std::size_t>(configured / std::max<std::size_t>(raised, 1),
+                               1);
+}
+
 }  // namespace
 
 // --- ThreadLane --------------------------------------------------------------
@@ -201,9 +221,11 @@ ThreadLane::ThreadLane(std::size_t threads)
 ThreadLane::~ThreadLane() { finish(); }
 
 void ThreadLane::start(std::size_t cell_count, const CellFn& cell_fn,
+                       std::size_t eval_threads,
                        std::vector<LaneWorker*>* out) {
   finish();
   const std::size_t count = clamp_workers(threads_, cell_count);
+  const std::size_t budget = worker_eval_threads(eval_threads, threads_, count);
   for (std::size_t i = 0; i < count; ++i) {
     int sv[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
@@ -213,9 +235,9 @@ void ThreadLane::start(std::size_t cell_count, const CellFn& cell_fn,
     auto worker = std::make_unique<Worker>(i);
     worker->channel_ = FrameChannel(sv[0]);
     const int serve_fd = sv[1];
-    worker->thread_ = std::thread([serve_fd, &cell_fn]() {
+    worker->thread_ = std::thread([serve_fd, &cell_fn, budget]() {
       FrameChannel ch(serve_fd);
-      serve_cells(ch, cell_fn);
+      serve_cells(ch, cell_fn, budget);
     });
     out->push_back(worker.get());
     workers_.push_back(std::move(worker));
@@ -311,7 +333,7 @@ bool ForkLane::spawn(Worker& worker) {
   if (pid == 0) {
     close_other_fds(sv[1]);
     FrameChannel ch(sv[1]);
-    const bool clean = serve_cells(ch, *cell_fn_);
+    const bool clean = serve_cells(ch, *cell_fn_, worker_eval_threads_);
     ::_exit(clean ? 0 : 1);
   }
   ::close(sv[1]);
@@ -321,10 +343,14 @@ bool ForkLane::spawn(Worker& worker) {
 }
 
 void ForkLane::start(std::size_t cell_count, const CellFn& cell_fn,
+                     std::size_t eval_threads,
                      std::vector<LaneWorker*>* out) {
   finish();
   cell_fn_ = &cell_fn;
   const std::size_t count = clamp_workers(count_, cell_count);
+  // Stored on the lane (not a start() local) because mid-sweep revives
+  // re-enter spawn() long after start() returned.
+  worker_eval_threads_ = worker_eval_threads(eval_threads, count_, count);
   std::size_t spawned = 0;
   for (std::size_t i = 0; i < count; ++i) {
     auto worker = std::make_unique<Worker>(this, i);

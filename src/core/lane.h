@@ -202,7 +202,16 @@ class Lane {
   // to *out.  cell_count lets a lane clamp its worker count to the work
   // available; cell_fn is how thread/fork workers evaluate (captured for
   // the duration of the sweep - it must outlive finish()).
+  //
+  // eval_threads is the intra-cell thread budget each worker installs as
+  // its ambient EvalContext before evaluating (the Monte-Carlo backend's
+  // stream pool, core/eval_context.h).  0 = adaptive: a worker's budget
+  // is its lane's configured parallelism divided by the workers actually
+  // raised, so a 4-thread lane handed 1 cell gives that cell all 4
+  // threads, and handed 8 cells gives each worker a budget of 1.  Remote
+  // lanes (TCP/fleet) ignore it - each daemon owns its budget.
   virtual void start(std::size_t cell_count, const CellFn& cell_fn,
+                     std::size_t eval_threads,
                      std::vector<LaneWorker*>* out) = 0;
   virtual void finish() = 0;
 };
@@ -223,6 +232,7 @@ class ThreadLane final : public Lane {
   std::size_t threads() const { return threads_; }
 
   void start(std::size_t cell_count, const CellFn& cell_fn,
+             std::size_t eval_threads,
              std::vector<LaneWorker*>* out) override;
   void finish() override;
 
@@ -251,6 +261,7 @@ class ForkLane final : public Lane {
   std::size_t workers() const { return count_; }
 
   void start(std::size_t cell_count, const CellFn& cell_fn,
+             std::size_t eval_threads,
              std::vector<LaneWorker*>* out) override;
   void finish() override;
 
@@ -263,6 +274,7 @@ class ForkLane final : public Lane {
 
   std::size_t count_;
   const CellFn* cell_fn_ = nullptr;  // valid between start() and finish()
+  std::size_t worker_eval_threads_ = 1;  // per-child budget, set by start()
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

@@ -15,12 +15,19 @@
 //    hybrid-scheme metrics when prp_sync_period > 0.  Needs a positive
 //    error rate.
 //
-// Deterministic: the same scenario (seed included) produces bitwise
-// identical results on any thread of any machine - the property the
-// SweepEngine determinism tests pin down.
+// Sample-parallel: when the scenario's streams() > 1 the sample budget
+// is partitioned into that many independent RNG sub-streams (seeds from
+// derive_stream_seed), evaluated on up to current_eval_context()
+// .thread_budget intra-cell threads and merged in fixed stream order.
+// streams() == 1 is the exact historical sequential path.
+//
+// Deterministic: the same scenario (seed, streams included) produces
+// bitwise identical results on any thread count of any machine - the
+// property the SweepEngine determinism and stream tests pin down.
 #pragma once
 
 #include "core/backend.h"
+#include "des/async_sim.h"
 
 namespace rbx {
 
@@ -30,5 +37,11 @@ class MonteCarloBackend : public EvalBackend {
   bool supports(const Scenario& scenario) const override;
   ResultSet evaluate(const Scenario& scenario) const override;
 };
+
+// Runs the asynchronous-RB simulator over the scenario's full sample
+// budget, honoring the streams() axis and the ambient thread budget.
+// Shared by MonteCarloBackend and DensityMonteCarloBackend so the two
+// agree bitwise on the underlying sample stream.
+AsyncSimResult run_async_monte_carlo(const Scenario& scenario);
 
 }  // namespace rbx

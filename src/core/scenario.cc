@@ -128,6 +128,12 @@ Scenario& Scenario::samples(std::size_t s) {
   return *this;
 }
 
+Scenario& Scenario::streams(std::size_t k) {
+  RBX_CHECK_MSG(k > 0, "stream count must be positive");
+  streams_ = k;
+  return *this;
+}
+
 Scenario& Scenario::workload(RuntimeWorkload w) {
   workload_ = w;
   return *this;
@@ -136,6 +142,11 @@ Scenario& Scenario::workload(RuntimeWorkload w) {
 std::string Scenario::label() const {
   std::ostringstream os;
   os << scheme_tag(scheme_) << " " << params_.describe() << " seed=" << seed_;
+  // streams=1 is the implicit default; omitting it keeps every
+  // pre-stream label (and thus golden output) byte-identical.
+  if (streams_ > 1) {
+    os << " streams=" << streams_;
+  }
   return os.str();
 }
 
@@ -187,6 +198,7 @@ void Scenario::encode(wire::Writer& w) const {
   w.f64(workload_.alternate_failure_probability);
   w.u64(workload_.rb_alternates);
   w.u64(workload_.sync_period_steps);
+  w.u64(streams_);
 }
 
 Scenario Scenario::decode(wire::Reader& r) {
@@ -245,6 +257,11 @@ Scenario Scenario::decode(wire::Reader& r) {
   s.workload_.alternate_failure_probability = r.f64();
   s.workload_.rb_alternates = static_cast<std::size_t>(r.u64());
   s.workload_.sync_period_steps = static_cast<std::size_t>(r.u64());
+  const std::uint64_t streams = r.u64();
+  if (streams == 0) {
+    throw wire::Error("scenario: stream count must be positive");
+  }
+  s.streams_ = static_cast<std::size_t>(streams);
   return s;
 }
 

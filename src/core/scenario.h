@@ -101,6 +101,15 @@ class Scenario {
   // or detected failures (PRP).
   std::size_t samples() const { return samples_; }
   Scenario& samples(std::size_t s);
+  // Independent RNG sub-streams the Monte-Carlo budget is partitioned
+  // into (core/monte_carlo_backend.cc).  Each stream k simulates its
+  // share of samples() under derive_stream_seed(seed(), k) and the
+  // partial results merge in fixed stream order, so the result depends
+  // only on (scenario, streams) - never on how many threads evaluated
+  // the streams.  streams() == 1 (the default) is the exact pre-stream
+  // sequential path, bitwise identical to earlier releases.
+  std::size_t streams() const { return streams_; }
+  Scenario& streams(std::size_t k);
   const RuntimeWorkload& workload() const { return workload_; }
   Scenario& workload(RuntimeWorkload w);
 
@@ -134,6 +143,7 @@ class Scenario {
   bool scoped_prp_ = false;
   double prp_sync_period_ = 0.0;
   std::size_t samples_ = 20000;
+  std::size_t streams_ = 1;
   RuntimeWorkload workload_;
 };
 

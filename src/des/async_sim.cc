@@ -8,6 +8,18 @@
 
 namespace rbx {
 
+void AsyncSimResult::merge(const AsyncSimResult& other) {
+  RBX_CHECK_MSG(rp_incl_final.size() == other.rp_incl_final.size(),
+                "AsyncSimResult::merge needs matching process counts");
+  interval.merge(other.interval);
+  for (std::size_t i = 0; i < rp_incl_final.size(); ++i) {
+    rp_incl_final[i].merge(other.rp_incl_final[i]);
+    rp_excl_final[i].merge(other.rp_excl_final[i]);
+    rp_state_changing[i].merge(other.rp_state_changing[i]);
+  }
+  line_age.merge(other.line_age);
+}
+
 AsyncRbSimulator::AsyncRbSimulator(ProcessSetParams params, std::uint64_t seed)
     : params_(std::move(params)), rng_(seed) {
   const std::size_t n = params_.n();

@@ -37,6 +37,12 @@ struct AsyncSimResult {
   // its mean converges to E[X^2] / (2 E[X]) - the stationary rollback
   // distance to the model's last line.
   SampleSet line_age;
+
+  // Merges another run's result into this one (sample-parallel streams,
+  // core/monte_carlo_backend.cc): every accumulator is a SampleSet or
+  // RunningStats, so the merge is the Chan et al. combine throughout.
+  // Both results must come from the same process count (RBX_CHECKed).
+  void merge(const AsyncSimResult& other);
 };
 
 struct ExactLineResult {
@@ -53,6 +59,12 @@ struct ExactLineResult {
 class AsyncRbSimulator {
  public:
   AsyncRbSimulator(ProcessSetParams params, std::uint64_t seed);
+
+  // Resets the RNG to a fresh seed while keeping the event tables and
+  // per-line scratch: a stream pool reuses one simulator instance per
+  // worker thread across streams.  reseed(s) followed by run_lines is
+  // bitwise identical to constructing a new simulator with seed s.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
   // Simulates until `lines` recovery lines have formed (model semantics).
   // With error_rate > 0, errors arrive as an independent Poisson process

@@ -11,7 +11,38 @@ namespace rbx {
 
 namespace {
 constexpr double kClean = std::numeric_limits<double>::infinity();
+
+// Horizon-weighted recombination of a per-unit-time rate.  Each rate is
+// count / horizon (times a seed-independent constant), so
+// (r1*h1 + r2*h2) / (h1+h2) == (count1 + count2) / (h1+h2) exactly.
+double merge_rate(double r1, double h1, double r2, double h2) {
+  const double h = h1 + h2;
+  return h > 0.0 ? (r1 * h1 + r2 * h2) / h : 0.0;
+}
 }  // namespace
+
+void PrpSimResult::merge(const PrpSimResult& other) {
+  prp_distance.merge(other.prp_distance);
+  prp_affected.merge(other.prp_affected);
+  prp_iterations.merge(other.prp_iterations);
+  async_distance.merge(other.async_distance);
+  async_affected.merge(other.async_affected);
+  async_domino_count += other.async_domino_count;
+  failures += other.failures;
+  contaminated_restarts += other.contaminated_restarts;
+  snapshots_per_unit_time = merge_rate(snapshots_per_unit_time, horizon,
+                                       other.snapshots_per_unit_time,
+                                       other.horizon);
+  rp_per_unit_time = merge_rate(rp_per_unit_time, horizon,
+                                other.rp_per_unit_time, other.horizon);
+  recording_time_fraction = merge_rate(recording_time_fraction, horizon,
+                                       other.recording_time_fraction,
+                                       other.horizon);
+  horizon += other.horizon;
+  hybrid_distance.merge(other.hybrid_distance);
+  hybrid_sync_restores += other.hybrid_sync_restores;
+  sync_lines_established += other.sync_lines_established;
+}
 
 PrpSimulator::PrpSimulator(ProcessSetParams params, PrpSimParams sim,
                            std::uint64_t seed)

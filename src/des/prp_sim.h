@@ -71,12 +71,24 @@ struct PrpSimResult {
   SampleSet hybrid_distance;
   std::size_t hybrid_sync_restores = 0;
   std::size_t sync_lines_established = 0;
+
+  // Merges another run's result into this one (sample-parallel streams):
+  // sample accumulators combine via Chan et al., counters sum, and the
+  // per-unit-time rates recombine horizon-weighted - algebraically the
+  // same as recomputing them from the summed RP counts over the summed
+  // horizon, since each rate is (count * constant) / horizon.
+  void merge(const PrpSimResult& other);
 };
 
 class PrpSimulator {
  public:
   PrpSimulator(ProcessSetParams params, PrpSimParams sim,
                std::uint64_t seed);
+
+  // Resets the RNG to a fresh seed, keeping the event-draw tables: a
+  // stream pool reuses one simulator per worker thread.  reseed(s) + run
+  // is bitwise identical to a new simulator constructed with seed s.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
   // Runs until `failures` errors have been detected and recovered.
   PrpSimResult run(std::size_t failures);

@@ -6,6 +6,17 @@
 
 namespace rbx {
 
+void SyncSimResult::merge(const SyncSimResult& other) {
+  max_wait.merge(other.max_wait);
+  loss.merge(other.loss);
+  line_spacing.merge(other.line_spacing);
+  states_per_line.merge(other.states_per_line);
+  rollback_distance.merge(other.rollback_distance);
+  total_loss += other.total_loss;
+  total_time += other.total_time;
+  loss_rate = total_time > 0.0 ? total_loss / total_time : 0.0;
+}
+
 SyncRbSimulator::SyncRbSimulator(SyncSimParams params, std::uint64_t seed)
     : params_(std::move(params)), rng_(seed) {
   RBX_CHECK(!params_.mu.empty());
@@ -125,6 +136,8 @@ SyncSimResult SyncRbSimulator::run(std::size_t lines) {
   }
 
   result.loss_rate = t > 0.0 ? total_loss / t : 0.0;
+  result.total_loss = total_loss;
+  result.total_time = t;
   return result;
 }
 

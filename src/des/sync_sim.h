@@ -46,11 +46,26 @@ struct SyncSimResult {
 
   // Loss per unit time: total loss / total simulated time.
   double loss_rate = 0.0;
+  // The raw totals behind loss_rate, kept so partial results can merge
+  // exactly: the combined rate is sum(loss) / sum(time), not an average
+  // of the per-partial rates.
+  double total_loss = 0.0;
+  double total_time = 0.0;
+
+  // Merges another run's result into this one (sample-parallel streams):
+  // sample accumulators combine via Chan et al., and loss_rate is
+  // recomputed from the summed raw totals.
+  void merge(const SyncSimResult& other);
 };
 
 class SyncRbSimulator {
  public:
   SyncRbSimulator(SyncSimParams params, std::uint64_t seed);
+
+  // Resets the RNG to a fresh seed, keeping the commit scratch: a stream
+  // pool reuses one simulator per worker thread.  reseed(s) + run is
+  // bitwise identical to a new simulator constructed with seed s.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
   SyncSimResult run(std::size_t lines);
 

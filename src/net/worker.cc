@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "core/backend.h"
+#include "core/eval_context.h"
 #include "core/executor.h"
 #include "fleet/auth.h"
 #include "support/io.h"
@@ -258,6 +260,10 @@ bool WorkerServer::serve() {
 }
 
 bool WorkerServer::serve_connection(FrameConn& conn) {
+  // The session thread's intra-cell thread budget: every evaluate_plan
+  // below runs under this daemon's configured stream-pool width.
+  EvalContextScope eval_scope(
+      EvalContext{std::max<std::size_t>(options_.eval_threads, 1)});
   // Per-session state: the handshake, the fail_after counter and the
   // cache opt-out belong to this coordinator's session, not to the
   // daemon - concurrent sessions must not see each other's progress.

@@ -128,31 +128,40 @@ KernelStats run_kernel(const Kernel& kernel, const BenchOptions& options) {
   RBX_CHECK(options.threads >= 1);
   RBX_CHECK(options.intervals >= 1);
 
+  // A kernel with a pinned thread count runs at it no matter what the
+  // harness-wide --threads says (contention kernels are meaningless at
+  // any other width).
+  BenchOptions effective = options;
+  if (kernel.threads != 0) {
+    effective.threads = kernel.threads;
+  }
+  const BenchOptions& opts = effective;
+
   std::vector<std::function<double()>> fns;
-  fns.reserve(options.threads);
-  for (std::size_t t = 0; t < options.threads; ++t) {
+  fns.reserve(opts.threads);
+  for (std::size_t t = 0; t < opts.threads; ++t) {
     fns.push_back(kernel.make());
   }
 
-  std::uint64_t reps = options.reps;
+  std::uint64_t reps = opts.reps;
   if (reps == 0) {
-    reps = calibrate(fns[0], options.interval_ms);
+    reps = calibrate(fns[0], opts.interval_ms);
   }
 
   auto run_interval = [&]() -> std::uint64_t {
-    if (options.threads == 1) {
+    if (opts.threads == 1) {
       return time_interval(fns[0], reps);
     }
     return time_interval_threads(fns, reps);
   };
 
-  for (std::size_t i = 0; i < options.warmup_intervals; ++i) {
+  for (std::size_t i = 0; i < opts.warmup_intervals; ++i) {
     run_interval();
   }
 
   std::vector<double> samples;
-  samples.reserve(options.intervals);
-  for (std::size_t i = 0; i < options.intervals; ++i) {
+  samples.reserve(opts.intervals);
+  for (std::size_t i = 0; i < opts.intervals; ++i) {
     const std::uint64_t wall = run_interval();
     samples.push_back(static_cast<double>(wall) /
                       static_cast<double>(reps));
@@ -166,8 +175,8 @@ KernelStats run_kernel(const Kernel& kernel, const BenchOptions& options) {
   stats.ns_p10 = percentile(samples, 0.1);
   stats.ns_p90 = percentile(samples, 0.9);
   stats.reps = reps;
-  stats.intervals = options.intervals;
-  stats.threads = options.threads;
+  stats.intervals = opts.intervals;
+  stats.threads = opts.threads;
   return stats;
 }
 

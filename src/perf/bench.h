@@ -62,6 +62,12 @@ struct Kernel {
   std::string layer;
   // Setup (untimed) returning the timed closure.  Called once per thread.
   std::function<std::function<double()>()> make;
+  // Pinned concurrency: 0 runs at BenchOptions.threads; a non-zero value
+  // overrides it for this kernel only.  How the registry carries
+  // contention kernels (e.g. analytic_cache_hits_t8, des_*_t4) whose
+  // whole point is a specific thread count, regardless of the harness's
+  // --threads flag.
+  std::size_t threads = 0;
 };
 
 class KernelRegistry {

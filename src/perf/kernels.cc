@@ -30,6 +30,7 @@
 
 #include "core/analytic_backend.h"
 #include "core/backend.h"
+#include "core/eval_context.h"
 #include "core/executor.h"
 #include "core/result.h"
 #include "core/scenario.h"
@@ -300,6 +301,32 @@ void register_default_kernels(KernelRegistry& registry) {
                   };
                 }});
 
+  registry.add({"analytic_cache_hits_t8", "core",
+                [] {
+                  // Pure cache-hit replay under contention: 64 distinct
+                  // solved models (varying lambda), warmed here so the
+                  // timed loop never solves.  All 8 threads hammer the
+                  // shared backend singleton; before the cache was
+                  // striped across shards one global mutex serialized
+                  // every replay.  Distinct keys spread across shards,
+                  // so flat ns/op vs a 1-thread run is the win.
+                  auto cells = std::make_shared<std::vector<Scenario>>();
+                  for (std::size_t i = 0; i < 64; ++i) {
+                    cells->push_back(
+                        Scenario::symmetric(5, 1.0,
+                                            0.1 + 0.05 * static_cast<double>(i))
+                            .scheme(SchemeKind::kAsynchronous));
+                    analytic_backend().evaluate(cells->back());
+                  }
+                  return [cells, i = std::size_t{0}]() mutable -> double {
+                    const ResultSet r =
+                        analytic_backend().evaluate((*cells)[i]);
+                    i = (i + 1) % cells->size();
+                    return r.value("mean_interval_x");
+                  };
+                },
+                /*threads=*/8});
+
   registry.add({"hybrid_cell", "core", [] {
                   // One ABL-HYBRID cell at a small failure budget: three
                   // analytic models plus a PRP simulation through the
@@ -366,6 +393,111 @@ void register_default_kernels(KernelRegistry& registry) {
                   return [sim]() -> double {
                     const PrpSimResult r = sim->run(8);
                     return r.prp_distance.mean();
+                  };
+                }});
+
+  // Contention variants: the same three DES bodies at a pinned 4 threads.
+  // The simulators share no state, so flat ns/op against the 1-thread
+  // kernels is the pass condition - growth is scheduler or allocator
+  // contention, exactly what CI's --compare gate should catch.
+  registry.add({"des_async_lines_t4", "des",
+                [] {
+                  auto sim = std::make_shared<AsyncRbSimulator>(
+                      ProcessSetParams::symmetric(4, 1.0, 0.5), 0x5eed);
+                  return [sim]() -> double {
+                    const AsyncSimResult r = sim->run_lines(32, 0.25);
+                    return r.interval.mean();
+                  };
+                },
+                /*threads=*/4});
+
+  registry.add({"des_sync_lines_t4", "des",
+                [] {
+                  SyncSimParams params;
+                  params.mu = {1.0, 1.2, 0.8, 1.1};
+                  params.strategy = SyncStrategy::kElapsedTime;
+                  params.elapsed_threshold = 1.0;
+                  params.error_rate = 0.5;
+                  auto sim =
+                      std::make_shared<SyncRbSimulator>(params, 0x5eed);
+                  return [sim]() -> double {
+                    const SyncSimResult r = sim->run(64);
+                    return r.loss_rate;
+                  };
+                },
+                /*threads=*/4});
+
+  registry.add({"des_prp_failures_t4", "des",
+                [] {
+                  PrpSimParams sim_params;
+                  sim_params.t_record = 1e-3;
+                  sim_params.error_rate = 0.5;
+                  auto sim = std::make_shared<PrpSimulator>(
+                      ProcessSetParams::symmetric(4, 1.0, 0.5), sim_params,
+                      0x5eed);
+                  return [sim]() -> double {
+                    const PrpSimResult r = sim->run(8);
+                    return r.prp_distance.mean();
+                  };
+                },
+                /*threads=*/4});
+
+  // --- sample-parallel Monte-Carlo cells --------------------------------
+  // One representative async MC cell under the stream axis.  The _seq
+  // twin runs the identical scenario on a thread budget of 1; the pair is
+  // the honest intra-cell speedup measurement (mc_async_cell /
+  // mc_async_cell_seq), and their ResultSets are bitwise identical by the
+  // stream determinism contract.
+  registry.add({"mc_async_cell", "core", [] {
+                  const Scenario s = Scenario::symmetric(4, 1.0, 0.5)
+                                         .scheme(SchemeKind::kAsynchronous)
+                                         .error_rate(0.25)
+                                         .seed(0x5eed)
+                                         .samples(512)
+                                         .streams(4);
+                  return [s]() -> double {
+                    EvalContextScope scope(EvalContext{4});
+                    const ResultSet r = monte_carlo_backend().evaluate(s);
+                    return r.value("mean_interval_x");
+                  };
+                },
+                // Pinned to one closure: the cell spawns its own 4-thread
+                // stream pool, so harness-level concurrency would only
+                // oversubscribe and blur the _seq comparison.
+                /*threads=*/1});
+
+  registry.add({"mc_async_cell_seq", "core", [] {
+                  const Scenario s = Scenario::symmetric(4, 1.0, 0.5)
+                                         .scheme(SchemeKind::kAsynchronous)
+                                         .error_rate(0.25)
+                                         .seed(0x5eed)
+                                         .samples(512)
+                                         .streams(4);
+                  return [s]() -> double {
+                    EvalContextScope scope(EvalContext{1});
+                    const ResultSet r = monte_carlo_backend().evaluate(s);
+                    return r.value("mean_interval_x");
+                  };
+                },
+                /*threads=*/1});
+
+  registry.add({"mc_stream_merge", "core", [] {
+                  // The merge tax alone: combine 8 pre-simulated stream
+                  // partials (Chan et al. on every accumulator) without
+                  // any simulation in the timed loop.
+                  auto parts = std::make_shared<std::vector<AsyncSimResult>>();
+                  AsyncRbSimulator sim(
+                      ProcessSetParams::symmetric(4, 1.0, 0.5), 0x5eed);
+                  for (std::size_t k = 0; k < 8; ++k) {
+                    sim.reseed(derive_stream_seed(0x5eed, k));
+                    parts->push_back(sim.run_lines(64, 0.25));
+                  }
+                  return [parts]() -> double {
+                    AsyncSimResult merged = (*parts)[0];
+                    for (std::size_t k = 1; k < parts->size(); ++k) {
+                      merged.merge((*parts)[k]);
+                    }
+                    return merged.interval.mean();
                   };
                 }});
 

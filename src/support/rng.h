@@ -33,6 +33,20 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+// Counter-based split of a cell seed into per-stream seeds: stream k of a
+// Monte-Carlo cell simulates with derive_stream_seed(cell_seed, k).  The
+// stream index is folded in through an odd multiplier before a full
+// splitmix64 round, so streams of one cell - and equal stream indices of
+// different cells - land in unrelated regions of the seed space.  A pure
+// function of (cell_seed, stream): no shared RNG state, which is what
+// keeps a streamed evaluation independent of how many threads ran it.
+inline std::uint64_t derive_stream_seed(std::uint64_t cell_seed,
+                                        std::uint64_t stream) {
+  return SplitMix64(cell_seed ^
+                    (0xa0761d6478bd642fULL * (stream + 1)))
+      .next();
+}
+
 // xoshiro256**: general-purpose 64-bit generator, period 2^256 - 1.
 class Xoshiro256StarStar {
  public:

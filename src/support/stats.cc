@@ -74,6 +74,15 @@ void SampleSet::add(double x) {
   stats_.add(x);
 }
 
+void SampleSet::merge(const SampleSet& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  if (!other.samples_.empty()) {
+    sorted_ = false;
+  }
+  stats_.merge(other.stats_);
+}
+
 double SampleSet::quantile(double q) const {
   RBX_CHECK(!samples_.empty());
   RBX_CHECK(q >= 0.0 && q <= 1.0);
@@ -115,6 +124,18 @@ void Histogram::add(double x) {
     idx = counts_.size() - 1;
   }
   ++counts_[idx];
+}
+
+void Histogram::merge(const Histogram& other) {
+  RBX_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                    counts_.size() == other.counts_.size(),
+                "Histogram::merge needs identical ranges and bin counts");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 double Histogram::bin_center(std::size_t i) const {

@@ -47,6 +47,14 @@ class SampleSet {
   void add(double x);
   void reserve(std::size_t n) { samples_.reserve(n); }
 
+  // Merges another set into this one (parallel reduction): samples are
+  // appended in the other set's order and the moment accumulators combine
+  // via the pairwise Chan et al. update (RunningStats::merge), so the
+  // merged mean/variance are numerically stable regardless of how the
+  // samples were partitioned.  Order statistics are exact either way -
+  // quantile() sorts the union.
+  void merge(const SampleSet& other);
+
   std::size_t count() const { return samples_.size(); }
   double mean() const { return stats_.mean(); }
   double variance() const { return stats_.variance(); }
@@ -76,6 +84,12 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+
+  // Merges another histogram into this one; both must have been built
+  // with the same [lo, hi) range and bin count (RBX_CHECKed).  Counts are
+  // pure sums, so merging K partial histograms in any order equals
+  // filling one histogram with all the samples.
+  void merge(const Histogram& other);
 
   std::size_t bins() const { return counts_.size(); }
   double lo() const { return lo_; }

@@ -102,10 +102,21 @@ TEST(Scenario, LabelNamesSchemeRatesAndSeed) {
   EXPECT_NE(label.find("seed=42"), std::string::npos);
 }
 
+TEST(Scenario, StreamsDefaultToOneAndStayOutOfTheLabel) {
+  const Scenario base = Scenario::symmetric(3, 1.0, 1.0).seed(42);
+  EXPECT_EQ(base.streams(), 1u);
+  // streams=1 must keep the exact pre-stream label (golden output pins
+  // these strings); only K > 1 may appear.
+  EXPECT_EQ(base.label().find("streams"), std::string::npos);
+  const Scenario streamed = Scenario(base).streams(4);
+  EXPECT_NE(streamed.label().find("streams=4"), std::string::npos);
+}
+
 TEST(ScenarioDeathTest, LoudMisuse) {
   EXPECT_DEATH(Scenario::symmetric(3, 1.0, 1.0).error_rate(-0.1),
                "non-negative");
   EXPECT_DEATH(Scenario::symmetric(3, 1.0, 1.0).samples(0), "positive");
+  EXPECT_DEATH(Scenario::symmetric(3, 1.0, 1.0).streams(0), "positive");
   // The PRP simulator runs to a failure count; a zero error rate would
   // never terminate, so the projection refuses it.
   EXPECT_DEATH(Scenario::symmetric(3, 1.0, 1.0)

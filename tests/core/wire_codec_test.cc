@@ -39,6 +39,7 @@ Scenario full_knob_scenario(SchemeKind scheme) {
       .scoped_prp(true)
       .prp_sync_period(2.5)
       .samples(12345)
+      .streams(6)
       .workload(workload);
 }
 
@@ -76,6 +77,7 @@ TEST(ScenarioCodec, EveryKnobRoundTripsForEveryScheme) {
     EXPECT_EQ(back.scoped_prp(), original.scoped_prp());
     EXPECT_EQ(back.prp_sync_period(), original.prp_sync_period());
     EXPECT_EQ(back.samples(), original.samples());
+    EXPECT_EQ(back.streams(), original.streams());
     EXPECT_EQ(back.workload().steps, original.workload().steps);
     EXPECT_EQ(back.workload().message_probability,
               original.workload().message_probability);
@@ -131,11 +133,21 @@ TEST(ScenarioCodec, CorruptEnumAndRateFieldsRejected) {
   {
     Scenario ok = full_knob_scenario(SchemeKind::kAsynchronous);
     std::vector<std::byte> bytes = encode_scenario(ok);
-    // samples is followed by the 6 workload fields, all 8 bytes wide, so
-    // its u64 starts 7 * 8 bytes from the end of the encoding.
-    const std::size_t samples_pos = bytes.size() - 7 * 8;
+    // samples is followed by the 6 workload fields and the stream count,
+    // all 8 bytes wide, so its u64 starts 8 * 8 bytes from the end.
+    const std::size_t samples_pos = bytes.size() - 8 * 8;
     for (std::size_t b = 0; b < 8; ++b) {
       bytes[samples_pos + b] = static_cast<std::byte>(0);
+    }
+    wire::Reader r(bytes);
+    EXPECT_THROW(Scenario::decode(r), wire::Error);
+  }
+  // A zero stream count must throw (the trailing u64).
+  {
+    Scenario ok = full_knob_scenario(SchemeKind::kAsynchronous);
+    std::vector<std::byte> bytes = encode_scenario(ok);
+    for (std::size_t b = 0; b < 8; ++b) {
+      bytes[bytes.size() - 8 + b] = static_cast<std::byte>(0);
     }
     wire::Reader r(bytes);
     EXPECT_THROW(Scenario::decode(r), wire::Error);

@@ -99,6 +99,39 @@ TEST(BenchTest, ThreadsGetTheirOwnClosure) {
   EXPECT_GT(s.ns_median, 0.0);
 }
 
+TEST(BenchTest, KernelPinnedThreadsOverrideOptions) {
+  // Contention kernels pin their own concurrency (e.g. the _t4/_t8
+  // variants); the per-kernel value must beat the harness-wide default.
+  std::atomic<int> makes{0};
+  Kernel k;
+  k.name = "pinned";
+  k.layer = "test";
+  k.threads = 2;
+  k.make = [&makes] {
+    ++makes;
+    return [] { return 1.0; };
+  };
+  BenchOptions o = tiny();
+  o.threads = 1;  // kernel override must win
+  const KernelStats s = run_kernel(k, o);
+  EXPECT_EQ(makes.load(), 2);
+  EXPECT_EQ(s.threads, 2u);
+}
+
+TEST(BenchTest, KernelWithoutPinInheritsOptionThreads) {
+  Kernel k;
+  k.name = "unpinned";
+  k.layer = "test";
+  ASSERT_EQ(k.threads, 0u);
+  k.make = [] {
+    return [] { return 1.0; };
+  };
+  BenchOptions o = tiny();
+  o.threads = 2;
+  const KernelStats s = run_kernel(k, o);
+  EXPECT_EQ(s.threads, 2u);
+}
+
 }  // namespace
 }  // namespace perf
 }  // namespace rbx

@@ -106,6 +106,90 @@ TEST(SampleSet, StatsMatchRunningStats) {
   EXPECT_DOUBLE_EQ(s.variance(), r.variance());
 }
 
+TEST(SampleSet, MergeMatchesOneShotAccumulation) {
+  // The sample-parallel contract: K partial SampleSets merged in order
+  // must agree with one accumulator fed the same values in the same
+  // concatenated order - counts and extrema exactly, moments to the Chan
+  // et al. combine's tight error.
+  SampleSet all, a, b, c;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = std::sin(i * 0.37) * 25.0 + 1e6 + i * 0.001;
+    (i < 1000 ? a : i < 2000 ? b : c).add(x);
+  }
+  for (const SampleSet* part : {&a, &b, &c}) {
+    for (double x : part->samples()) {
+      all.add(x);
+    }
+  }
+  SampleSet merged = a;
+  merged.merge(b);
+  merged.merge(c);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+  EXPECT_LT(relative_error(merged.mean(), all.mean()), 1e-13);
+  EXPECT_LT(relative_error(merged.variance(), all.variance()), 1e-10);
+  // The raw samples concatenate in merge order, so order statistics (the
+  // quantile path) see the identical multiset.
+  ASSERT_EQ(merged.samples().size(), all.samples().size());
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), all.quantile(0.5));
+  EXPECT_DOUBLE_EQ(merged.quantile(0.95), all.quantile(0.95));
+}
+
+TEST(SampleSet, MergeWithEmptySides) {
+  SampleSet a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.quantile(0.5), 2.0);
+}
+
+TEST(SampleSet, MergeAfterQuantileSortKeepsMomentsExact) {
+  // quantile() sorts the sample buffer lazily; a merge after that must
+  // still produce moments identical to a merge before it (the stats
+  // accumulator is add-time state, not recomputed from the buffer).
+  SampleSet sorted_first, untouched, rhs;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::cos(i * 0.9) * 5.0;
+    sorted_first.add(x);
+    untouched.add(x);
+    rhs.add(x * 0.5 + 1.0);
+  }
+  (void)sorted_first.quantile(0.5);  // forces the sort
+  sorted_first.merge(rhs);
+  untouched.merge(rhs);
+  EXPECT_DOUBLE_EQ(sorted_first.mean(), untouched.mean());
+  EXPECT_DOUBLE_EQ(sorted_first.variance(), untouched.variance());
+  EXPECT_DOUBLE_EQ(sorted_first.quantile(0.25), untouched.quantile(0.25));
+}
+
+TEST(Histogram, MergeSumsBinsAndTails) {
+  Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4);
+  a.add(-0.5);
+  a.add(0.1);
+  a.add(0.6);
+  b.add(0.15);
+  b.add(0.9);
+  b.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 6u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.bin_count(0), 2u);  // 0.1 and 0.15
+  EXPECT_EQ(a.bin_count(2), 1u);  // 0.6
+  EXPECT_EQ(a.bin_count(3), 1u);  // 0.9
+}
+
+TEST(HistogramDeathTest, MergeRefusesMismatchedRanges) {
+  Histogram a(0.0, 1.0, 4), wider(0.0, 2.0, 4), finer(0.0, 1.0, 8);
+  EXPECT_DEATH(a.merge(wider), "identical ranges");
+  EXPECT_DEATH(a.merge(finer), "identical ranges");
+}
+
 TEST(Histogram, BinningAndDensity) {
   Histogram h(0.0, 10.0, 10);
   for (int i = 0; i < 1000; ++i) {

@@ -86,7 +86,7 @@ namespace {
                "       [--fail-after=N] [--delay-ms=N] [--cache-dir=DIR]\n"
                "       [--cache-max-bytes=N] [--fleet=HOST:PORT]\n"
                "       [--advertise=HOST] [--weight=N] [--heartbeat-ms=N]\n"
-               "       [--auth-key-file=PATH] [--quiet]\n",
+               "       [--auth-key-file=PATH] [--eval-threads=N] [--quiet]\n",
                prog);
   std::exit(2);
 }
@@ -125,6 +125,12 @@ int main(int argc, char** argv) {
         usage_error(prog, arg, "expected a positive integer");
       }
       opts.max_coordinators = static_cast<std::size_t>(n);
+    } else if (std::strncmp(arg, "--eval-threads=", 15) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_strict_u64(arg + 15, &n) || n == 0) {
+        usage_error(prog, arg, "expected a positive thread count");
+      }
+      opts.eval_threads = static_cast<std::size_t>(n);
     } else if (std::strncmp(arg, "--delay-ms=", 11) == 0) {
       std::uint64_t n = 0;
       if (!parse_strict_u64(arg + 11, &n)) {
